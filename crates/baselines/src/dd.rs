@@ -1,0 +1,276 @@
+//! QD-style double-double arithmetic (`dd_real`, Hida–Li–Bailey 2001).
+//!
+//! These are the classical pre-FPAN double-word algorithms: branch-free,
+//! correct, but not operation-count-optimal. The paper's Figure 9 shows QD
+//! within ~1.5x of MultiFloats on 2-term AXPY/GEMM (both are branch-free
+//! and vectorizable) while falling behind on DOT/GEMV, where QD's C++
+//! interface blocks SIMD reduction; in this Rust port the kernels differ
+//! only in their algorithm, which is the comparison we want.
+
+use crate::{quick_two_sum, two_prod, two_sum};
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Double-double number: `hi + lo` with `|lo| <= ulp(hi)/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DoubleDouble {
+    pub hi: f64,
+    pub lo: f64,
+}
+
+impl DoubleDouble {
+    pub const ZERO: Self = DoubleDouble { hi: 0.0, lo: 0.0 };
+    pub const ONE: Self = DoubleDouble { hi: 1.0, lo: 0.0 };
+
+    #[inline(always)]
+    pub fn from_f64(x: f64) -> Self {
+        DoubleDouble { hi: x, lo: 0.0 }
+    }
+
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// QD's `ieee_add`: the accurate double-double addition (same gate
+    /// sequence family as `AccurateDWPlusDW`).
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        let (s, mut e) = two_sum(self.hi, o.hi);
+        let (t, f) = two_sum(self.lo, o.lo);
+        e += t;
+        let (s, mut e) = quick_two_sum(s, e);
+        e += f;
+        let (hi, lo) = quick_two_sum(s, e);
+        DoubleDouble { hi, lo }
+    }
+
+    /// QD's `sloppy_add`: cheaper, weaker error bound (can lose accuracy
+    /// under cancellation — kept for the ablation benchmarks).
+    #[inline(always)]
+    pub fn sloppy_add(self, o: Self) -> Self {
+        let (s, e) = two_sum(self.hi, o.hi);
+        let e = e + (self.lo + o.lo);
+        let (hi, lo) = quick_two_sum(s, e);
+        DoubleDouble { hi, lo }
+    }
+
+    #[inline(always)]
+    pub fn sub(self, o: Self) -> Self {
+        self.add(o.neg())
+    }
+
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        DoubleDouble {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+
+    pub fn abs(self) -> Self {
+        if self.hi < 0.0 {
+            self.neg()
+        } else {
+            self
+        }
+    }
+
+    /// QD's `dd_real::operator*` with FMA-based `two_prod`.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        let (p, mut e) = two_prod(self.hi, o.hi);
+        e += self.hi * o.lo + self.lo * o.hi;
+        let (hi, lo) = quick_two_sum(p, e);
+        DoubleDouble { hi, lo }
+    }
+
+    /// QD's accurate division: two long-division steps plus a residual
+    /// correction (branch-free but ~3x the cost of multiplication).
+    #[inline(always)]
+    pub fn div(self, o: Self) -> Self {
+        let q1 = self.hi / o.hi;
+        let r = self.sub(o.mul_f64(q1));
+        let q2 = r.hi / o.hi;
+        let r = r.sub(o.mul_f64(q2));
+        let q3 = r.hi / o.hi;
+        let (s, e) = quick_two_sum(q1, q2);
+        DoubleDouble { hi: s, lo: e }.add(DoubleDouble::from_f64(q3))
+    }
+
+    #[inline(always)]
+    pub fn mul_f64(self, x: f64) -> Self {
+        let (p, mut e) = two_prod(self.hi, x);
+        e += self.lo * x;
+        let (hi, lo) = quick_two_sum(p, e);
+        DoubleDouble { hi, lo }
+    }
+
+    /// Square root via the Karp–Markstein trick (as in QD).
+    pub fn sqrt(self) -> Self {
+        if self.hi == 0.0 {
+            return DoubleDouble::ZERO;
+        }
+        let x = 1.0 / self.hi.sqrt();
+        let ax = self.hi * x;
+        let ax_dd = DoubleDouble::from_f64(ax);
+        let err = self.sub(ax_dd.mul(ax_dd)).hi;
+        ax_dd.add(DoubleDouble::from_f64(err * (x * 0.5)))
+    }
+}
+
+impl Add for DoubleDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        DoubleDouble::add(self, o)
+    }
+}
+
+impl Sub for DoubleDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        DoubleDouble::sub(self, o)
+    }
+}
+
+impl Mul for DoubleDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        DoubleDouble::mul(self, o)
+    }
+}
+
+impl Div for DoubleDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        DoubleDouble::div(self, o)
+    }
+}
+
+impl Neg for DoubleDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        DoubleDouble::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_mpsoft::MpFloat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn to_mp(x: DoubleDouble) -> MpFloat {
+        MpFloat::exact_sum(&[x.hi, x.lo])
+    }
+
+    fn rand_dd(rng: &mut SmallRng) -> DoubleDouble {
+        let hi: f64 = rng.gen_range(-1.0..1.0) * 2.0f64.powi(rng.gen_range(-20..20));
+        let lo = hi * 2.0f64.powi(-53) * rng.gen_range(-0.5..0.5);
+        let (h, l) = quick_two_sum(hi, lo);
+        DoubleDouble { hi: h, lo: l }
+    }
+
+    #[test]
+    fn add_accuracy_vs_oracle() {
+        let mut rng = SmallRng::seed_from_u64(800);
+        for _ in 0..20_000 {
+            let a = rand_dd(&mut rng);
+            let b = rand_dd(&mut rng);
+            let got = to_mp(a.add(b));
+            let exact = MpFloat::exact_sum(&[a.hi, a.lo, b.hi, b.lo]);
+            if exact.is_zero() {
+                continue;
+            }
+            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-103), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn mul_accuracy_vs_oracle() {
+        let mut rng = SmallRng::seed_from_u64(801);
+        for _ in 0..20_000 {
+            let a = rand_dd(&mut rng);
+            let b = rand_dd(&mut rng);
+            let got = to_mp(a.mul(b));
+            let exact = to_mp(a).mul(&to_mp(b), 400);
+            if exact.is_zero() {
+                continue;
+            }
+            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-101), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn div_accuracy_vs_oracle() {
+        let mut rng = SmallRng::seed_from_u64(802);
+        for _ in 0..20_000 {
+            let a = rand_dd(&mut rng);
+            let b = rand_dd(&mut rng);
+            if b.hi == 0.0 {
+                continue;
+            }
+            let got = to_mp(a.div(b));
+            let exact = to_mp(a).div(&to_mp(b), 400);
+            if exact.is_zero() {
+                continue;
+            }
+            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-99), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn sqrt_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(803);
+        for _ in 0..10_000 {
+            let a = rand_dd(&mut rng).abs();
+            if a.hi == 0.0 {
+                continue;
+            }
+            let s = a.sqrt();
+            let back = to_mp(s).mul(&to_mp(s), 400);
+            let exact = to_mp(a);
+            assert!(back.rel_error_vs(&exact) <= 2.0f64.powi(-98), "a={a:?}");
+        }
+    }
+
+    #[test]
+    fn sloppy_add_loses_bits_under_cancellation() {
+        // Documented weakness of the sloppy variant: opposite-sign heads
+        // with information in the tails.
+        let a = DoubleDouble { hi: 1.0, lo: 2.0f64.powi(-55) };
+        let b = DoubleDouble { hi: -1.0, lo: 2.0f64.powi(-107) };
+        let sloppy = a.sloppy_add(b);
+        let accurate = a.add(b);
+        // Accurate keeps both tail contributions.
+        let exact = MpFloat::exact_sum(&[a.hi, a.lo, b.hi, b.lo]);
+        assert!(to_mp(accurate).rel_error_vs(&exact) < 1e-16);
+        // (sloppy may or may not be exact here; the property we pin is that
+        // accurate is at least as good.)
+        let se = to_mp(sloppy).sub(&exact, 300).abs();
+        let ae = to_mp(accurate).sub(&exact, 300).abs();
+        assert!(ae.to_f64() <= se.to_f64() + 1e-300);
+    }
+
+    #[test]
+    fn matches_multifloat_values() {
+        // DoubleDouble and MultiFloat<f64,2> compute the same values to
+        // within both formats' error bounds.
+        let mut rng = SmallRng::seed_from_u64(804);
+        for _ in 0..10_000 {
+            let a = rand_dd(&mut rng);
+            let b = rand_dd(&mut rng);
+            let dd = a.mul(b).add(a);
+            let ma = mf_core::F64x2::from_components([a.hi, a.lo]);
+            let mb = mf_core::F64x2::from_components([b.hi, b.lo]);
+            let mf = ma.mul(mb).add(ma);
+            let d = to_mp(dd).sub(&mf.to_mp(300), 300).abs();
+            let scale = mf.to_mp(300).abs().to_f64().max(1e-300);
+            assert!(d.to_f64() / scale <= 2.0f64.powi(-99), "a={a:?} b={b:?}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! `mf-baselines`: the extended-precision libraries the paper benchmarks
+//! against, ported to Rust so the comparison is algorithmic rather than
+//! compiler-vs-compiler (DESIGN.md substitution T5).
+//!
+//! * [`dd::DoubleDouble`] — the QD library's `dd_real`: Hida–Li–Bailey
+//!   double-double arithmetic. Its addition is branch-free but uses the
+//!   pre-FPAN sequences the paper calls "previously known, albeit
+//!   suboptimal, branch-free algorithms".
+//! * [`qd::QuadDouble`] — the QD library's `qd_real`: quad-double
+//!   arithmetic whose renormalization and accurate addition contain the
+//!   data-dependent branches (zero skipping, magnitude merging) that
+//!   prevent vectorization.
+//! * [`campary::Expansion`] — CAMPARY's "certified" expansion arithmetic
+//!   (the variant the paper benchmarks; its "fast" variant is branch-free
+//!   but documented incorrect on some inputs): magnitude-ordered merges,
+//!   `VecSum` distillation, and the branchy `VecSumErrBranch`
+//!   renormalization.
+//!
+//! All three are validated against the `mf-mpsoft` oracle and, where
+//! meaningful, against `mf-core`.
+
+pub mod campary;
+pub mod dd;
+pub mod qd;
+
+/// `FastTwoSum` without the ordering `debug_assert`: QD's `quick_two_sum`
+/// is used by its renormalization on sequences it *assumes* are ordered;
+/// calling it out of order silently loses low bits, which is faithful to
+/// the original library's behavior and part of why its "sloppy" operations
+/// carry weaker guarantees.
+#[inline(always)]
+pub(crate) fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+#[inline(always)]
+pub(crate) fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    mf_eft::two_sum(a, b)
+}
+
+#[inline(always)]
+pub(crate) fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    mf_eft::two_prod(a, b)
+}

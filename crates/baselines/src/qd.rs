@@ -1,0 +1,493 @@
+//! QD-style quad-double arithmetic (`qd_real`, Hida–Li–Bailey 2001).
+//!
+//! This is a faithful Rust port of the QD library's algorithms, preserving
+//! the property the paper's evaluation turns on: the renormalization
+//! (`renorm`) and the accurate addition both contain **data-dependent
+//! branches** (zero-skipping, magnitude merging), which defeats
+//! vectorization and costs an order of magnitude at 4-term precision
+//! (paper Figure 9's QD column at 208 bits).
+
+use crate::{quick_two_sum, two_prod, two_sum};
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Quad-double: unevaluated sum of four doubles, decreasing magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuadDouble(pub [f64; 4]);
+
+/// QD's `three_sum`: `(a, b, c) <- (sum, err1, err2)` exactly.
+#[inline(always)]
+fn three_sum(a: &mut f64, b: &mut f64, c: &mut f64) {
+    let (t1, t2) = two_sum(*a, *b);
+    let (na, t3) = two_sum(*c, t1);
+    let (nb, nc) = two_sum(t2, t3);
+    *a = na;
+    *b = nb;
+    *c = nc;
+}
+
+/// QD's `three_sum2`: `(a, b) <- (sum, combined error)`; second-order error
+/// discarded.
+#[inline(always)]
+fn three_sum2(a: &mut f64, b: &mut f64, c: f64) {
+    let (t1, t2) = two_sum(*a, *b);
+    let (na, t3) = two_sum(c, t1);
+    *a = na;
+    *b = t2 + t3;
+}
+
+/// QD's branchy five-to-four renormalization (`qd_inline.h::renorm`).
+#[inline]
+fn renorm5(c0: f64, c1: f64, c2: f64, c3: f64, c4: f64) -> [f64; 4] {
+    let (s, c4) = quick_two_sum(c3, c4);
+    let (s, c3) = quick_two_sum(c2, s);
+    let (s, c2) = quick_two_sum(c1, s);
+    let (c0, c1) = quick_two_sum(c0, s);
+
+    let (mut s0, mut s1) = (c0, c1);
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    if s1 != 0.0 {
+        let (t1, t2) = quick_two_sum(s1, c2);
+        s1 = t1;
+        s2 = t2;
+        if s2 != 0.0 {
+            let (t1, t2) = quick_two_sum(s2, c3);
+            s2 = t1;
+            s3 = t2;
+            if s3 != 0.0 {
+                s3 += c4;
+            } else {
+                s2 += c4;
+            }
+        } else {
+            let (t1, t2) = quick_two_sum(s1, c3);
+            s1 = t1;
+            s2 = t2;
+            if s2 != 0.0 {
+                let (t1, t2) = quick_two_sum(s2, c4);
+                s2 = t1;
+                s3 = t2;
+            } else {
+                let (t1, t2) = quick_two_sum(s1, c4);
+                s1 = t1;
+                s2 = t2;
+            }
+        }
+    } else {
+        let (t1, t2) = quick_two_sum(s0, c2);
+        s0 = t1;
+        s1 = t2;
+        if s1 != 0.0 {
+            let (t1, t2) = quick_two_sum(s1, c3);
+            s1 = t1;
+            s2 = t2;
+            if s2 != 0.0 {
+                let (t1, t2) = quick_two_sum(s2, c4);
+                s2 = t1;
+                s3 = t2;
+            } else {
+                let (t1, t2) = quick_two_sum(s1, c4);
+                s1 = t1;
+                s2 = t2;
+            }
+        } else {
+            let (t1, t2) = quick_two_sum(s0, c3);
+            s0 = t1;
+            s1 = t2;
+            if s1 != 0.0 {
+                let (t1, t2) = quick_two_sum(s1, c4);
+                s1 = t1;
+                s2 = t2;
+            } else {
+                let (t1, t2) = quick_two_sum(s0, c4);
+                s0 = t1;
+                s1 = t2;
+            }
+        }
+    }
+    [s0, s1, s2, s3]
+}
+
+/// Four-input variant (`renorm(c0..c3)`), same branch structure.
+#[inline]
+fn renorm4(c0: f64, c1: f64, c2: f64, c3: f64) -> [f64; 4] {
+    renorm5(c0, c1, c2, c3, 0.0)
+}
+
+impl QuadDouble {
+    pub const ZERO: Self = QuadDouble([0.0; 4]);
+    pub const ONE: Self = QuadDouble([1.0, 0.0, 0.0, 0.0]);
+
+    #[inline(always)]
+    pub fn from_f64(x: f64) -> Self {
+        QuadDouble([x, 0.0, 0.0, 0.0])
+    }
+
+    pub fn to_f64(self) -> f64 {
+        ((self.0[3] + self.0[2]) + self.0[1]) + self.0[0]
+    }
+
+    /// QD's default (`sloppy_add`) addition: pairing `two_sum`s, the
+    /// `three_sum` cascade, and the branchy five-to-four renormalization.
+    #[inline]
+    pub fn add(self, o: Self) -> Self {
+        let a = self.0;
+        let b = o.0;
+        let (s0, t0) = two_sum(a[0], b[0]);
+        let (s1, t1) = two_sum(a[1], b[1]);
+        let (s2, t2) = two_sum(a[2], b[2]);
+        let (s3, t3) = two_sum(a[3], b[3]);
+        let (s1, mut t0) = two_sum(s1, t0);
+        let mut s2 = s2;
+        let mut t1 = t1;
+        three_sum(&mut s2, &mut t0, &mut t1);
+        let mut s3 = s3;
+        three_sum2(&mut s3, &mut t0, t2);
+        let t0 = t0 + t1 + t3;
+        QuadDouble(renorm5(s0, s1, s2, s3, t0))
+    }
+
+    /// QD's accurate (`ieee_add`-class) addition: branchy merge of the
+    /// eight components by decreasing magnitude, then distillation and a
+    /// zero-skipping compression.
+    pub fn accurate_add(self, o: Self) -> Self {
+        // Merge two magnitude-sorted quadruples.
+        let mut x = [0.0f64; 8];
+        let (mut i, mut j) = (0usize, 0usize);
+        for slot in x.iter_mut() {
+            *slot = if i < 4 && (j >= 4 || self.0[i].abs() >= o.0[j].abs()) {
+                i += 1;
+                self.0[i - 1]
+            } else {
+                j += 1;
+                o.0[j - 1]
+            };
+        }
+        // Distillation: two bottom-up TwoSum passes.
+        for _ in 0..2 {
+            for k in (0..7).rev() {
+                let (s, e) = two_sum(x[k], x[k + 1]);
+                x[k] = s;
+                x[k + 1] = e;
+            }
+        }
+        // Compress, skipping zeros (branchy).
+        let mut out = [0.0f64; 4];
+        let mut k = 0;
+        let mut s = x[0];
+        for &v in &x[1..] {
+            let (ns, e) = quick_two_sum(s, v);
+            s = ns;
+            if e != 0.0 {
+                if k < 3 {
+                    out[k] = s;
+                    k += 1;
+                    s = e;
+                } // beyond 4 terms: dropped
+            }
+        }
+        if k <= 3 {
+            out[k] = s;
+        }
+        QuadDouble(out)
+    }
+
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        QuadDouble([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+
+    #[inline(always)]
+    pub fn sub(self, o: Self) -> Self {
+        self.add(o.neg())
+    }
+
+    pub fn abs(self) -> Self {
+        if self.0[0] < 0.0 {
+            self.neg()
+        } else {
+            self
+        }
+    }
+
+    /// QD's `sloppy_mul`.
+    #[inline]
+    pub fn mul(self, o: Self) -> Self {
+        let a = self.0;
+        let b = o.0;
+        let (p0, q0) = two_prod(a[0], b[0]);
+        let (mut p1, q1) = two_prod(a[0], b[1]);
+        let (mut p2, q2) = two_prod(a[1], b[0]);
+        let (mut p3, q3) = two_prod(a[0], b[2]);
+        let (mut p4, q4) = two_prod(a[1], b[1]);
+        let (mut p5, q5) = two_prod(a[2], b[0]);
+
+        // Start accumulation.
+        let mut q0m = q0;
+        three_sum(&mut p1, &mut p2, &mut q0m);
+
+        // Six-three sum of (p2, q1, q2, p3, p4, p5).
+        let mut q1m = q1;
+        let mut q2m = q2;
+        three_sum(&mut p2, &mut q1m, &mut q2m);
+        three_sum(&mut p3, &mut p4, &mut p5);
+        // (s0, s1) = (p2, q1m) + (p3, p4)
+        let (s0, t0) = two_sum(p2, p3);
+        let (s1p, t1) = two_sum(q1m, p4);
+        let (s1, t0b) = two_sum(s1p, t0);
+        let s2 = t0b + t1 + p5;
+
+        // O(eps^3) terms.
+        let s1 = s1
+            + a[0].mul_add(b[3], a[1] * b[2])
+            + a[2].mul_add(b[1], a[3] * b[0])
+            + q0m
+            + q2m
+            + q3
+            + q4
+            + q5;
+
+        QuadDouble(renorm5(p0, p1, s0, s1, s2))
+    }
+
+    #[inline(always)]
+    pub fn mul_f64(self, x: f64) -> Self {
+        let a = self.0;
+        let (p0, q0) = two_prod(a[0], x);
+        let (mut p1, q1) = two_prod(a[1], x);
+        let (mut p2, q2) = two_prod(a[2], x);
+        let p3 = a[3] * x;
+        let mut q0m = q0;
+        let (np1, nq0) = two_sum(p1, q0m);
+        p1 = np1;
+        q0m = nq0;
+        let mut q1m = q1;
+        three_sum(&mut p2, &mut q0m, &mut q1m);
+        let mut p3m = p3;
+        three_sum2(&mut p3m, &mut q0m, q2);
+        let p4 = q0m + q1m;
+        QuadDouble(renorm5(p0, p1, p2, p3m, p4))
+    }
+
+    /// QD's `sloppy_div`: long division with four quotient terms.
+    #[inline]
+    pub fn div(self, o: Self) -> Self {
+        let q0 = self.0[0] / o.0[0];
+        let mut r = self.sub(o.mul_f64(q0));
+        let q1 = r.0[0] / o.0[0];
+        r = r.sub(o.mul_f64(q1));
+        let q2 = r.0[0] / o.0[0];
+        r = r.sub(o.mul_f64(q2));
+        let q3 = r.0[0] / o.0[0];
+        QuadDouble(renorm4(q0, q1, q2, q3))
+    }
+
+    /// Square root via one Newton step on the f64 seed plus corrections
+    /// (as in QD).
+    pub fn sqrt(self) -> Self {
+        if self.0[0] == 0.0 {
+            return QuadDouble::ZERO;
+        }
+        let r = QuadDouble::from_f64(1.0 / self.0[0].sqrt());
+        let h = self.mul_f64(0.5);
+        // Three Newton iterations on r ~ 1/sqrt(a).
+        let mut r = r;
+        for _ in 0..3 {
+            // r += r * (0.5 - h * r^2)
+            let r2 = r.mul(r);
+            let e = QuadDouble::from_f64(0.5).sub(h.mul(r2));
+            r = r.add(r.mul(e));
+        }
+        self.mul(r)
+    }
+}
+
+impl Add for QuadDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        QuadDouble::add(self, o)
+    }
+}
+
+impl Sub for QuadDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        QuadDouble::sub(self, o)
+    }
+}
+
+impl Mul for QuadDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        QuadDouble::mul(self, o)
+    }
+}
+
+impl Div for QuadDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        QuadDouble::div(self, o)
+    }
+}
+
+impl Neg for QuadDouble {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        QuadDouble::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_mpsoft::MpFloat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn to_mp(x: QuadDouble) -> MpFloat {
+        MpFloat::exact_sum(&x.0)
+    }
+
+    fn rand_qd(rng: &mut SmallRng) -> QuadDouble {
+        let mut c = [0.0f64; 4];
+        let mut e = rng.gen_range(-20..20);
+        for s in &mut c {
+            *s = rng.gen_range(-1.0f64..1.0) * 2.0f64.powi(e);
+            e -= 53 + rng.gen_range(1..4);
+        }
+        QuadDouble(renorm5(c[0], c[1], c[2], c[3], 0.0))
+    }
+
+    #[test]
+    fn renorm_produces_decreasing_components() {
+        let mut rng = SmallRng::seed_from_u64(810);
+        for _ in 0..20_000 {
+            let q = rand_qd(&mut rng);
+            for i in 1..4 {
+                if q.0[i] != 0.0 {
+                    assert!(
+                        q.0[i].abs() < q.0[i - 1].abs(),
+                        "non-decreasing components: {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_accuracy_vs_oracle() {
+        let mut rng = SmallRng::seed_from_u64(811);
+        for _ in 0..10_000 {
+            let a = rand_qd(&mut rng);
+            let b = rand_qd(&mut rng);
+            let got = to_mp(a.add(b));
+            let exact = to_mp(a).add(&to_mp(b), 500);
+            if exact.is_zero() {
+                continue;
+            }
+            // sloppy_add: ~2^-205 in benign cases; allow the documented
+            // slack for its weaker worst case.
+            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-190), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn accurate_add_beats_sloppy_on_cancellation() {
+        let mut rng = SmallRng::seed_from_u64(812);
+        let mut sloppy_worse = 0usize;
+        for _ in 0..5_000 {
+            let a = rand_qd(&mut rng);
+            let mut b = rand_qd(&mut rng);
+            b.0[0] = -a.0[0]; // head cancellation
+            let exact = to_mp(a).add(&to_mp(b), 600);
+            if exact.is_zero() {
+                continue;
+            }
+            let es = to_mp(a.add(b)).sub(&exact, 600).abs().to_f64();
+            let ea = to_mp(a.accurate_add(b)).sub(&exact, 600).abs().to_f64();
+            assert!(
+                ea <= es * 1.0001 + 1e-300,
+                "accurate worse than sloppy: a={a:?} b={b:?}"
+            );
+            if ea < es {
+                sloppy_worse += 1;
+            }
+        }
+        let _ = sloppy_worse; // informational
+    }
+
+    #[test]
+    fn mul_accuracy_vs_oracle() {
+        let mut rng = SmallRng::seed_from_u64(813);
+        for _ in 0..10_000 {
+            let a = rand_qd(&mut rng);
+            let b = rand_qd(&mut rng);
+            let got = to_mp(a.mul(b));
+            let exact = to_mp(a).mul(&to_mp(b), 500);
+            if exact.is_zero() {
+                continue;
+            }
+            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-190), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn div_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(814);
+        for _ in 0..5_000 {
+            let a = rand_qd(&mut rng);
+            let b = rand_qd(&mut rng);
+            if b.0[0] == 0.0 || a.0[0] == 0.0 {
+                continue;
+            }
+            let q = a.div(b);
+            let back = q.mul(b);
+            let exact = to_mp(a);
+            let got = to_mp(back);
+            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-185), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let mut rng = SmallRng::seed_from_u64(815);
+        for _ in 0..3_000 {
+            let a = rand_qd(&mut rng).abs();
+            if a.0[0] == 0.0 {
+                continue;
+            }
+            let s = a.sqrt();
+            let back = s.mul(s);
+            assert!(
+                to_mp(back).rel_error_vs(&to_mp(a)) <= 2.0f64.powi(-180),
+                "a={a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_multifloat() {
+        let mut rng = SmallRng::seed_from_u64(816);
+        for _ in 0..5_000 {
+            let a = rand_qd(&mut rng);
+            let b = rand_qd(&mut rng);
+            let qd = a.mul(b).add(b);
+            let ma = mf_core::F64x4::from_components_renorm(a.0);
+            let mb = mf_core::F64x4::from_components_renorm(b.0);
+            let mf = ma.mul(mb).add(mb);
+            let exact = mf.to_mp(500);
+            if exact.is_zero() {
+                continue;
+            }
+            assert!(
+                to_mp(qd).rel_error_vs(&exact) <= 2.0f64.powi(-185),
+                "a={a:?} b={b:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §3:
+//!
+//! 1. FMA-based `TwoProd` vs Dekker/Veltkamp splitting (17 ops);
+//! 2. Karp–Markstein-fused division vs full-precision-reciprocal division;
+//! 3. QD sloppy vs accurate (merge-based) addition — the branchy cost;
+//! 4. `two_sum` vs `fast_two_sum` gate cost (the FPAN specialization
+//!    opportunity);
+//! 5. unrolled fixed-sequence kernels vs the rolled generic-N construction
+//!    (`addition::add_generic`);
+//! 6. autovectorized SoA kernels vs explicit lock-step `Lanes<8>` execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mf_baselines::qd::QuadDouble;
+use mf_core::{addition, division};
+use mf_core::{F64x3, F64x4};
+use mf_eft::{fast_two_sum, two_prod, two_prod_dekker, two_sum};
+use std::hint::black_box;
+
+fn eft_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eft");
+    let (x, y) = (1.234567890123_f64, 0.987654321098_f64);
+    g.bench_function("two_prod_fma", |b| {
+        b.iter(|| black_box(two_prod(black_box(x), black_box(y))))
+    });
+    g.bench_function("two_prod_dekker", |b| {
+        b.iter(|| black_box(two_prod_dekker(black_box(x), black_box(y))))
+    });
+    g.bench_function("two_sum", |b| {
+        b.iter(|| black_box(two_sum(black_box(x), black_box(y))))
+    });
+    g.bench_function("fast_two_sum", |b| {
+        b.iter(|| black_box(fast_two_sum(black_box(x), black_box(y))))
+    });
+    g.finish();
+}
+
+fn division_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("division");
+    let b3 = F64x3::from(1.7320508075688772).components();
+    let a3 = F64x3::from(1.4142135623730951).components();
+    g.bench_function("karp_markstein_N3", |b| {
+        b.iter(|| black_box(division::div_karp_markstein(black_box(&b3), black_box(&a3))))
+    });
+    g.bench_function("via_recip_N3", |b| {
+        b.iter(|| black_box(division::div_via_recip(black_box(&b3), black_box(&a3))))
+    });
+    g.finish();
+}
+
+fn kernel_form_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addition_form");
+    let a = F64x4::from(1.2345678901234567).components();
+    let b = F64x4::from(0.9876543210987654).components();
+    g.bench_function("fixed_unrolled_N4", |bch| {
+        bch.iter(|| black_box(addition::add(black_box(&a), black_box(&b))))
+    });
+    g.bench_function("generic_rolled_N4", |bch| {
+        bch.iter(|| black_box(addition::add_generic(black_box(&a), black_box(&b))))
+    });
+    g.finish();
+}
+
+fn simd_form_ablation(c: &mut Criterion) {
+    use mf_bench::workloads::rand_f64s;
+    use mf_blas::soa::{self, SoaVec};
+    use mf_core::MultiFloat;
+    let mut g = c.benchmark_group("simd_form");
+    macro_rules! widths {
+        ($n:expr, $label:expr) => {{
+            let n = 4096;
+            let xs = SoaVec::from_slice(
+                &rand_f64s(1, n)
+                    .into_iter()
+                    .map(MultiFloat::<f64, $n>::from)
+                    .collect::<Vec<_>>(),
+            );
+            let ys = xs.clone();
+            g.bench_function(concat!("dot_lockstep_", $label), |bch| {
+                bch.iter(|| black_box(soa::dot(black_box(&xs), black_box(&ys))))
+            });
+            g.bench_function(concat!("dot_autovec_", $label), |bch| {
+                bch.iter(|| black_box(soa::dot_autovec(black_box(&xs), black_box(&ys))))
+            });
+        }};
+    }
+    widths!(2, "N2");
+    widths!(4, "N4");
+    g.finish();
+}
+
+fn qd_add_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qd_add");
+    let a = QuadDouble::from_f64(1.2345678901234567);
+    let b2 = QuadDouble::from_f64(-1.2345678901234);
+    g.bench_function("sloppy(branchy renorm)", |bch| {
+        bch.iter(|| black_box(black_box(a).add(black_box(b2))))
+    });
+    g.bench_function("accurate(merge+compress)", |bch| {
+        bch.iter(|| black_box(black_box(a).accurate_add(black_box(b2))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500));
+    targets = eft_ablation, division_ablation, qd_add_ablation, kernel_form_ablation, simd_form_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion companions to the `tables` binary (E1): statistically robust
+//! throughput measurements of each BLAS kernel at each precision for the
+//! headline comparison (MultiFloats SoA vs QD vs CAMPARY vs MpFloat).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mf_baselines::campary::Expansion;
+use mf_baselines::qd::QuadDouble;
+use mf_bench::workloads::rand_f64s;
+use mf_blas::soa::{self, SoaVec};
+use mf_blas::{kernels, mp, Scalar};
+use mf_core::{F64x2, F64x4, MultiFloat};
+use mf_mpsoft::MpFloat;
+use std::hint::black_box;
+
+const N_ELEMS: usize = 2048;
+
+fn axpy_group(c: &mut Criterion) {
+    let mut g = c.benchmark_group("axpy");
+    g.throughput(Throughput::Elements(N_ELEMS as u64));
+
+    macro_rules! aos {
+        ($t:ty, $label:expr) => {{
+            let xs: Vec<$t> = rand_f64s(1, N_ELEMS)
+                .into_iter()
+                .map(<$t as Scalar>::s_from_f64)
+                .collect();
+            let mut ys: Vec<$t> = rand_f64s(2, N_ELEMS)
+                .into_iter()
+                .map(<$t as Scalar>::s_from_f64)
+                .collect();
+            let alpha = <$t as Scalar>::s_from_f64(1.0000001);
+            g.bench_function(BenchmarkId::new("aos", $label), |b| {
+                b.iter(|| {
+                    kernels::axpy(alpha, &xs, &mut ys);
+                    black_box(&ys[0]);
+                })
+            });
+        }};
+    }
+    aos!(F64x2, "multifloat2");
+    aos!(F64x4, "multifloat4");
+    aos!(QuadDouble, "qd4");
+    aos!(Expansion<4>, "campary4");
+
+    // SoA (vectorized) variants.
+    macro_rules! soa_n {
+        ($n:expr, $label:expr) => {{
+            let xs = SoaVec::from_slice(
+                &rand_f64s(1, N_ELEMS)
+                    .into_iter()
+                    .map(MultiFloat::<f64, $n>::from)
+                    .collect::<Vec<_>>(),
+            );
+            let mut ys = SoaVec::from_slice(
+                &rand_f64s(2, N_ELEMS)
+                    .into_iter()
+                    .map(MultiFloat::<f64, $n>::from)
+                    .collect::<Vec<_>>(),
+            );
+            let alpha = MultiFloat::<f64, $n>::from(1.0000001);
+            g.bench_function(BenchmarkId::new("soa", $label), |b| {
+                b.iter(|| {
+                    soa::axpy(alpha, &xs, &mut ys);
+                    black_box(ys.comps[0][0]);
+                })
+            });
+        }};
+    }
+    soa_n!(2, "multifloat2");
+    soa_n!(4, "multifloat4");
+
+    // MpFloat at 208 bits (GMP/MPFR class), smaller size to keep runtime sane.
+    let n = 256;
+    let xs: Vec<MpFloat> = rand_f64s(1, n).iter().map(|&v| MpFloat::from_f64(v, 208)).collect();
+    let mut ys: Vec<MpFloat> =
+        rand_f64s(2, n).iter().map(|&v| MpFloat::from_f64(v, 208)).collect();
+    let alpha = MpFloat::from_f64(1.0000001, 208);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::new("aos", "mpsoft208"), |b| {
+        b.iter(|| {
+            mp::axpy(&alpha, &xs, &mut ys, 208);
+            black_box(ys[0].to_f64());
+        })
+    });
+    g.finish();
+}
+
+fn dot_group(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot");
+    g.throughput(Throughput::Elements(N_ELEMS as u64));
+
+    let x2: Vec<F64x2> = rand_f64s(1, N_ELEMS).into_iter().map(F64x2::from).collect();
+    let y2: Vec<F64x2> = rand_f64s(2, N_ELEMS).into_iter().map(F64x2::from).collect();
+    g.bench_function(BenchmarkId::new("aos", "multifloat2"), |b| {
+        b.iter(|| black_box(kernels::dot(&x2, &y2)))
+    });
+    let sx = SoaVec::from_slice(&x2);
+    let sy = SoaVec::from_slice(&y2);
+    g.bench_function(BenchmarkId::new("soa", "multifloat2"), |b| {
+        b.iter(|| black_box(soa::dot(&sx, &sy)))
+    });
+
+    let xq: Vec<QuadDouble> = rand_f64s(1, N_ELEMS)
+        .into_iter()
+        .map(QuadDouble::from_f64)
+        .collect();
+    let yq: Vec<QuadDouble> = rand_f64s(2, N_ELEMS)
+        .into_iter()
+        .map(QuadDouble::from_f64)
+        .collect();
+    g.bench_function(BenchmarkId::new("aos", "qd4"), |b| {
+        b.iter(|| black_box(kernels::dot(&xq, &yq)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = axpy_group, dot_group
+);
+criterion_main!(benches);

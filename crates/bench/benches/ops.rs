@@ -1,0 +1,107 @@
+//! E9 — per-operation latency/throughput benchmarks: one extended-precision
+//! add / mul / div / sqrt for every library and precision level.
+//!
+//! The paper's §5 notes each extended op costs "several dozen to several
+//! hundred native machine FLOPs"; this bench pins those costs per type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mf_baselines::campary::Expansion;
+use mf_baselines::dd::DoubleDouble;
+use mf_baselines::qd::QuadDouble;
+use mf_core::{F64x2, F64x3, F64x4};
+use mf_mpsoft::MpFloat;
+use std::hint::black_box;
+
+fn ops_multifloat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multifloat_ops");
+    macro_rules! bench_n {
+        ($t:ty, $label:expr) => {{
+            let a = <$t>::from(1.2345678901234567) / <$t>::from(1.1111111);
+            let b = <$t>::from(0.9876543210987654) / <$t>::from(1.3333333);
+            g.bench_function(BenchmarkId::new("add", $label), |bch| {
+                bch.iter(|| black_box(black_box(a) + black_box(b)))
+            });
+            g.bench_function(BenchmarkId::new("mul", $label), |bch| {
+                bch.iter(|| black_box(black_box(a) * black_box(b)))
+            });
+            g.bench_function(BenchmarkId::new("div", $label), |bch| {
+                bch.iter(|| black_box(black_box(a) / black_box(b)))
+            });
+            g.bench_function(BenchmarkId::new("sqrt", $label), |bch| {
+                bch.iter(|| black_box(black_box(a).abs().sqrt()))
+            });
+        }};
+    }
+    bench_n!(F64x2, "N=2");
+    bench_n!(F64x3, "N=3");
+    bench_n!(F64x4, "N=4");
+    g.finish();
+}
+
+fn ops_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_ops");
+
+    let a = DoubleDouble::from_f64(1.2345678901234567);
+    let b = DoubleDouble::from_f64(0.9876543210987654);
+    g.bench_function("dd/add", |bch| bch.iter(|| black_box(black_box(a).add(black_box(b)))));
+    g.bench_function("dd/mul", |bch| bch.iter(|| black_box(black_box(a).mul(black_box(b)))));
+    g.bench_function("dd/div", |bch| bch.iter(|| black_box(black_box(a).div(black_box(b)))));
+
+    let a = QuadDouble::from_f64(1.2345678901234567);
+    let b = QuadDouble::from_f64(0.9876543210987654);
+    g.bench_function("qd/add", |bch| bch.iter(|| black_box(black_box(a).add(black_box(b)))));
+    g.bench_function("qd/accurate_add", |bch| {
+        bch.iter(|| black_box(black_box(a).accurate_add(black_box(b))))
+    });
+    g.bench_function("qd/mul", |bch| bch.iter(|| black_box(black_box(a).mul(black_box(b)))));
+    g.bench_function("qd/div", |bch| bch.iter(|| black_box(black_box(a).div(black_box(b)))));
+
+    macro_rules! campary_n {
+        ($n:expr, $label:expr) => {{
+            let a = Expansion::<$n>::from_f64(1.2345678901234567)
+                .div(Expansion::<$n>::from_f64(1.1111111));
+            let b = Expansion::<$n>::from_f64(0.9876543210987654)
+                .div(Expansion::<$n>::from_f64(1.3333333));
+            g.bench_function(concat!("campary/add_", $label), |bch| {
+                bch.iter(|| black_box(black_box(a).add(black_box(b))))
+            });
+            g.bench_function(concat!("campary/mul_", $label), |bch| {
+                bch.iter(|| black_box(black_box(a).mul(black_box(b))))
+            });
+        }};
+    }
+    campary_n!(2, "N=2");
+    campary_n!(3, "N=3");
+    campary_n!(4, "N=4");
+    g.finish();
+}
+
+fn ops_mpsoft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpsoft_ops");
+    for prec in [53u32, 103, 156, 208] {
+        let a = MpFloat::from_f64(1.2345678901234567, prec)
+            .div(&MpFloat::from_f64(1.1111111, prec), prec);
+        let b = MpFloat::from_f64(0.9876543210987654, prec)
+            .div(&MpFloat::from_f64(1.3333333, prec), prec);
+        g.bench_function(BenchmarkId::new("add", prec), |bch| {
+            bch.iter(|| black_box(black_box(&a).add(black_box(&b), prec)))
+        });
+        g.bench_function(BenchmarkId::new("mul", prec), |bch| {
+            bch.iter(|| black_box(black_box(&a).mul(black_box(&b), prec)))
+        });
+        g.bench_function(BenchmarkId::new("div", prec), |bch| {
+            bch.iter(|| black_box(black_box(&a).div(black_box(&b), prec)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500));
+    targets = ops_multifloat, ops_baselines, ops_mpsoft
+);
+criterion_main!(benches);

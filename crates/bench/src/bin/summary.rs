@@ -1,0 +1,70 @@
+//! E3 — regenerate the paper's Figure 8: the ratio of MultiFloats' peak
+//! performance to the next-best multiprecision library, per platform,
+//! kernel, and precision.
+//!
+//! Usage:
+//!   cargo run --release -p mf-bench --bin summary -- results_wide.json [results_narrow.json ...]
+//!
+//! Each input is a JSON file produced by the `tables` binary. The paper's
+//! claim is that every ratio exceeds 1 (MultiFloats is always fastest).
+
+use mf_bench::TableRun;
+
+const KERNELS: [&str; 4] = ["AXPY", "DOT", "GEMV", "GEMM"];
+const BITS: [u32; 4] = [53, 103, 156, 208];
+const OURS: &str = "MultiFloats (ours)";
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: summary <tables.json> [...]");
+        std::process::exit(2);
+    }
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let run: TableRun = serde_json::from_str(&text).unwrap();
+        println!("\nPlatform: {} ({path})", run.platform);
+        println!(
+            "Ratio of MultiFloats peak over next-best library (paper Figure 8):"
+        );
+        print!("{:<8}", "Kernel");
+        for &b in &BITS {
+            print!("{:>10}", format!("{b}-bit"));
+        }
+        println!();
+        println!("{}", "-".repeat(8 + 10 * BITS.len()));
+        let mut all_above_one = true;
+        for k in KERNELS {
+            print!("{k:<8}");
+            for &b in &BITS {
+                let ours = run.lookup(k, b, OURS);
+                let best_other = run
+                    .libraries()
+                    .iter()
+                    .filter(|l| l.as_str() != OURS)
+                    .filter_map(|l| run.lookup(k, b, l))
+                    .fold(f64::NAN, f64::max);
+                match (ours, best_other.is_nan()) {
+                    (Some(o), false) => {
+                        let r = o / best_other;
+                        if r <= 1.0 {
+                            all_above_one = false;
+                        }
+                        print!("{r:>9.2}x");
+                    }
+                    _ => print!("{:>10}", "N/A"),
+                }
+            }
+            println!();
+        }
+        println!(
+            "\n=> {}",
+            if all_above_one {
+                "All ratios exceed 1: MultiFloats is the fastest library in every cell (matches the paper's Figure 8 claim)."
+            } else {
+                "WARNING: some ratio <= 1 — MultiFloats is not fastest everywhere on this platform/run."
+            }
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! E1/E2 — regenerate the paper's Figure 9 (and, under a narrow-SIMD
+//! build, Figure 10): CPU performance tables in Gop/s for AXPY, DOT, GEMV,
+//! GEMM at 53/103/156/208-bit precision across libraries.
+//!
+//! Usage:
+//!   cargo run --release -p mf-bench --bin tables -- [--label <text>] [--out <json>]
+//!
+//! Libraries reported (see DESIGN.md substitutions):
+//!   MultiFloats      — this work (max over AoS / SoA / threaded variants)
+//!   GMP/MPFR-class   — `mf-mpsoft` limb-based soft float (stands in for
+//!                      GMP, MPFR, FLINT, Boost.Multiprecision)
+//!   QD               — double-double / quad-double port (103/208-bit only)
+//!   CAMPARY          — certified expansion port
+//!   libquadmath      — not reproducible in stable Rust (T6): all N/A
+
+use mf_baselines::campary::Expansion;
+use mf_baselines::dd::DoubleDouble;
+use mf_baselines::qd::QuadDouble;
+use mf_bench::workloads::{rand_f64s, Sizes};
+use mf_bench::{measure_gops, render_table, sink, Cell, TableRun};
+use mf_blas::soa::{self, SoaMatrix, SoaVec};
+use mf_blas::{kernels, mp, parallel, Matrix, Scalar};
+use mf_core::MultiFloat;
+use mf_mpsoft::MpFloat;
+
+const KERNELS: [&str; 4] = ["AXPY", "DOT", "GEMV", "GEMM"];
+const BITS: [u32; 4] = [53, 103, 156, 208];
+
+/// Measure all four kernels for one `Scalar` type (AoS layout).
+fn bench_aos<S: Scalar>(sizes: &Sizes, threads: usize) -> [f64; 4] {
+    let n = sizes.vec_len;
+    let xs: Vec<S> = rand_f64s(1, n).into_iter().map(S::s_from_f64).collect();
+    let mut ys: Vec<S> = rand_f64s(2, n).into_iter().map(S::s_from_f64).collect();
+    let alpha = S::s_from_f64(1.000000321);
+
+    let axpy = measure_gops(sizes.ops("AXPY"), sizes.min_secs, || {
+        if threads > 1 {
+            parallel::axpy(alpha, &xs, &mut ys, threads);
+        } else {
+            kernels::axpy(alpha, &xs, &mut ys);
+        }
+        sink(ys[0]);
+    });
+
+    let dot = measure_gops(sizes.ops("DOT"), sizes.min_secs, || {
+        let d = if threads > 1 {
+            parallel::dot(&xs, &ys, threads)
+        } else {
+            kernels::dot(&xs, &ys)
+        };
+        sink(d);
+    });
+
+    let gn = sizes.gemv_n;
+    let a = {
+        let vals = rand_f64s(3, gn * gn);
+        Matrix {
+            rows: gn,
+            cols: gn,
+            data: vals.into_iter().map(S::s_from_f64).collect(),
+        }
+    };
+    let xv: Vec<S> = rand_f64s(4, gn).into_iter().map(S::s_from_f64).collect();
+    let mut yv: Vec<S> = rand_f64s(5, gn).into_iter().map(S::s_from_f64).collect();
+    let beta = S::s_from_f64(0.999999712);
+    let gemv = measure_gops(sizes.ops("GEMV"), sizes.min_secs, || {
+        if threads > 1 {
+            parallel::gemv(alpha, &a, &xv, beta, &mut yv, threads);
+        } else {
+            kernels::gemv(alpha, &a, &xv, beta, &mut yv);
+        }
+        sink(yv[0]);
+    });
+
+    let mn = sizes.gemm_n;
+    let am = {
+        let vals = rand_f64s(6, mn * mn);
+        Matrix {
+            rows: mn,
+            cols: mn,
+            data: vals.into_iter().map(S::s_from_f64).collect(),
+        }
+    };
+    let bm = {
+        let vals = rand_f64s(7, mn * mn);
+        Matrix {
+            rows: mn,
+            cols: mn,
+            data: vals.into_iter().map(S::s_from_f64).collect(),
+        }
+    };
+    let mut cm = Matrix::<S>::zeros(mn, mn);
+    let gemm = measure_gops(sizes.ops("GEMM"), sizes.min_secs, || {
+        if threads > 1 {
+            parallel::gemm(alpha, &am, &bm, beta, &mut cm, threads);
+        } else {
+            kernels::gemm(alpha, &am, &bm, beta, &mut cm);
+        }
+        sink(cm.at(0, 0));
+    });
+
+    [axpy, dot, gemv, gemm]
+}
+
+/// Measure all four kernels for MultiFloat in SoA layout.
+fn bench_soa<const N: usize>(sizes: &Sizes) -> [f64; 4] {
+    type T = f64;
+    let n = sizes.vec_len;
+    let to_mf = |v: f64| MultiFloat::<T, N>::from(v);
+    let xs = SoaVec::from_slice(
+        &rand_f64s(1, n).into_iter().map(to_mf).collect::<Vec<_>>(),
+    );
+    let mut ys = SoaVec::from_slice(
+        &rand_f64s(2, n).into_iter().map(to_mf).collect::<Vec<_>>(),
+    );
+    let alpha = to_mf(1.000000321);
+    let beta = to_mf(0.999999712);
+
+    let axpy = measure_gops(sizes.ops("AXPY"), sizes.min_secs, || {
+        soa::axpy(alpha, &xs, &mut ys);
+        sink(ys.comps[0][0]);
+    });
+
+    let dot = measure_gops(sizes.ops("DOT"), sizes.min_secs, || {
+        sink(soa::dot(&xs, &ys));
+    });
+
+    let gn = sizes.gemv_n;
+    let vals = rand_f64s(3, gn * gn);
+    let a = SoaMatrix::from_fn(gn, gn, |i, j| to_mf(vals[i * gn + j]));
+    let xv = SoaVec::from_slice(
+        &rand_f64s(4, gn).into_iter().map(to_mf).collect::<Vec<_>>(),
+    );
+    let mut yv = SoaVec::from_slice(
+        &rand_f64s(5, gn).into_iter().map(to_mf).collect::<Vec<_>>(),
+    );
+    let gemv = measure_gops(sizes.ops("GEMV"), sizes.min_secs, || {
+        soa::gemv(alpha, &a, &xv, beta, &mut yv);
+        sink(yv.comps[0][0]);
+    });
+
+    let mn = sizes.gemm_n;
+    let va = rand_f64s(6, mn * mn);
+    let vb = rand_f64s(7, mn * mn);
+    let am = SoaMatrix::from_fn(mn, mn, |i, j| to_mf(va[i * mn + j]));
+    let bm = SoaMatrix::from_fn(mn, mn, |i, j| to_mf(vb[i * mn + j]));
+    let mut cm = SoaMatrix::<T, N>::zeros(mn, mn);
+    let gemm = measure_gops(sizes.ops("GEMM"), sizes.min_secs, || {
+        soa::gemm(alpha, &am, &bm, beta, &mut cm);
+        sink(cm.comps[0][0]);
+    });
+
+    [axpy, dot, gemv, gemm]
+}
+
+/// Measure the limb-based MpFloat kernels at `prec` bits.
+fn bench_mp(sizes: &Sizes, prec: u32) -> [f64; 4] {
+    let n = sizes.vec_len.min(2048); // MpFloat is slow; cap sizes
+    let x: Vec<MpFloat> = rand_f64s(1, n).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let mut y: Vec<MpFloat> =
+        rand_f64s(2, n).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let alpha = MpFloat::from_f64(1.000000321, prec);
+    let beta = MpFloat::from_f64(0.999999712, prec);
+
+    let axpy = measure_gops(n as f64, sizes.min_secs, || {
+        mp::axpy(&alpha, &x, &mut y, prec);
+        sink(y[0].to_f64());
+    });
+    let dot = measure_gops(n as f64, sizes.min_secs, || {
+        sink(mp::dot(&x, &y, prec).to_f64());
+    });
+
+    let gn = sizes.gemv_n.min(96);
+    let a: Vec<MpFloat> =
+        rand_f64s(3, gn * gn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let xv: Vec<MpFloat> = rand_f64s(4, gn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let mut yv: Vec<MpFloat> =
+        rand_f64s(5, gn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let gemv = measure_gops((gn * gn) as f64, sizes.min_secs, || {
+        mp::gemv(&alpha, &a, gn, gn, &xv, &beta, &mut yv, prec);
+        sink(yv[0].to_f64());
+    });
+
+    let mn = sizes.gemm_n.min(32);
+    let am: Vec<MpFloat> =
+        rand_f64s(6, mn * mn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let bm: Vec<MpFloat> =
+        rand_f64s(7, mn * mn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let mut cmv: Vec<MpFloat> = (0..mn * mn).map(|_| MpFloat::zero(prec)).collect();
+    let gemm = measure_gops((mn * mn * mn) as f64, sizes.min_secs, || {
+        mp::gemm(&alpha, &am, &bm, &mut cmv, mn, mn, mn, &beta, prec);
+        sink(cmv[0].to_f64());
+    });
+
+    [axpy, dot, gemv, gemm]
+}
+
+fn push(cells: &mut Vec<Cell>, lib: &str, bits: u32, vals: [f64; 4]) {
+    for (k, &g) in KERNELS.iter().zip(&vals) {
+        cells.push(Cell {
+            kernel: (*k).into(),
+            bits,
+            library: lib.into(),
+            gops: g,
+        });
+    }
+}
+
+fn max4(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+    core::array::from_fn(|i| a[i].max(b[i]))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut label = format!(
+        "{} ({} threads)",
+        std::env::var("MF_PLATFORM_LABEL").unwrap_or_else(|_| "x86-64 native".into()),
+        parallel::default_threads()
+    );
+    let mut out_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args[i + 1].clone();
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let sizes = Sizes::from_env();
+    let threads = parallel::default_threads();
+    let mut cells = Vec::new();
+
+    eprintln!("== MultiFloats (ours): max over AoS / SoA{} ==",
+        if threads > 1 { " / threaded" } else { "" });
+    // 53-bit: N = 1 (plain base type through the same kernels).
+    let mf1 = max4(
+        bench_aos::<MultiFloat<f64, 1>>(&sizes, 1),
+        bench_soa::<1>(&sizes),
+    );
+    let mf1 = if threads > 1 {
+        max4(mf1, bench_aos::<MultiFloat<f64, 1>>(&sizes, threads))
+    } else {
+        mf1
+    };
+    push(&mut cells, "MultiFloats (ours)", 53, mf1);
+    eprintln!("  53-bit: {mf1:.3?}");
+
+    let mf2 = max4(bench_aos::<MultiFloat<f64, 2>>(&sizes, 1), bench_soa::<2>(&sizes));
+    push(&mut cells, "MultiFloats (ours)", 103, mf2);
+    eprintln!("  103-bit: {mf2:.3?}");
+    let mf3 = max4(bench_aos::<MultiFloat<f64, 3>>(&sizes, 1), bench_soa::<3>(&sizes));
+    push(&mut cells, "MultiFloats (ours)", 156, mf3);
+    eprintln!("  156-bit: {mf3:.3?}");
+    let mf4 = max4(bench_aos::<MultiFloat<f64, 4>>(&sizes, 1), bench_soa::<4>(&sizes));
+    push(&mut cells, "MultiFloats (ours)", 208, mf4);
+    eprintln!("  208-bit: {mf4:.3?}");
+
+    eprintln!("== GMP/MPFR-class (mf-mpsoft) ==");
+    for &bits in &BITS {
+        let v = bench_mp(&sizes, bits);
+        push(&mut cells, "GMP/MPFR-class", bits, v);
+        eprintln!("  {bits}-bit: {v:.3?}");
+    }
+
+    eprintln!("== QD ==");
+    let qd2 = bench_aos::<DoubleDouble>(&sizes, 1);
+    push(&mut cells, "QD", 103, qd2);
+    eprintln!("  103-bit (dd): {qd2:.3?}");
+    let qd4 = bench_aos::<QuadDouble>(&sizes, 1);
+    push(&mut cells, "QD", 208, qd4);
+    eprintln!("  208-bit (qd): {qd4:.3?}");
+
+    eprintln!("== CAMPARY (certified) ==");
+    let c1 = bench_aos::<Expansion<1>>(&sizes, 1);
+    push(&mut cells, "CAMPARY", 53, c1);
+    eprintln!("  53-bit: {c1:.3?}");
+    let c2 = bench_aos::<Expansion<2>>(&sizes, 1);
+    push(&mut cells, "CAMPARY", 103, c2);
+    eprintln!("  103-bit: {c2:.3?}");
+    let c3 = bench_aos::<Expansion<3>>(&sizes, 1);
+    push(&mut cells, "CAMPARY", 156, c3);
+    eprintln!("  156-bit: {c3:.3?}");
+    let c4 = bench_aos::<Expansion<4>>(&sizes, 1);
+    push(&mut cells, "CAMPARY", 208, c4);
+    eprintln!("  208-bit: {c4:.3?}");
+
+    let run = TableRun {
+        platform: label,
+        cells,
+    };
+
+    println!("\nPlatform: {}", run.platform);
+    for k in KERNELS {
+        println!("\n{k} Performance (Gop/s)");
+        print!("{}", render_table(&run, k, &BITS));
+    }
+    println!("\n(libquadmath: N/A — no __float128 in stable Rust; see DESIGN.md T6)");
+
+    if let Some(p) = out_path {
+        std::fs::write(&p, serde_json::to_string_pretty(&run).unwrap()).unwrap();
+        eprintln!("wrote {p}");
+    }
+}

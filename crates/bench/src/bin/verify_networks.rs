@@ -1,0 +1,132 @@
+//! E5/E6 — verify the shipped FPANs against the paper's captioned error
+//! bounds (Figures 2–7) and report the worst observed discarded error.
+//!
+//! This is the reproduction's stand-in for re-running the paper's SMT
+//! proofs (DESIGN.md T1): large adversarial stochastic suites at f64 with
+//! the exact `mf-mpsoft` oracle, plus dense small-precision sweeps at
+//! p = 12 with an exact integer reference.
+//!
+//! Usage: cargo run --release -p mf-bench --bin verify_networks [-- --trials N]
+
+use mf_fpan::networks;
+use mf_fpan::verify::{self, Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut trials = if mf_bench::quick_mode() { 2_000 } else { 50_000 };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                trials = args[i + 1].parse().unwrap();
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("Empirical FPAN verification ({trials} adversarial trials per network)");
+    println!(
+        "{:<10} {:>6} {:>6} {:>12} {:>14} {:>10}",
+        "network", "size", "depth", "paper bound", "worst observed", "verdict"
+    );
+    println!("{}", "-".repeat(64));
+
+    let p = 53i32;
+    // (label, network, n, paper bound exponent, bound we assert)
+    let add_cases = [
+        ("add_2", networks::add_2(), 2usize, 2 * p - 1, 2 * p - 2),
+        ("add_3", networks::add_3(), 3, 3 * p - 3, 3 * p - 3),
+        ("add_4", networks::add_4(), 4, 4 * p - 4, 4 * p - 4),
+    ];
+    for (name, net, n, paper_q, assert_q) in add_cases {
+        let rep = verify::verify_addition_f64(&net, n, Config::new(trials, assert_q, 0xA11CE));
+        println!(
+            "{:<10} {:>6} {:>6} {:>12} {:>14} {:>10}",
+            name,
+            net.size(),
+            net.depth(),
+            format!("2^-{paper_q}"),
+            format!("2^{:.1}", rep.worst_error_exp),
+            if rep.pass { "PASS" } else { "FAIL" }
+        );
+        if !rep.pass {
+            println!("   first violation: {:?}", rep.first_violation);
+        }
+    }
+
+    let mul_cases = [
+        ("mul_2", networks::mul_2(), 2usize, 2 * p - 3, 2 * p - 3),
+        ("mul_3", networks::mul_3(), 3, 3 * p - 3, 3 * p - 3),
+        ("mul_4", networks::mul_4(), 4, 4 * p - 4, 4 * p - 4),
+    ];
+    for (name, net, n, paper_q, assert_q) in mul_cases {
+        let rep = verify::verify_multiplication_f64(&net, n, Config::new(trials, assert_q, 0xB0B));
+        println!(
+            "{:<10} {:>6} {:>6} {:>12} {:>14} {:>10}",
+            name,
+            net.size(),
+            net.depth(),
+            format!("2^-{paper_q}"),
+            format!("2^{:.1}", rep.worst_error_exp),
+            if rep.pass { "PASS" } else { "FAIL" }
+        );
+        if !rep.pass {
+            println!("   first violation: {:?}", rep.first_violation);
+        }
+    }
+
+    // Small-precision sweep: the same network objects at p = 12.
+    println!("\nSmall-precision sweep (p = 12, exact integer reference):");
+    let p = 12i32;
+    let soft_cases = [
+        ("add_2", networks::add_2(), 2usize, 2 * p - 2),
+        ("add_3", networks::add_3(), 3, 3 * p - 3),
+        ("add_4", networks::add_4(), 4, 4 * p - 4),
+    ];
+    for (name, net, n, q) in soft_cases {
+        let rep = verify::verify_addition_soft::<12>(&net, n, Config::new(trials * 2, q, 0xC0DE));
+        println!(
+            "  {:<8} q=2^-{:<4} worst 2^{:>7.1}  {}",
+            name,
+            q,
+            rep.worst_error_exp,
+            if rep.pass { "PASS" } else { "FAIL" }
+        );
+    }
+
+    // Exhaustive small-space verification (complete enumeration, no
+    // sampling): the strongest offline statement for E5.
+    println!("\nExhaustive 2-term addition sweep at p = 4 (every input pair,");
+    println!("head exponents in [-2, 2], tails to 2 binades below the boundary):");
+    let rep = verify::verify_addition_exhaustive::<4>(
+        &networks::add_2(),
+        2 * 4 - 2,
+        2,
+        2,
+    );
+    println!(
+        "  {} input pairs, worst 2^{:.1}, {}",
+        rep.trials,
+        rep.worst_error_exp,
+        if rep.pass { "PASS (exhaustive)" } else { "FAIL" }
+    );
+
+    println!("\nGate-count comparison (paper's reported optima vs this reproduction):");
+    println!("  paper: add (6,4) (14,8) (26,11); mul (3,3) (12,7) (27,10)");
+    println!(
+        "  ours : add ({},{}) ({},{}) ({},{}); mul ({},{}) ({},{}) ({},{})",
+        networks::add_2().size(),
+        networks::add_2().depth(),
+        networks::add_3().size(),
+        networks::add_3().depth(),
+        networks::add_4().size(),
+        networks::add_4().depth(),
+        networks::mul_2().size(),
+        networks::mul_2().depth(),
+        networks::mul_3().size(),
+        networks::mul_3().depth(),
+        networks::mul_4().size(),
+        networks::mul_4().depth(),
+    );
+}

@@ -1,0 +1,154 @@
+//! `mf-bench`: the harness that regenerates every table and figure in the
+//! paper's evaluation (DESIGN.md §2, experiments E1–E10).
+//!
+//! Binaries:
+//!
+//! * `tables` — Figures 9/10: the CPU performance tables (Gop/s per
+//!   kernel × precision × library). Run with `--config wide` (native SIMD,
+//!   E1) or under a narrowed `RUSTFLAGS` build for the M3 substitution
+//!   (E2, see `scripts/run_experiments.sh`). Emits both human-readable
+//!   tables and JSON for the `summary` binary.
+//! * `summary` — Figure 8: ratio of MultiFloats' peak over the next-best
+//!   library, computed from `tables` JSON output.
+//! * `gpu_sim` — Figure 11: the `T = float` configuration (f32-base
+//!   expansions, SoA lanes) standing in for the RDNA3 GPU (T3).
+//! * `verify_networks` — Figures 2–7 captions: empirical error bounds and
+//!   nonoverlap verification for the shipped networks (E5/E6).
+//!
+//! Criterion benches (`cargo bench -p mf-bench`): per-operation latency
+//! (`ops`), kernel throughput (`blas`), and the design-choice ablations
+//! (`ablation`).
+
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::time::Instant;
+
+pub mod workloads;
+
+/// One measured cell of a performance table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    pub kernel: String,
+    pub bits: u32,
+    pub library: String,
+    /// Billions of extended-precision operations per second
+    /// (1 op = 1 mul + 1 add, the paper's convention).
+    pub gops: f64,
+}
+
+/// A full run of the `tables` binary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableRun {
+    /// Free-form platform label (e.g. "x86-64 native SIMD (Zen5 substitute)").
+    pub platform: String,
+    pub cells: Vec<Cell>,
+}
+
+impl TableRun {
+    pub fn lookup(&self, kernel: &str, bits: u32, library: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.kernel == kernel && c.bits == bits && c.library == library)
+            .map(|c| c.gops)
+    }
+
+    pub fn libraries(&self) -> Vec<String> {
+        let mut libs: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !libs.contains(&c.library) {
+                libs.push(c.library.clone());
+            }
+        }
+        libs
+    }
+}
+
+/// Measure the throughput of `f`, which performs `ops_per_iter` extended
+/// operations per call: returns Gop/s. Runs at least `min_secs` and at
+/// least 3 iterations after one warmup call.
+pub fn measure_gops<F: FnMut()>(ops_per_iter: f64, min_secs: f64, mut f: F) -> f64 {
+    f(); // warmup
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs && iters >= 3 {
+            return ops_per_iter * iters as f64 / elapsed / 1e9;
+        }
+    }
+}
+
+/// Prevent the optimizer from discarding a computed value.
+#[inline(always)]
+pub fn sink<T>(v: T) -> T {
+    black_box(v)
+}
+
+/// Render a paper-style table: rows = libraries, columns = precisions.
+pub fn render_table(run: &TableRun, kernel: &str, bits: &[u32]) -> String {
+    let mut out = String::new();
+    let libs = run.libraries();
+    out.push_str(&format!("{:<24}", "Library"));
+    for &b in bits {
+        out.push_str(&format!("{:>10}", format!("{b}-bit")));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(24 + 10 * bits.len()));
+    out.push('\n');
+    for lib in &libs {
+        out.push_str(&format!("{lib:<24}"));
+        for &b in bits {
+            match run.lookup(kernel, b, lib) {
+                Some(g) => out.push_str(&format!("{g:>10.3}")),
+                None => out.push_str(&format!("{:>10}", "N/A")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Quick-mode scaling for CI/tests: shrink sizes and times via
+/// `MF_BENCH_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("MF_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_sane_rates() {
+        // A no-op closure claiming 1000 ops per call: the rate must be
+        // positive and finite.
+        let mut x = 0u64;
+        let g = measure_gops(1000.0, 0.01, || {
+            x = sink(x.wrapping_add(1));
+        });
+        assert!(g.is_finite() && g > 0.0);
+    }
+
+    #[test]
+    fn table_lookup_and_render() {
+        let run = TableRun {
+            platform: "test".into(),
+            cells: vec![
+                Cell { kernel: "AXPY".into(), bits: 103, library: "MultiFloats".into(), gops: 1.5 },
+                Cell { kernel: "AXPY".into(), bits: 208, library: "MultiFloats".into(), gops: 0.5 },
+                Cell { kernel: "AXPY".into(), bits: 103, library: "QD".into(), gops: 1.0 },
+            ],
+        };
+        assert_eq!(run.lookup("AXPY", 103, "QD"), Some(1.0));
+        assert_eq!(run.lookup("AXPY", 208, "QD"), None);
+        let s = render_table(&run, "AXPY", &[103, 208]);
+        assert!(s.contains("MultiFloats"));
+        assert!(s.contains("N/A"));
+        // Round-trips through JSON.
+        let j = serde_json::to_string(&run).unwrap();
+        let back: TableRun = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.cells.len(), 3);
+    }
+}

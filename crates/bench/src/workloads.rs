@@ -1,0 +1,95 @@
+//! Workload generators for the benchmark harness.
+//!
+//! Sizes follow the paper's methodology: "the largest matrix and vector
+//! sizes that each library can fit into L3 cache", eliminating memory
+//! bandwidth as a variable. On this container (Xeon, single core) the
+//! defaults keep every operand set under ~2 MB.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Problem sizes for one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    /// Vector length for AXPY / DOT.
+    pub vec_len: usize,
+    /// Square dimension for GEMV.
+    pub gemv_n: usize,
+    /// Square dimension for GEMM.
+    pub gemm_n: usize,
+    /// Minimum seconds per measurement.
+    pub min_secs: f64,
+}
+
+impl Sizes {
+    pub fn default_sizes() -> Self {
+        Sizes {
+            vec_len: 8192,
+            gemv_n: 256,
+            gemm_n: 96,
+            min_secs: 0.25,
+        }
+    }
+
+    /// Reduced sizes for smoke tests (`MF_BENCH_QUICK=1`).
+    pub fn quick() -> Self {
+        Sizes {
+            vec_len: 512,
+            gemv_n: 48,
+            gemm_n: 24,
+            min_secs: 0.02,
+        }
+    }
+
+    pub fn from_env() -> Self {
+        if crate::quick_mode() {
+            Self::quick()
+        } else {
+            Self::default_sizes()
+        }
+    }
+
+    /// Extended operations per kernel invocation (paper convention:
+    /// AXPY/DOT = n, GEMV = n², GEMM = n³).
+    pub fn ops(&self, kernel: &str) -> f64 {
+        match kernel {
+            "AXPY" | "DOT" => self.vec_len as f64,
+            "GEMV" => (self.gemv_n * self.gemv_n) as f64,
+            "GEMM" => (self.gemm_n * self.gemm_n * self.gemm_n) as f64,
+            _ => panic!("unknown kernel {kernel}"),
+        }
+    }
+}
+
+/// Deterministic f64 values in (-1, 1), the element distribution used for
+/// all kernels (well-conditioned: performance tables should not be polluted
+/// by denormal or overflow handling).
+pub fn rand_f64s(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_counts_follow_paper_convention() {
+        let s = Sizes {
+            vec_len: 100,
+            gemv_n: 10,
+            gemm_n: 5,
+            min_secs: 0.1,
+        };
+        assert_eq!(s.ops("AXPY"), 100.0);
+        assert_eq!(s.ops("DOT"), 100.0);
+        assert_eq!(s.ops("GEMV"), 100.0);
+        assert_eq!(s.ops("GEMM"), 125.0);
+    }
+
+    #[test]
+    fn rand_is_deterministic() {
+        assert_eq!(rand_f64s(7, 16), rand_f64s(7, 16));
+        assert_ne!(rand_f64s(7, 16), rand_f64s(8, 16));
+    }
+}

@@ -1,0 +1,209 @@
+//! Array-of-structs BLAS kernels, generic over [`Scalar`].
+//!
+//! These are the straightforward formulations every library is benchmarked
+//! with (the paper compiles each library's kernels "with identical
+//! parallelization strategies, using ij loop ordering for GEMV and ikj
+//! loop ordering for GEMM").
+
+use crate::{Matrix, Scalar};
+
+/// `y <- alpha * x + y`.
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = yi.s_mul_acc(alpha, xi);
+    }
+}
+
+/// Dot product `x · y`.
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
+    assert_eq!(x.len(), y.len());
+    let mut acc = S::s_zero();
+    for (&xi, &yi) in x.iter().zip(y) {
+        acc = acc.s_mul_acc(xi, yi);
+    }
+    acc
+}
+
+/// `y <- alpha * A * x + beta * y`, `ij` loop order (row-major `A`).
+pub fn gemv<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, y: &mut [S]) {
+    assert_eq!(a.cols, x.len());
+    assert_eq!(a.rows, y.len());
+    for i in 0..a.rows {
+        let acc = dot(a.row(i), x);
+        y[i] = beta.s_mul(y[i]).s_add(alpha.s_mul(acc));
+    }
+}
+
+/// `C <- alpha * A * B + beta * C`, `ikj` loop order.
+pub fn gemm<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut Matrix<S>) {
+    assert_eq!(a.cols, b.rows);
+    assert_eq!(c.rows, a.rows);
+    assert_eq!(c.cols, b.cols);
+    // Scale C by beta first (ikj accumulates into C).
+    for v in &mut c.data {
+        *v = beta.s_mul(*v);
+    }
+    let n = b.cols;
+    for i in 0..a.rows {
+        for k in 0..a.cols {
+            let aik = alpha.s_mul(a.at(i, k));
+            let brow = &b.data[k * n..(k + 1) * n];
+            let crow = &mut c.data[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] = crow[j].s_mul_acc(aik, brow[j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_baselines::dd::DoubleDouble;
+    use mf_baselines::qd::QuadDouble;
+    use mf_core::{F64x2, F64x3, F64x4};
+    use mf_mpsoft::MpFloat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn dot_matches_exact_oracle_where_f64_fails() {
+        // Ill-conditioned dot product: huge cancellation.
+        let mut rng = SmallRng::seed_from_u64(900);
+        for _ in 0..50 {
+            let n = 200;
+            let mut x = rand_vec(&mut rng, n);
+            let mut y = rand_vec(&mut rng, n);
+            // Plant cancelling pairs scaled by 1e15.
+            for k in 0..n / 4 {
+                let big = rng.gen_range(0.5..1.0) * 1e15;
+                x[4 * k] = big;
+                y[4 * k] = 1.0;
+                x[4 * k + 1] = -big;
+                y[4 * k + 1] = 1.0;
+            }
+            let exact = MpFloat::exact_dot(&x, &y).to_f64();
+
+            let xs: Vec<F64x2> = x.iter().map(|&v| F64x2::from(v)).collect();
+            let ys: Vec<F64x2> = y.iter().map(|&v| F64x2::from(v)).collect();
+            let d2 = dot(&xs, &ys).to_f64();
+            assert!(
+                (d2 - exact).abs() <= 1e-12 * exact.abs().max(1.0),
+                "F64x2 dot off: {d2:e} vs {exact:e}"
+            );
+
+            let xs: Vec<F64x4> = x.iter().map(|&v| F64x4::from(v)).collect();
+            let ys: Vec<F64x4> = y.iter().map(|&v| F64x4::from(v)).collect();
+            let d4 = dot(&xs, &ys).to_f64();
+            assert!(
+                (d4 - exact).abs() <= 1e-12 * exact.abs().max(1.0),
+                "F64x4 dot off: {d4:e} vs {exact:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_linear_in_alpha() {
+        let mut rng = SmallRng::seed_from_u64(901);
+        let n = 257;
+        let x: Vec<F64x3> = (0..n).map(|_| F64x3::from(rng.gen_range(-1.0..1.0))).collect();
+        let y0: Vec<F64x3> = (0..n).map(|_| F64x3::from(rng.gen_range(-1.0..1.0))).collect();
+        // axpy(a, x, axpy(b, x, y)) == axpy(a+b, x, y) to working precision.
+        let (a, b) = (F64x3::from(0.3), F64x3::from(0.7));
+        let mut y1 = y0.clone();
+        axpy(b, &x, &mut y1);
+        axpy(a, &x, &mut y1);
+        let mut y2 = y0.clone();
+        axpy(a.add(b), &x, &mut y2);
+        for i in 0..n {
+            let d = y1[i].sub(y2[i]).abs().to_f64();
+            assert!(d <= 1e-45 * y2[i].abs().to_f64().max(1e-30), "i={i}");
+        }
+    }
+
+    #[test]
+    fn gemv_matches_reference() {
+        let mut rng = SmallRng::seed_from_u64(902);
+        let (m, n) = (23, 31);
+        let a = Matrix::from_fn(m, n, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let x: Vec<F64x2> = (0..n).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
+        let mut y: Vec<F64x2> = (0..m).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
+        let y0 = y.clone();
+        let alpha = F64x2::from(1.5);
+        let beta = F64x2::from(-0.5);
+        gemv(alpha, &a, &x, beta, &mut y);
+        // Reference in exact arithmetic.
+        for i in 0..m {
+            let mut row64 = Vec::new();
+            let mut x64 = Vec::new();
+            for j in 0..n {
+                row64.push(a.at(i, j).to_f64());
+                x64.push(x[j].to_f64());
+            }
+            let exact = 1.5 * MpFloat::exact_dot(&row64, &x64).to_f64() - 0.5 * y0[i].to_f64();
+            assert!(
+                (y[i].to_f64() - exact).abs() <= 1e-10 * exact.abs().max(1.0),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_gemv_columnwise() {
+        let mut rng = SmallRng::seed_from_u64(903);
+        let (m, k, n) = (9, 11, 7);
+        let a = Matrix::from_fn(m, k, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let b = Matrix::from_fn(k, n, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let mut c = Matrix::from_fn(m, n, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let c0 = c.clone();
+        let alpha = F64x2::from(2.0);
+        let beta = F64x2::from(0.25);
+        gemm(alpha, &a, &b, beta, &mut c);
+        // Column j of C equals gemv(alpha, A, B[:,j], beta, C0[:,j]).
+        for j in 0..n {
+            let bj: Vec<F64x2> = (0..k).map(|r| b.at(r, j)).collect();
+            let mut yj: Vec<F64x2> = (0..m).map(|i| c0.at(i, j)).collect();
+            gemv(alpha, &a, &bj, beta, &mut yj);
+            for i in 0..m {
+                let d = c.at(i, j).sub(yj[i]).abs().to_f64();
+                assert!(d <= 1e-26, "c[{i}][{j}] d={d:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_scalar_types_agree_on_small_problem() {
+        let mut rng = SmallRng::seed_from_u64(904);
+        let n = 64;
+        let x64 = rand_vec(&mut rng, n);
+        let y64 = rand_vec(&mut rng, n);
+        let exact = MpFloat::exact_dot(&x64, &y64).to_f64();
+
+        macro_rules! check {
+            ($t:ty, $tol:expr) => {{
+                let xs: Vec<$t> = x64.iter().map(|&v| <$t as Scalar>::s_from_f64(v)).collect();
+                let ys: Vec<$t> = y64.iter().map(|&v| <$t as Scalar>::s_from_f64(v)).collect();
+                let d = dot(&xs, &ys).s_to_f64();
+                assert!(
+                    (d - exact).abs() <= $tol * exact.abs().max(1.0),
+                    concat!(stringify!($t), " dot off: {:e} vs {:e}"),
+                    d,
+                    exact
+                );
+            }};
+        }
+        check!(f64, 1e-13);
+        check!(F64x2, 1e-15);
+        check!(F64x3, 1e-15);
+        check!(F64x4, 1e-15);
+        check!(DoubleDouble, 1e-15);
+        check!(QuadDouble, 1e-15);
+        check!(mf_baselines::campary::Expansion<2>, 1e-15);
+        check!(mf_baselines::campary::Expansion<4>, 1e-15);
+    }
+}

@@ -1,0 +1,218 @@
+//! `mf-blas`: extended-precision BLAS kernels (paper §5).
+//!
+//! The paper evaluates its algorithms through four kernels that cover the
+//! standard computational intensities:
+//!
+//! * **AXPY** — `y <- α·x + y` (vector-vector, streaming)
+//! * **DOT** — `x · y` (vector-vector reduction)
+//! * **GEMV** — `y <- α·A·x + β·y` (matrix-vector), `ij` loop order
+//! * **GEMM** — `C <- α·A·B + β·C` (matrix-matrix), `ikj` loop order
+//!
+//! Both loop orders match the paper's setup. Kernels come in three forms:
+//!
+//! * [`kernels`] — scalar array-of-structs kernels, generic over [`Scalar`]
+//!   (every arithmetic type in the workspace: `f64`/`f32`, `MultiFloat`,
+//!   QD, CAMPARY), used for all baselines;
+//! * [`soa`] — structure-of-arrays kernels for `MultiFloat`, the layout
+//!   that lets LLVM autovectorize the branch-free FPAN arithmetic across
+//!   elements (the paper's SIMD mechanism; branchy baselines *cannot* be
+//!   written this way, which is the source of the order-of-magnitude gap);
+//! * [`lanes`] — explicit lock-step SIMD execution: the same kernels
+//!   instantiated at `T = Lanes<8>` (one AVX-512 register per FPAN wire),
+//!   removing the dependence on autovectorization;
+//! * [`mp`] — kernels over the limb-based `MpFloat` (the GMP/MPFR-class
+//!   baseline, with its allocation and branching costs included, as in the
+//!   real libraries);
+//! * [`parallel`] — chunked `std::thread::scope` wrappers (the paper runs
+//!   thread-per-core; this container has one core, so the harness reports
+//!   the max over serial/parallel — see DESIGN.md T7).
+
+pub mod kernels;
+pub mod lanes;
+pub mod mp;
+pub mod parallel;
+pub mod soa;
+
+use mf_baselines::campary::Expansion;
+use mf_baselines::dd::DoubleDouble;
+use mf_baselines::qd::QuadDouble;
+use mf_core::{FloatBase, MultiFloat};
+
+/// The arithmetic interface the generic kernels need. One op is one
+/// multiplication plus one addition (the paper's counting convention).
+pub trait Scalar: Copy + Send + Sync + Default + 'static {
+    fn s_zero() -> Self;
+    fn s_add(self, o: Self) -> Self;
+    fn s_mul(self, o: Self) -> Self;
+    fn s_from_f64(x: f64) -> Self;
+    fn s_to_f64(self) -> f64;
+    /// `acc + a*b`; types with cheaper fused paths may override.
+    #[inline(always)]
+    fn s_mul_acc(self, a: Self, b: Self) -> Self {
+        self.s_add(a.s_mul(b))
+    }
+}
+
+macro_rules! scalar_native {
+    ($t:ty) => {
+        impl Scalar for $t {
+            #[inline(always)]
+            fn s_zero() -> Self {
+                0.0
+            }
+            #[inline(always)]
+            fn s_add(self, o: Self) -> Self {
+                self + o
+            }
+            #[inline(always)]
+            fn s_mul(self, o: Self) -> Self {
+                self * o
+            }
+            #[inline(always)]
+            fn s_from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn s_to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+scalar_native!(f64);
+scalar_native!(f32);
+
+impl<T: FloatBase, const N: usize> Scalar for MultiFloat<T, N> {
+    #[inline(always)]
+    fn s_zero() -> Self {
+        Self::ZERO
+    }
+    #[inline(always)]
+    fn s_add(self, o: Self) -> Self {
+        self.add(o)
+    }
+    #[inline(always)]
+    fn s_mul(self, o: Self) -> Self {
+        self.mul(o)
+    }
+    #[inline(always)]
+    fn s_from_f64(x: f64) -> Self {
+        Self::from(x)
+    }
+    #[inline(always)]
+    fn s_to_f64(self) -> f64 {
+        self.to_f64()
+    }
+}
+
+impl Scalar for DoubleDouble {
+    #[inline(always)]
+    fn s_zero() -> Self {
+        Self::ZERO
+    }
+    #[inline(always)]
+    fn s_add(self, o: Self) -> Self {
+        self.add(o)
+    }
+    #[inline(always)]
+    fn s_mul(self, o: Self) -> Self {
+        self.mul(o)
+    }
+    #[inline(always)]
+    fn s_from_f64(x: f64) -> Self {
+        Self::from_f64(x)
+    }
+    #[inline(always)]
+    fn s_to_f64(self) -> f64 {
+        self.to_f64()
+    }
+}
+
+impl Scalar for QuadDouble {
+    #[inline(always)]
+    fn s_zero() -> Self {
+        Self::ZERO
+    }
+    #[inline(always)]
+    fn s_add(self, o: Self) -> Self {
+        self.add(o)
+    }
+    #[inline(always)]
+    fn s_mul(self, o: Self) -> Self {
+        self.mul(o)
+    }
+    #[inline(always)]
+    fn s_from_f64(x: f64) -> Self {
+        Self::from_f64(x)
+    }
+    #[inline(always)]
+    fn s_to_f64(self) -> f64 {
+        self.to_f64()
+    }
+}
+
+impl<const N: usize> Scalar for Expansion<N> {
+    #[inline(always)]
+    fn s_zero() -> Self {
+        Self::ZERO
+    }
+    #[inline(always)]
+    fn s_add(self, o: Self) -> Self {
+        self.add(o)
+    }
+    #[inline(always)]
+    fn s_mul(self, o: Self) -> Self {
+        self.mul(o)
+    }
+    #[inline(always)]
+    fn s_from_f64(x: f64) -> Self {
+        Self::from_f64(x)
+    }
+    #[inline(always)]
+    fn s_to_f64(self) -> f64 {
+        self.to_f64()
+    }
+}
+
+/// Dense row-major matrix over any [`Scalar`].
+#[derive(Debug, Clone)]
+pub struct Matrix<S> {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<S>,
+}
+
+impl<S: Scalar> Matrix<S> {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![S::s_zero(); rows * cols],
+        }
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[S] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> S {
+        self.data[i * self.cols + j]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        self.data[i * self.cols + j] = v;
+    }
+}

@@ -1,0 +1,135 @@
+//! BLAS kernels over the limb-based [`MpFloat`] — the GMP/MPFR-class
+//! baseline (DESIGN.md substitution T4).
+//!
+//! Like the C libraries it stands in for, `MpFloat` heap-allocates its
+//! mantissa and branches through alignment/normalization/rounding on every
+//! operation; the kernels below inherit those costs, which is the point of
+//! the comparison. The `prec` argument plays the role of
+//! `mpfr_set_default_prec`: 53 / 103 / 156 / 208 bits match the paper's
+//! columns.
+
+use mf_mpsoft::MpFloat;
+
+/// `y <- alpha*x + y` at `prec` bits.
+pub fn axpy(alpha: &MpFloat, x: &[MpFloat], y: &mut [MpFloat], prec: u32) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = yi.add(&alpha.mul(xi, prec), prec);
+    }
+}
+
+/// Dot product at `prec` bits.
+pub fn dot(x: &[MpFloat], y: &[MpFloat], prec: u32) -> MpFloat {
+    assert_eq!(x.len(), y.len());
+    let mut acc = MpFloat::zero(prec);
+    for (xi, yi) in x.iter().zip(y) {
+        acc = acc.add(&xi.mul(yi, prec), prec);
+    }
+    acc
+}
+
+/// `y <- alpha*A*x + beta*y`, `ij` order; `a` is row-major `rows x cols`.
+pub fn gemv(
+    alpha: &MpFloat,
+    a: &[MpFloat],
+    rows: usize,
+    cols: usize,
+    x: &[MpFloat],
+    beta: &MpFloat,
+    y: &mut [MpFloat],
+    prec: u32,
+) {
+    assert_eq!(a.len(), rows * cols);
+    assert_eq!(x.len(), cols);
+    assert_eq!(y.len(), rows);
+    for i in 0..rows {
+        let acc = dot(&a[i * cols..(i + 1) * cols], x, prec);
+        y[i] = beta.mul(&y[i], prec).add(&alpha.mul(&acc, prec), prec);
+    }
+}
+
+/// `C <- alpha*A*B + beta*C`, `ikj` order.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    alpha: &MpFloat,
+    a: &[MpFloat],
+    b: &[MpFloat],
+    c: &mut [MpFloat],
+    m: usize,
+    k: usize,
+    n: usize,
+    beta: &MpFloat,
+    prec: u32,
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    for v in c.iter_mut() {
+        *v = beta.mul(v, prec);
+    }
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = alpha.mul(&a[i * k + kk], prec);
+            for j in 0..n {
+                let p = aik.mul(&b[kk * n + j], prec);
+                c[i * n + j] = c[i * n + j].add(&p, prec);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_mp(rng: &mut SmallRng, prec: u32) -> MpFloat {
+        MpFloat::from_f64(rng.gen_range(-1.0..1.0), prec)
+    }
+
+    #[test]
+    fn dot_matches_exact_for_doubles() {
+        let mut rng = SmallRng::seed_from_u64(920);
+        let n = 100;
+        let x64: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y64: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x: Vec<MpFloat> = x64.iter().map(|&v| MpFloat::from_f64(v, 208)).collect();
+        let y: Vec<MpFloat> = y64.iter().map(|&v| MpFloat::from_f64(v, 208)).collect();
+        let got = dot(&x, &y, 208);
+        let exact = MpFloat::exact_dot(&x64, &y64);
+        assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-200));
+    }
+
+    #[test]
+    fn gemv_gemm_consistency() {
+        let mut rng = SmallRng::seed_from_u64(921);
+        let prec = 103;
+        let (m, k, n) = (6, 5, 4);
+        let a: Vec<MpFloat> = (0..m * k).map(|_| rand_mp(&mut rng, prec)).collect();
+        let b: Vec<MpFloat> = (0..k * n).map(|_| rand_mp(&mut rng, prec)).collect();
+        let mut c: Vec<MpFloat> = (0..m * n).map(|_| MpFloat::zero(prec)).collect();
+        let one = MpFloat::from_f64(1.0, prec);
+        let zero = MpFloat::zero(prec);
+        gemm(&one, &a, &b, &mut c, m, k, n, &zero, prec);
+        // Column 0 of C vs gemv against column 0 of B.
+        let b0: Vec<MpFloat> = (0..k).map(|r| b[r * n].clone()).collect();
+        let mut y: Vec<MpFloat> = (0..m).map(|_| MpFloat::zero(prec)).collect();
+        gemv(&one, &a, m, k, &b0, &zero, &mut y, prec);
+        for i in 0..m {
+            let d = c[i * n].sub(&y[i], prec).abs().to_f64();
+            assert!(d <= 1e-28, "row {i}: d={d:e}");
+        }
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let prec = 156;
+        let alpha = MpFloat::from_f64(2.0, prec);
+        let x = vec![MpFloat::from_f64(1.5, prec), MpFloat::from_f64(-0.5, prec)];
+        let mut y = vec![MpFloat::from_f64(1.0, prec), MpFloat::from_f64(1.0, prec)];
+        axpy(&alpha, &x, &mut y, prec);
+        assert_eq!(y[0].to_f64(), 4.0);
+        assert_eq!(y[1].to_f64(), 0.0);
+    }
+}

@@ -1,0 +1,471 @@
+//! Structure-of-arrays kernels for `MultiFloat` — the vectorization layout.
+//!
+//! An array of `MultiFloat<f64, N>` stores each element's `N` components
+//! contiguously (AoS), so the machine loads of "component 0 of elements
+//! i..i+8" are strided and the compiler often gives up on vectorizing the
+//! FPAN arithmetic across elements. Storing each *component* in its own
+//! array (SoA) makes every load unit-stride, and the branch-free FPAN
+//! kernels then run 8 elements in lock-step — one AVX-512 register per
+//! network wire. This is the paper's central performance mechanism (§1,
+//! §5), and it is *only* available to branch-free algorithms: QD's and
+//! CAMPARY's zero-tests and magnitude merges create lane-divergent control
+//! flow, which is why their 3/4-term columns collapse in Figure 9.
+//!
+//! Each entry point dispatches between two realizations (measured in the
+//! ablation benches): explicit lock-step execution via
+//! [`crate::lanes::Lanes`] (always best for reductions; best for streaming
+//! kernels at N <= 2) and an autovectorized scalar loop (best for
+//! streaming kernels at N >= 3, where the lock-step live state spills the
+//! register file).
+
+use mf_core::{addition, multiplication, FloatBase, MultiFloat};
+
+/// Accumulator lanes for reductions at expansion width `N`. More lanes
+/// break the add-chain dependency further, but each lane keeps `N` partial
+/// sums live; past ~16 live doubles the register file spills and the win
+/// inverts (measured on AVX-512: N=2 wants 8 lanes, N=4 wants 4).
+pub const fn lanes_for(n: usize) -> usize {
+    match n {
+        1 | 2 => 8,
+        3 => 4,
+        _ => 4,
+    }
+}
+
+/// A vector of `MultiFloat<T, N>` in structure-of-arrays layout.
+#[derive(Debug, Clone)]
+pub struct SoaVec<T: FloatBase, const N: usize> {
+    /// `comps[k][i]` is component `k` of element `i`.
+    pub comps: Vec<Vec<T>>,
+    len: usize,
+}
+
+impl<T: FloatBase, const N: usize> SoaVec<T, N> {
+    pub fn zeros(len: usize) -> Self {
+        SoaVec {
+            comps: (0..N).map(|_| vec![T::ZERO; len]).collect(),
+            len,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn from_slice(xs: &[MultiFloat<T, N>]) -> Self {
+        let mut out = Self::zeros(xs.len());
+        for (i, x) in xs.iter().enumerate() {
+            let c = x.components();
+            for k in 0..N {
+                out.comps[k][i] = c[k];
+            }
+        }
+        out
+    }
+
+    pub fn get(&self, i: usize) -> MultiFloat<T, N> {
+        let mut c = [T::ZERO; N];
+        for k in 0..N {
+            c[k] = self.comps[k][i];
+        }
+        MultiFloat::from_components(c)
+    }
+
+    pub fn set(&mut self, i: usize, v: MultiFloat<T, N>) {
+        let c = v.components();
+        for k in 0..N {
+            self.comps[k][i] = c[k];
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<MultiFloat<T, N>> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+/// A row-major matrix of `MultiFloat<T, N>` in SoA layout.
+#[derive(Debug, Clone)]
+pub struct SoaMatrix<T: FloatBase, const N: usize> {
+    pub comps: Vec<Vec<T>>,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl<T: FloatBase, const N: usize> SoaMatrix<T, N> {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SoaMatrix {
+            comps: (0..N).map(|_| vec![T::ZERO; rows * cols]).collect(),
+            rows,
+            cols,
+        }
+    }
+
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> MultiFloat<T, N>,
+    ) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    pub fn get(&self, i: usize, j: usize) -> MultiFloat<T, N> {
+        let mut c = [T::ZERO; N];
+        for k in 0..N {
+            c[k] = self.comps[k][i * self.cols + j];
+        }
+        MultiFloat::from_components(c)
+    }
+
+    pub fn set(&mut self, i: usize, j: usize, v: MultiFloat<T, N>) {
+        let c = v.components();
+        for k in 0..N {
+            self.comps[k][i * self.cols + j] = c[k];
+        }
+    }
+}
+
+/// Borrow the component vectors as an array of equal-length slices
+/// (hoists the `Vec` indirection and lets the optimizer elide per-element
+/// bounds checks).
+#[inline(always)]
+fn slices<T: FloatBase, const N: usize>(comps: &[Vec<T>], lo: usize, hi: usize) -> [&[T]; N] {
+    core::array::from_fn(|k| &comps[k][lo..hi])
+}
+
+#[inline(always)]
+fn slices_mut<T: FloatBase, const N: usize>(
+    comps: &mut [Vec<T>],
+    lo: usize,
+    hi: usize,
+) -> [&mut [T]; N] {
+    let mut it = comps.iter_mut();
+    core::array::from_fn(|_| &mut it.next().unwrap()[lo..hi])
+}
+
+/// `y <- alpha*x + y` over SoA vectors. The loop body is branch-free
+/// straight-line FPAN code; with unit-stride loads LLVM vectorizes it
+/// across `i`.
+pub fn axpy<T: FloatBase, const N: usize>(
+    alpha: MultiFloat<T, N>,
+    x: &SoaVec<T, N>,
+    y: &mut SoaVec<T, N>,
+) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    // Streaming kernels: lock-step wins at N <= 2; at N >= 3 the lane
+    // state spills registers and the autovectorized form is faster
+    // (measured; see EXPERIMENTS.md ablations).
+    if N <= 2 {
+        crate::lanes::axpy_lockstep::<T, N>(alpha, &x.comps, &mut y.comps, n);
+    } else {
+        axpy_autovec(alpha, x, y);
+    }
+}
+
+/// Autovectorized AXPY variant, kept for the ablation benchmark.
+pub fn axpy_autovec<T: FloatBase, const N: usize>(
+    alpha: MultiFloat<T, N>,
+    x: &SoaVec<T, N>,
+    y: &mut SoaVec<T, N>,
+) {
+    assert_eq!(x.len(), y.len());
+    let a = alpha.components();
+    let n = x.len();
+    let xs: [&[T]; N] = slices(&x.comps, 0, n);
+    let ys: [&mut [T]; N] = slices_mut(&mut y.comps, 0, n);
+    for i in 0..n {
+        let xi: [T; N] = core::array::from_fn(|k| xs[k][i]);
+        let yi: [T; N] = core::array::from_fn(|k| ys[k][i]);
+        let p = multiplication::mul(&a, &xi);
+        let s = addition::add(&p, &yi);
+        for k in 0..N {
+            ys[k][i] = s[k];
+        }
+    }
+}
+
+/// Dot product with [`lanes_for`]`(N)` independent accumulators (SIMD reduction).
+pub fn dot<T: FloatBase, const N: usize>(
+    x: &SoaVec<T, N>,
+    y: &SoaVec<T, N>,
+) -> MultiFloat<T, N> {
+    assert_eq!(x.len(), y.len());
+    dot_raw::<T, N>(&x.comps, 0, &y.comps, 0, x.len())
+}
+
+/// Reduction core shared by `dot` and `gemv`, operating on component
+/// slices beginning at the given offsets.
+#[inline(always)]
+fn dot_raw<T: FloatBase, const N: usize>(
+    xc: &[Vec<T>],
+    xoff: usize,
+    yc: &[Vec<T>],
+    yoff: usize,
+    n: usize,
+) -> MultiFloat<T, N> {
+    // Lock-step lane execution beats the autovectorized form at every
+    // width on AVX-512 (see EXPERIMENTS.md ablations).
+    crate::lanes::dot_lockstep::<T, N>(xc, xoff, yc, yoff, n)
+}
+
+/// Autovectorized reduction variant, kept for the SoA-vs-lockstep ablation
+/// benchmark.
+#[inline(always)]
+pub fn dot_autovec<T: FloatBase, const N: usize>(
+    x: &SoaVec<T, N>,
+    y: &SoaVec<T, N>,
+) -> MultiFloat<T, N> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    match lanes_for(N) {
+        8 => dot_lanes::<T, N, 8>(&x.comps, 0, &y.comps, 0, n),
+        4 => dot_lanes::<T, N, 4>(&x.comps, 0, &y.comps, 0, n),
+        _ => dot_lanes::<T, N, 2>(&x.comps, 0, &y.comps, 0, n),
+    }
+}
+
+#[inline(always)]
+fn dot_lanes<T: FloatBase, const N: usize, const L: usize>(
+    xc: &[Vec<T>],
+    xoff: usize,
+    yc: &[Vec<T>],
+    yoff: usize,
+    n: usize,
+) -> MultiFloat<T, N> {
+    let xs: [&[T]; N] = slices(xc, xoff, xoff + n);
+    let ys: [&[T]; N] = slices(yc, yoff, yoff + n);
+    let mut acc = [[T::ZERO; N]; L];
+    let chunks = n / L;
+    for c in 0..chunks {
+        let base = c * L;
+        for l in 0..L {
+            let xi: [T; N] = core::array::from_fn(|k| xs[k][base + l]);
+            let yi: [T; N] = core::array::from_fn(|k| ys[k][base + l]);
+            let p = multiplication::mul(&xi, &yi);
+            acc[l] = addition::add(&acc[l], &p);
+        }
+    }
+    for i in chunks * L..n {
+        let xi: [T; N] = core::array::from_fn(|k| xs[k][i]);
+        let yi: [T; N] = core::array::from_fn(|k| ys[k][i]);
+        let p = multiplication::mul(&xi, &yi);
+        acc[0] = addition::add(&acc[0], &p);
+    }
+    // Tree-reduce the lanes.
+    let mut width = L;
+    while width > 1 {
+        width /= 2;
+        for l in 0..width {
+            acc[l] = addition::add(&acc[l], &acc[l + width]);
+        }
+    }
+    MultiFloat::from_components(acc[0])
+}
+
+/// `y <- alpha*A*x + beta*y`, `ij` order, SoA layout.
+pub fn gemv<T: FloatBase, const N: usize>(
+    alpha: MultiFloat<T, N>,
+    a: &SoaMatrix<T, N>,
+    x: &SoaVec<T, N>,
+    beta: MultiFloat<T, N>,
+    y: &mut SoaVec<T, N>,
+) {
+    assert_eq!(a.cols, x.len());
+    assert_eq!(a.rows, y.len());
+    for i in 0..a.rows {
+        let row = dot_raw::<T, N>(&a.comps, i * a.cols, &x.comps, 0, a.cols);
+        let yi = y.get(i);
+        y.set(i, beta.mul(yi).add(alpha.mul(row)));
+    }
+}
+
+/// `C <- alpha*A*B + beta*C`, `ikj` order, SoA layout (the inner `j` loop
+/// is the vectorized one).
+pub fn gemm<T: FloatBase, const N: usize>(
+    alpha: MultiFloat<T, N>,
+    a: &SoaMatrix<T, N>,
+    b: &SoaMatrix<T, N>,
+    beta: MultiFloat<T, N>,
+    c: &mut SoaMatrix<T, N>,
+) {
+    assert_eq!(a.cols, b.rows);
+    assert_eq!(c.rows, a.rows);
+    assert_eq!(c.cols, b.cols);
+    let n = b.cols;
+    // Scale C by beta.
+    for i in 0..c.rows {
+        for j in 0..n {
+            let v = c.get(i, j);
+            c.set(i, j, beta.mul(v));
+        }
+    }
+    for i in 0..a.rows {
+        let cbase = i * n;
+        for k in 0..a.cols {
+            let aik = alpha.mul(a.get(i, k));
+            if N <= 2 {
+                crate::lanes::axpy_lockstep_at::<T, N>(
+                    aik,
+                    &b.comps,
+                    k * n,
+                    &mut c.comps,
+                    cbase,
+                    n,
+                );
+            } else {
+                let aikc = aik.components();
+                let bs: [&[T]; N] = slices(&b.comps, k * n, k * n + n);
+                let cs: [&mut [T]; N] = slices_mut(&mut c.comps, cbase, cbase + n);
+                for j in 0..n {
+                    let bkj: [T; N] = core::array::from_fn(|q| bs[q][j]);
+                    let cij: [T; N] = core::array::from_fn(|q| cs[q][j]);
+                    let p = multiplication::mul(&aikc, &bkj);
+                    let s = addition::add(&p, &cij);
+                    for q in 0..N {
+                        cs[q][j] = s[q];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::Matrix;
+    use mf_core::{F64x2, F64x4};
+    use mf_mpsoft::MpFloat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_mf(rng: &mut SmallRng) -> F64x4 {
+        F64x4::from(rng.gen_range(-1.0..1.0f64))
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(910);
+        let xs: Vec<F64x4> = (0..37).map(|_| rand_mf(&mut rng)).collect();
+        let soa = SoaVec::from_slice(&xs);
+        let back = soa.to_vec();
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.components(), b.components());
+        }
+    }
+
+    #[test]
+    fn axpy_soa_matches_aos_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(911);
+        let n = 103;
+        let xs: Vec<F64x4> = (0..n).map(|_| rand_mf(&mut rng)).collect();
+        let ys: Vec<F64x4> = (0..n).map(|_| rand_mf(&mut rng)).collect();
+        let alpha = rand_mf(&mut rng);
+        // AoS
+        let mut y_aos = ys.clone();
+        kernels::axpy(alpha, &xs, &mut y_aos);
+        // SoA
+        let x_soa = SoaVec::from_slice(&xs);
+        let mut y_soa = SoaVec::from_slice(&ys);
+        axpy(alpha, &x_soa, &mut y_soa);
+        let y_back = y_soa.to_vec();
+        for i in 0..n {
+            assert_eq!(
+                y_aos[i].components(),
+                y_back[i].components(),
+                "axpy must be element-wise identical (same op sequence)"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_soa_matches_oracle() {
+        let mut rng = SmallRng::seed_from_u64(912);
+        let n = 1000;
+        let x64: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y64: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let xs: Vec<F64x4> = x64.iter().map(|&v| F64x4::from(v)).collect();
+        let ys: Vec<F64x4> = y64.iter().map(|&v| F64x4::from(v)).collect();
+        let exact = MpFloat::exact_dot(&x64, &y64);
+        let soa = dot(&SoaVec::from_slice(&xs), &SoaVec::from_slice(&ys));
+        let err = soa.to_mp(400).rel_error_vs(&exact);
+        assert!(err <= 2.0f64.powi(-190), "err 2^{:.1}", err.log2());
+        // And agrees with the AoS kernel to the format's precision
+        // (different association order, same accuracy class).
+        let aos = kernels::dot(&xs, &ys);
+        let d = soa.sub(aos).abs().to_f64();
+        assert!(d <= 2.0f64.powi(-190) * exact.abs().to_f64().max(1e-300));
+    }
+
+    #[test]
+    fn gemv_and_gemm_match_aos() {
+        let mut rng = SmallRng::seed_from_u64(913);
+        let (m, k, n) = (17, 13, 19);
+        let a_el: Vec<Vec<F64x2>> = (0..m)
+            .map(|_| (0..k).map(|_| F64x2::from(rng.gen_range(-1.0..1.0f64))).collect())
+            .collect();
+        let b_el: Vec<Vec<F64x2>> = (0..k)
+            .map(|_| (0..n).map(|_| F64x2::from(rng.gen_range(-1.0..1.0f64))).collect())
+            .collect();
+        let alpha = F64x2::from(1.25);
+        let beta = F64x2::from(0.5);
+
+        // GEMM: AoS reference.
+        let a_aos = Matrix::from_fn(m, k, |i, j| a_el[i][j]);
+        let b_aos = Matrix::from_fn(k, n, |i, j| b_el[i][j]);
+        let mut c_aos = Matrix::from_fn(m, n, |_, _| F64x2::from(0.125));
+        kernels::gemm(alpha, &a_aos, &b_aos, beta, &mut c_aos);
+
+        let a_soa = SoaMatrix::from_fn(m, k, |i, j| a_el[i][j]);
+        let b_soa = SoaMatrix::from_fn(k, n, |i, j| b_el[i][j]);
+        let mut c_soa = SoaMatrix::from_fn(m, n, |_, _| F64x2::from(0.125));
+        gemm(alpha, &a_soa, &b_soa, beta, &mut c_soa);
+
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(
+                    c_aos.at(i, j).components(),
+                    c_soa.get(i, j).components(),
+                    "gemm mismatch at ({i},{j})"
+                );
+            }
+        }
+
+        // GEMV: accuracy-level agreement (SoA uses the laned reduction).
+        let x: Vec<F64x2> = (0..k).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
+        let mut y_aos: Vec<F64x2> = (0..m).map(|_| F64x2::from(0.5)).collect();
+        kernels::gemv(alpha, &a_aos, &x, beta, &mut y_aos);
+        let x_soa = SoaVec::from_slice(&x);
+        let mut y_soa = SoaVec::from_slice(&vec![F64x2::from(0.5); m]);
+        gemv(alpha, &a_soa, &x_soa, beta, &mut y_soa);
+        for i in 0..m {
+            let d = y_aos[i].sub(y_soa.get(i)).abs().to_f64();
+            assert!(d <= 1e-28, "gemv row {i}: d={d:e}");
+        }
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_lanes() {
+        let mut rng = SmallRng::seed_from_u64(914);
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 63] {
+            let x64: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y64: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let xs: Vec<F64x2> = x64.iter().map(|&v| F64x2::from(v)).collect();
+            let ys: Vec<F64x2> = y64.iter().map(|&v| F64x2::from(v)).collect();
+            let got = dot(&SoaVec::from_slice(&xs), &SoaVec::from_slice(&ys)).to_f64();
+            let exact = MpFloat::exact_dot(&x64, &y64).to_f64();
+            assert!((got - exact).abs() <= 1e-13 * exact.abs().max(1.0), "n={n}");
+        }
+    }
+}

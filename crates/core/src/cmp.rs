@@ -1,0 +1,122 @@
+//! Comparisons.
+//!
+//! Nonoverlapping expansions do not have a unique bit representation of
+//! every value (boundary ties admit two spellings), so equality and ordering
+//! are defined on the *value*: `x` and `y` compare through the sign of the
+//! exactly-cancelling difference `x - y` — the subtraction FPAN's discarded
+//! error is relative to the difference itself, so a nonzero difference can
+//! never collapse to zero.
+
+use crate::{FloatBase, MultiFloat};
+use core::cmp::Ordering;
+
+impl<T: FloatBase, const N: usize> PartialEq for MultiFloat<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.is_nan() || other.is_nan() {
+            return false;
+        }
+        // Fast path: identical components.
+        if self.c == other.c {
+            return true;
+        }
+        self.sub(*other).is_zero()
+    }
+}
+
+impl<T: FloatBase, const N: usize> PartialOrd for MultiFloat<T, N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        let d = self.sub(*other);
+        let head = d.hi();
+        Some(if head.is_zero() {
+            Ordering::Equal
+        } else if head < T::ZERO {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        })
+    }
+}
+
+impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
+    /// Minimum by value (NaN loses).
+    pub fn min(self, other: Self) -> Self {
+        match self.partial_cmp(&other) {
+            Some(Ordering::Greater) => other,
+            None if self.is_nan() => other,
+            _ => self,
+        }
+    }
+
+    /// Maximum by value (NaN loses).
+    pub fn max(self, other: Self) -> Self {
+        match self.partial_cmp(&other) {
+            Some(Ordering::Less) => other,
+            None if self.is_nan() => other,
+            _ => self,
+        }
+    }
+
+    /// Compare against a base-precision scalar.
+    pub fn cmp_scalar(&self, rhs: T) -> Option<Ordering> {
+        self.partial_cmp(&Self::from_scalar(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{F64x2, F64x3};
+
+    #[test]
+    fn ordering_basics() {
+        let a = F64x2::from(1.0);
+        let b = F64x2::from(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert!(a <= a);
+        assert!(a == a);
+        assert!(-b < -a);
+    }
+
+    #[test]
+    fn ordering_uses_tail_bits() {
+        // Differ only in the second component.
+        let tiny = 2.0f64.powi(-80);
+        let a = F64x2::from(1.0);
+        let b = F64x2::from(1.0).add_scalar(tiny);
+        assert!(a < b);
+        assert!(a != b);
+        assert!(b > a);
+        // And equality despite different spellings of the same value.
+        let c = b.sub_scalar(tiny);
+        assert!(a == c);
+    }
+
+    #[test]
+    fn nan_comparisons() {
+        let nan = F64x2::from(f64::NAN);
+        let one = F64x2::from(1.0);
+        assert!(nan != nan);
+        assert!(nan.partial_cmp(&one).is_none());
+        assert_eq!(nan.min(one).to_f64(), 1.0);
+        assert_eq!(one.max(nan).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = F64x3::from(-3.0);
+        let b = F64x3::from(7.0);
+        assert_eq!(a.min(b).to_f64(), -3.0);
+        assert_eq!(a.max(b).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn cmp_scalar_works() {
+        let x = F64x2::from(1.5);
+        assert_eq!(x.cmp_scalar(1.0), Some(core::cmp::Ordering::Greater));
+        assert_eq!(x.cmp_scalar(1.5), Some(core::cmp::Ordering::Equal));
+        assert_eq!(x.cmp_scalar(2.0), Some(core::cmp::Ordering::Less));
+    }
+}

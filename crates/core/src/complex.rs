@@ -1,0 +1,341 @@
+//! Complex numbers over extended-precision expansions.
+//!
+//! The paper's §4.2 motivates its commutativity layer with exactly this
+//! use case: with a non-commutative multiplication, the conjugate product
+//! `(a+bi)(a-bi)` acquires a small but nonzero imaginary part, creating
+//! "significant rounding artifacts that severely degrade the performance
+//! of certain numerical algorithms, such as eigensolvers". Because the
+//! `MultiFloat` product is exactly commutative, [`Complex::conj_product`]'s
+//! imaginary part — and more generally `Im(z * z.conj())` — is **exactly
+//! zero**, which the test suite pins.
+
+use crate::{FloatBase, MultiFloat};
+use core::fmt;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number with extended-precision real and imaginary parts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex<T: FloatBase, const N: usize> {
+    pub re: MultiFloat<T, N>,
+    pub im: MultiFloat<T, N>,
+}
+
+/// Complex quadruple precision over f64.
+pub type C64x2 = Complex<f64, 2>;
+/// Complex octuple precision over f64.
+pub type C64x4 = Complex<f64, 4>;
+
+impl<T: FloatBase, const N: usize> Complex<T, N> {
+    pub const ZERO: Self = Complex {
+        re: MultiFloat::ZERO,
+        im: MultiFloat::ZERO,
+    };
+    pub const ONE: Self = Complex {
+        re: MultiFloat::ONE,
+        im: MultiFloat::ZERO,
+    };
+    /// The imaginary unit.
+    pub const I: Self = Complex {
+        re: MultiFloat::ZERO,
+        im: MultiFloat::ONE,
+    };
+
+    pub fn new(re: MultiFloat<T, N>, im: MultiFloat<T, N>) -> Self {
+        Complex { re, im }
+    }
+
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Complex {
+            re: MultiFloat::from(re),
+            im: MultiFloat::from(im),
+        }
+    }
+
+    /// Complex conjugate (exact).
+    pub fn conj(&self) -> Self {
+        Complex {
+            re: self.re,
+            im: self.im.neg(),
+        }
+    }
+
+    /// `|z|^2 = re^2 + im^2` (always real and nonnegative).
+    pub fn norm_sqr(&self) -> MultiFloat<T, N> {
+        self.re.sqr().add(self.im.sqr())
+    }
+
+    /// Modulus `|z|`, overflow-safe via [`MultiFloat::hypot`].
+    pub fn abs(&self) -> MultiFloat<T, N> {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    pub fn arg(&self) -> MultiFloat<T, N> {
+        self.im.atan2(self.re)
+    }
+
+    /// The product `z * z.conj()`: thanks to exactly-commutative
+    /// multiplication its imaginary part is exactly zero — the paper's
+    /// §4.2 property.
+    pub fn conj_product(&self) -> Self {
+        *self * self.conj()
+    }
+
+    /// Complex reciprocal `1/z = conj(z) / |z|^2`.
+    pub fn recip(&self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re.div(d),
+            im: self.im.neg().div(d),
+        }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(&self) -> Self {
+        // sqrt(z) = sqrt((|z|+re)/2) + i*sign(im)*sqrt((|z|-re)/2),
+        // computed with the cancellation-free branch.
+        let r = self.abs();
+        if r.is_zero() {
+            return Self::ZERO;
+        }
+        let half = T::HALF;
+        if !self.re.is_negative() {
+            let t = r.add(self.re).mul_scalar(half).sqrt();
+            let im = self.im.div(t.mul_scalar(T::TWO));
+            Complex { re: t, im }
+        } else {
+            let t = r.sub(self.re).mul_scalar(half).sqrt();
+            let re = self.im.abs().div(t.mul_scalar(T::TWO));
+            let im = if self.im.is_negative() { t.neg() } else { t };
+            Complex { re, im }
+        }
+    }
+
+    /// Complex exponential `e^z = e^re (cos im + i sin im)`.
+    pub fn exp(&self) -> Self {
+        let m = self.re.exp();
+        let (s, c) = self.im.sin_cos();
+        Complex {
+            re: m.mul(c),
+            im: m.mul(s),
+        }
+    }
+
+    /// Principal natural logarithm `ln z = ln|z| + i arg(z)`.
+    pub fn ln(&self) -> Self {
+        Complex {
+            re: self.abs().ln(),
+            im: self.arg(),
+        }
+    }
+
+    /// Scale by a real expansion.
+    pub fn scale(&self, s: MultiFloat<T, N>) -> Self {
+        Complex {
+            re: self.re.mul(s),
+            im: self.im.mul(s),
+        }
+    }
+
+    pub fn is_nan(&self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl<T: FloatBase, const N: usize> Add for Complex<T, N> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Complex {
+            re: self.re.add(o.re),
+            im: self.im.add(o.im),
+        }
+    }
+}
+
+impl<T: FloatBase, const N: usize> Sub for Complex<T, N> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        Complex {
+            re: self.re.sub(o.re),
+            im: self.im.sub(o.im),
+        }
+    }
+}
+
+impl<T: FloatBase, const N: usize> Mul for Complex<T, N> {
+    type Output = Self;
+    /// `(a+bi)(c+di) = (ac - bd) + (ad + bc)i`, with each partial product
+    /// going through the commutative FPAN multiplication.
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        let ac = self.re.mul(o.re);
+        let bd = self.im.mul(o.im);
+        let ad = self.re.mul(o.im);
+        let bc = self.im.mul(o.re);
+        Complex {
+            re: ac.sub(bd),
+            im: ad.add(bc),
+        }
+    }
+}
+
+impl<T: FloatBase, const N: usize> Div for Complex<T, N> {
+    type Output = Self;
+    fn div(self, o: Self) -> Self {
+        let d = o.norm_sqr();
+        let num = self * o.conj();
+        Complex {
+            re: num.re.div(d),
+            im: num.im.div(d),
+        }
+    }
+}
+
+impl<T: FloatBase, const N: usize> Neg for Complex<T, N> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Complex {
+            re: self.re.neg(),
+            im: self.im.neg(),
+        }
+    }
+}
+
+impl<T: FloatBase, const N: usize> fmt::Display for Complex<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im.is_negative() {
+            write!(f, "{} - {}i", self.re, self.im.abs())
+        } else {
+            write!(f, "{} + {}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::F64x3;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_c(rng: &mut SmallRng) -> C64x2 {
+        let re = crate::F64x2::from(rng.gen_range(-10.0..10.0f64))
+            .add_scalar(rng.gen_range(-1e-20..1e-20));
+        let im = crate::F64x2::from(rng.gen_range(-10.0..10.0f64))
+            .add_scalar(rng.gen_range(-1e-20..1e-20));
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn conjugate_product_is_exactly_real() {
+        // The paper's §4.2 motivating property, at the API level.
+        let mut rng = SmallRng::seed_from_u64(1600);
+        for _ in 0..20_000 {
+            let z = rand_c(&mut rng);
+            let p = z.conj_product();
+            assert!(
+                p.im.is_zero(),
+                "Im(z * conj z) = {:e} != 0 for z = {z}",
+                p.im.to_f64()
+            );
+            // And it equals |z|^2 to working precision.
+            let d = p.re.sub(z.norm_sqr()).abs().to_f64();
+            assert!(d <= 1e-35 * p.re.to_f64().abs().max(1e-300));
+        }
+    }
+
+    #[test]
+    fn field_axioms_numerically() {
+        let mut rng = SmallRng::seed_from_u64(1601);
+        for _ in 0..5_000 {
+            let a = rand_c(&mut rng);
+            let b = rand_c(&mut rng);
+            // Commutativity of * is bitwise (inherited from MultiFloat).
+            let ab = a * b;
+            let ba = b * a;
+            assert_eq!(ab.re.components(), ba.re.components());
+            assert_eq!(ab.im.components(), ba.im.components());
+            // (a/b)*b ~ a.
+            if b.norm_sqr().is_zero() {
+                continue;
+            }
+            let back = (a / b) * b;
+            let err = (back - a).abs().to_f64();
+            assert!(err <= 1e-28 * a.abs().to_f64().max(1e-30), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let m1 = C64x2::I * C64x2::I;
+        assert_eq!(m1.re.to_f64(), -1.0);
+        assert!(m1.im.is_zero());
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let mut rng = SmallRng::seed_from_u64(1602);
+        for _ in 0..5_000 {
+            let z = rand_c(&mut rng);
+            let s = z.sqrt();
+            let back = s * s;
+            let err = (back - z).abs().to_f64();
+            assert!(err <= 1e-28 * z.abs().to_f64().max(1e-30), "z={z}");
+            // Principal branch: Re(sqrt) >= 0.
+            assert!(!s.re.is_negative() || s.re.is_zero());
+        }
+    }
+
+    #[test]
+    fn euler_identity() {
+        // e^(i pi) + 1 ~ 0 at octuple precision.
+        let z = Complex::<f64, 4>::new(crate::F64x4::ZERO, crate::F64x4::pi());
+        let e = z.exp();
+        let resid = (e + Complex::ONE).abs().to_f64();
+        assert!(resid < 1e-58, "e^(i pi) + 1 = {resid:e}");
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(1603);
+        for _ in 0..1_000 {
+            let z = rand_c(&mut rng);
+            if z.abs().to_f64() < 1e-3 {
+                continue;
+            }
+            let back = z.ln().exp();
+            let err = (back - z).abs().to_f64();
+            assert!(err <= 1e-26 * z.abs().to_f64(), "z={z} err={err:e}");
+        }
+    }
+
+    #[test]
+    fn polar_consistency() {
+        let mut rng = SmallRng::seed_from_u64(1604);
+        for _ in 0..2_000 {
+            let z = rand_c(&mut rng);
+            if z.abs().to_f64() < 1e-6 {
+                continue;
+            }
+            // z == |z| * (cos(arg) + i sin(arg))
+            let (s, c) = z.arg().sin_cos();
+            let rebuilt = Complex::new(z.abs().mul(c), z.abs().mul(s));
+            let err = (rebuilt - z).abs().to_f64();
+            assert!(err <= 1e-27 * z.abs().to_f64(), "z={z}");
+        }
+    }
+
+    #[test]
+    fn works_at_n3() {
+        let a = Complex::<f64, 3>::from_f64(3.0, 4.0);
+        assert!((a.abs().to_f64() - 5.0).abs() < 1e-45);
+        assert!((a.norm_sqr().to_f64() - 25.0).abs() < 1e-40);
+        let r = a.recip();
+        let one = a * r;
+        assert!((one.re.to_f64() - 1.0).abs() < 1e-40);
+        assert!(one.im.abs().to_f64() < 1e-40);
+        let _ = F64x3::ZERO;
+    }
+}

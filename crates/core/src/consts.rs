@@ -1,0 +1,198 @@
+//! Mathematical constants at full expansion precision.
+//!
+//! Each constant is stored as an 80-significant-digit decimal literal
+//! (≈ 265 bits, comfortably above the 215-bit octuple format), parsed
+//! through the exact `mf-mpsoft` base converter on first use and cached per
+//! monomorphization. The cached form is the component array as `f64`
+//! values, which represents both `f64`- and `f32`-based expansions exactly.
+//!
+//! The literals themselves are independently validated by the workspace
+//! test-suite: `π` against a Machin-formula computation carried out in
+//! `MpFloat` arithmetic, `√2` by squaring, `e`/`ln 2` through the
+//! exp/ln identities in [`crate::math`].
+
+use crate::{FloatBase, MultiFloat};
+use core::any::TypeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+pub const PI_STR: &str =
+    "3.1415926535897932384626433832795028841971693993751058209749445923078164062862089986280348253421170679";
+pub const TAU_STR: &str =
+    "6.2831853071795864769252867665590057683943387987502116419498891846156328125724179972560696506842341358";
+pub const FRAC_PI_2_STR: &str =
+    "1.5707963267948966192313216916397514420985846996875529104874722961539082031431044993140174126710585340";
+pub const E_STR: &str =
+    "2.7182818284590452353602874713526624977572470936999595749669676277240766303535475945713821785251664274";
+pub const LN_2_STR: &str =
+    "0.69314718055994530941723212145817656807550013436025525412068000949339362196969471560586332699641868754";
+pub const LN_10_STR: &str =
+    "2.3025850929940456840179914546843642076011014886287729760333279009675726096773524802359972050895982983";
+pub const LOG2_E_STR: &str =
+    "1.4426950408889634073599246810018921374266459541529859341354494069311092191811850798855266228935063445";
+pub const LOG10_E_STR: &str =
+    "0.43429448190325182765112891891660508229439700580366656611445378316586464920887077472922494933843174832";
+pub const SQRT_2_STR: &str =
+    "1.4142135623730950488016887242096980785696718753769480731766797379907324784621070388503875343276415727";
+pub const FRAC_1_SQRT_2_STR: &str =
+    "0.70710678118654752440084436210484903928483593768847403658833986899536623923105351942519376716382078636";
+
+/// Process-wide cache of parsed constants, keyed by base type, width, and
+/// the literal's address (each named constant has a distinct `&'static str`).
+fn cache() -> &'static RwLock<HashMap<(TypeId, usize, usize), [f64; 4]>> {
+    static CACHE: OnceLock<RwLock<HashMap<(TypeId, usize, usize), [f64; 4]>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Parse (or fetch from cache) a decimal constant as an expansion.
+pub fn parse_cached<T: FloatBase, const N: usize>(lit: &'static str) -> MultiFloat<T, N> {
+    let key = (TypeId::of::<T>(), N, lit.as_ptr() as usize);
+    if let Some(c64) = cache().read().get(&key) {
+        let mut c = [T::ZERO; N];
+        for i in 0..N {
+            c[i] = T::from_f64(c64[i]);
+        }
+        return MultiFloat::from_components(c);
+    }
+    let parsed: MultiFloat<T, N> = MultiFloat::parse_decimal(lit)
+        .unwrap_or_else(|e| panic!("invalid constant literal: {e}"));
+    let mut c64 = [0.0f64; 4];
+    for i in 0..N {
+        c64[i] = parsed.components()[i].to_f64();
+    }
+    cache().write().insert(key, c64);
+    parsed
+}
+
+impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
+    /// Archimedes' constant π.
+    pub fn pi() -> Self {
+        parse_cached(PI_STR)
+    }
+    /// 2π.
+    pub fn tau() -> Self {
+        parse_cached(TAU_STR)
+    }
+    /// π/2.
+    pub fn frac_pi_2() -> Self {
+        parse_cached(FRAC_PI_2_STR)
+    }
+    /// Euler's number e.
+    pub fn e() -> Self {
+        parse_cached(E_STR)
+    }
+    /// Natural logarithm of 2.
+    pub fn ln_2() -> Self {
+        parse_cached(LN_2_STR)
+    }
+    /// Natural logarithm of 10.
+    pub fn ln_10() -> Self {
+        parse_cached(LN_10_STR)
+    }
+    /// log2(e) = 1/ln 2.
+    pub fn log2_e() -> Self {
+        parse_cached(LOG2_E_STR)
+    }
+    /// log10(e) = 1/ln 10.
+    pub fn log10_e() -> Self {
+        parse_cached(LOG10_E_STR)
+    }
+    /// √2.
+    pub fn sqrt_2() -> Self {
+        parse_cached(SQRT_2_STR)
+    }
+    /// 1/√2.
+    pub fn frac_1_sqrt_2() -> Self {
+        parse_cached(FRAC_1_SQRT_2_STR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{F32x4, F64x2, F64x3, F64x4};
+    use mf_mpsoft::MpFloat;
+
+    #[test]
+    fn heads_match_std() {
+        assert_eq!(F64x4::pi().hi(), core::f64::consts::PI);
+        assert_eq!(F64x4::e().hi(), core::f64::consts::E);
+        assert_eq!(F64x4::ln_2().hi(), core::f64::consts::LN_2);
+        assert_eq!(F64x4::sqrt_2().hi(), core::f64::consts::SQRT_2);
+        assert_eq!(F64x2::tau().hi(), core::f64::consts::TAU);
+    }
+
+    #[test]
+    fn sqrt2_squares_to_two() {
+        let two = F64x4::sqrt_2().sqr();
+        let err = two.to_mp(400).rel_error_vs(&MpFloat::from_f64(2.0, 53));
+        assert!(err <= 2.0f64.powi(-208), "err 2^{:.1}", err.log2());
+        // And sqrt(2) computed by the library matches the literal.
+        let computed = F64x4::from(2.0).sqrt();
+        let lit = F64x4::sqrt_2();
+        let diff = computed.sub(lit).abs().to_f64();
+        assert!(diff <= 2.0f64.powi(-203), "diff {diff:e}");
+    }
+
+    #[test]
+    fn pi_matches_machin_formula() {
+        // π = 16·atan(1/5) − 4·atan(1/239), computed in 400-bit MpFloat
+        // arithmetic with a Taylor series — fully independent of the
+        // literal.
+        let prec = 400;
+        let atan_inv = |q: u64| -> MpFloat {
+            // atan(1/q) = Σ (-1)^k / ((2k+1) q^(2k+1))
+            let qq = MpFloat::from_u64(q * q, prec);
+            let mut term = MpFloat::from_u64(1, prec).div(&MpFloat::from_u64(q, prec), prec);
+            let mut sum = term.clone();
+            let mut k = 1u64;
+            loop {
+                term = term.div(&qq, prec);
+                let add = term.div(&MpFloat::from_u64(2 * k + 1, prec), prec);
+                sum = if k % 2 == 1 {
+                    sum.sub(&add, prec)
+                } else {
+                    sum.add(&add, prec)
+                };
+                if add.abs().to_f64() < 1e-135 {
+                    break;
+                }
+                k += 1;
+            }
+            sum
+        };
+        let pi = atan_inv(5)
+            .mul(&MpFloat::from_u64(16, prec), prec)
+            .sub(&atan_inv(239).mul(&MpFloat::from_u64(4, prec), prec), prec);
+        let lit = F64x4::pi().to_mp(400);
+        assert!(lit.rel_error_vs(&pi) <= 2.0f64.powi(-214));
+    }
+
+    #[test]
+    fn reciprocal_identities() {
+        // 1/√2 literal == recip of √2 literal to full precision.
+        let a = F64x3::frac_1_sqrt_2();
+        let b = F64x3::sqrt_2().recip();
+        assert!(a.sub(b).abs().to_f64() <= 2.0f64.powi(-152));
+        // ln10 * log10(e) == 1.
+        let p = F64x3::ln_10().mul(F64x3::log10_e());
+        assert!(p.sub(F64x3::ONE).abs().to_f64() <= 2.0f64.powi(-150));
+        // ln2 * log2(e) == 1.
+        let p = F64x4::ln_2().mul(F64x4::log2_e());
+        assert!(p.sub(F64x4::ONE).abs().to_f64() <= 2.0f64.powi(-200));
+    }
+
+    #[test]
+    fn f32_base_constants() {
+        let pi = F32x4::pi();
+        assert!(pi.is_nonoverlapping());
+        assert!((pi.to_f64() - core::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cache_returns_identical_values() {
+        let a = F64x2::pi();
+        let b = F64x2::pi();
+        assert_eq!(a.components(), b.components());
+    }
+}

@@ -1,0 +1,243 @@
+//! Conversions between `MultiFloat`, machine types, decimal strings, and
+//! the arbitrary-precision oracle type [`MpFloat`].
+//!
+//! Decimal parsing and formatting route through `mf-mpsoft`, which performs
+//! the (inherently branchy, allocation-heavy) base conversion exactly; this
+//! keeps the arithmetic kernels pure while making I/O correctly rounded.
+
+use crate::{FloatBase, MultiFloat};
+use core::fmt;
+use core::str::FromStr;
+use mf_mpsoft::MpFloat;
+
+impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
+    /// Working precision (bits) used for I/O conversions of this format.
+    fn io_prec() -> u32 {
+        N as u32 * (T::PRECISION + 1) + 64
+    }
+
+    /// Exact conversion to an [`MpFloat`] carrying at least `prec` bits
+    /// (the expansion's value is a sum of machine floats, hence exactly
+    /// representable).
+    pub fn to_mp(&self, prec: u32) -> MpFloat {
+        let mut acc = MpFloat::zero(prec.max(Self::io_prec()));
+        for i in (0..N).rev() {
+            let term = MpFloat::from_f64(self.c[i].to_f64(), 53);
+            acc = acc.add(&term, prec.max(Self::io_prec()));
+        }
+        acc
+    }
+
+    /// Correctly rounded conversion from an [`MpFloat`]: peels off one
+    /// base-precision component at a time (paper Eq. 6).
+    pub fn from_mp(mp: &MpFloat) -> Self {
+        let prec = Self::io_prec();
+        let mut c = [T::ZERO; N];
+        let mut rem = mp.round(prec);
+        for slot in c.iter_mut() {
+            // Round the remainder to the base precision and subtract.
+            let head = rem.round(T::PRECISION).to_f64();
+            *slot = T::from_f64(head);
+            if head == 0.0 {
+                break;
+            }
+            rem = rem.sub(&MpFloat::from_f64(slot.to_f64(), T::PRECISION), prec);
+        }
+        MultiFloat { c }
+    }
+
+    /// Parse a decimal string, correctly rounded to this format.
+    pub fn parse_decimal(s: &str) -> Result<Self, String> {
+        let mp = MpFloat::from_decimal_str(s, Self::io_prec())?;
+        Ok(Self::from_mp(&mp))
+    }
+
+    /// Format with `digits` significant decimal digits. NaN and infinite
+    /// values format as `NaN` / `inf` / `-inf`.
+    pub fn to_decimal_string(&self, digits: usize) -> String {
+        if self.is_nan() {
+            return "NaN".to_string();
+        }
+        if !self.is_finite() {
+            return if self.is_negative() { "-inf" } else { "inf" }.to_string();
+        }
+        let mp = self.to_mp(Self::io_prec());
+        if mp.is_zero() {
+            return "0.0".to_string();
+        }
+        mp.to_decimal_string(digits)
+    }
+
+    /// Number of decimal digits this format can meaningfully carry.
+    pub fn decimal_digits() -> usize {
+        ((Self::representation_precision_bits() as f64) * core::f64::consts::LOG10_2).floor()
+            as usize
+    }
+}
+
+impl<T: FloatBase, const N: usize> From<f64> for MultiFloat<T, N> {
+    /// Exact when the base type is `f64`; correctly rounded for `f32`.
+    fn from(x: f64) -> Self {
+        if T::PRECISION >= 53 {
+            Self::from_scalar(T::from_f64(x))
+        } else {
+            // Peel components so e.g. MultiFloat<f32, 2> holds f64 values
+            // beyond single precision exactly.
+            let mut c = [T::ZERO; N];
+            let mut rem = x;
+            for slot in c.iter_mut() {
+                *slot = T::from_f64(rem);
+                rem -= slot.to_f64();
+                if rem == 0.0 {
+                    break;
+                }
+            }
+            MultiFloat { c: crate::renorm::renorm(c) }
+        }
+    }
+}
+
+impl<T: FloatBase, const N: usize> From<f32> for MultiFloat<T, N> {
+    fn from(x: f32) -> Self {
+        Self::from(x as f64)
+    }
+}
+
+impl<T: FloatBase, const N: usize> From<i32> for MultiFloat<T, N> {
+    fn from(x: i32) -> Self {
+        Self::from(f64::from(x))
+    }
+}
+
+impl<T: FloatBase, const N: usize> From<u32> for MultiFloat<T, N> {
+    fn from(x: u32) -> Self {
+        Self::from(f64::from(x))
+    }
+}
+
+impl<T: FloatBase, const N: usize> From<i64> for MultiFloat<T, N> {
+    /// Exact for every `i64` as long as the format carries >= 64 bits
+    /// (otherwise correctly rounded).
+    fn from(x: i64) -> Self {
+        let hi = x >> 32; // fits f64 exactly
+        let lo = x - (hi << 32);
+        let hi_mf = Self::from((hi as f64) * 4294967296.0);
+        hi_mf.add_scalar(T::from_f64(lo as f64))
+    }
+}
+
+impl<T: FloatBase, const N: usize> From<u64> for MultiFloat<T, N> {
+    fn from(x: u64) -> Self {
+        let hi = x >> 32;
+        let lo = x & 0xffff_ffff;
+        let hi_mf = Self::from((hi as f64) * 4294967296.0);
+        hi_mf.add_scalar(T::from_f64(lo as f64))
+    }
+}
+
+impl<T: FloatBase, const N: usize> FromStr for MultiFloat<T, N> {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse_decimal(s)
+    }
+}
+
+impl<T: FloatBase, const N: usize> fmt::Display for MultiFloat<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nan() {
+            return write!(f, "NaN");
+        }
+        if !self.is_finite() {
+            return write!(f, "{}inf", if self.is_negative() { "-" } else { "" });
+        }
+        let digits = f.precision().unwrap_or_else(|| Self::decimal_digits());
+        write!(f, "{}", self.to_decimal_string(digits.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{F32x2, F64x2, F64x3, F64x4};
+    use mf_mpsoft::MpFloat;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        let cases = [
+            "3.14159265358979323846264338327950288419716939937510",
+            "-1.4142135623730950488016887242096980785696718753769",
+            "1e-40",
+            "6.02214076e23",
+            "0.1",
+        ];
+        for &s in &cases {
+            let x: F64x4 = s.parse().unwrap();
+            let printed = x.to_decimal_string(60);
+            let back: F64x4 = printed.parse().unwrap();
+            assert_eq!(x.components(), back.components(), "roundtrip {s}");
+        }
+    }
+
+    #[test]
+    fn parse_uses_full_precision() {
+        // The first 32+ digits of pi need all of F64x2's precision.
+        let pi: F64x2 = "3.14159265358979323846264338327950288".parse().unwrap();
+        let c = pi.components();
+        assert_eq!(c[0], core::f64::consts::PI);
+        assert!(c[1] != 0.0, "second component must capture the residual");
+        // Error vs the oracle below 2^-105.
+        let exact = MpFloat::from_decimal_str("3.14159265358979323846264338327950288", 400)
+            .unwrap();
+        assert!(pi.to_mp(400).rel_error_vs(&exact) < 2.0f64.powi(-105));
+    }
+
+    #[test]
+    fn from_integers_exact() {
+        let big: i64 = 0x7fff_ffff_ffff_fff3;
+        let x = F64x2::from(big);
+        let exact = MpFloat::from_i64(big, 80);
+        assert!(x.to_mp(100) == exact, "i64 conversion must be exact");
+        let u: u64 = u64::MAX - 7;
+        let y = F64x2::from(u);
+        let exact = MpFloat::from_u64(u, 80);
+        assert!(y.to_mp(100) == exact);
+        assert_eq!(F64x3::from(42i32).to_f64(), 42.0);
+    }
+
+    #[test]
+    fn f32_base_holds_doubles() {
+        let x = F32x2::from(1.0000001f64);
+        // A single f32 can't hold 1.0000001 but two can get much closer.
+        assert!((x.to_f64() - 1.0000001).abs() < 1e-10);
+    }
+
+    #[test]
+    fn display_formats() {
+        let x = F64x2::from(0.5);
+        assert!(format!("{x}").starts_with("5.0"));
+        assert!(format!("{x}").contains("e-1"));
+        let nan = F64x2::from(f64::NAN);
+        assert_eq!(format!("{nan}"), "NaN");
+        let zero = F64x2::ZERO;
+        assert_eq!(format!("{zero}"), "0.0");
+        // Precision control.
+        let pi: F64x3 = "3.14159265358979323846264338327950288".parse().unwrap();
+        assert_eq!(format!("{pi:.5}"), "3.1416");
+    }
+
+    #[test]
+    fn decimal_digit_capacity() {
+        assert_eq!(F64x2::decimal_digits(), 32);
+        assert_eq!(F64x4::decimal_digits(), 64);
+    }
+
+    #[test]
+    fn from_mp_respects_rounding() {
+        // A value needing more bits than the format: the expansion must be
+        // the correctly rounded N-term representation.
+        let mp = MpFloat::from_decimal_str("0.333333333333333333333333333333333333333", 500)
+            .unwrap();
+        let x = F64x2::from_mp(&mp);
+        let err = x.to_mp(500).rel_error_vs(&mp);
+        assert!(err <= 2.0f64.powi(-106), "err 2^{:.1}", err.log2());
+    }
+}

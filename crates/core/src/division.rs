@@ -1,0 +1,274 @@
+//! Branch-free division via division-free Newton–Raphson iteration
+//! (paper §4.3, after Karp & Markstein 1997).
+//!
+//! The reciprocal `1/a` is the root of `f(x) = 1/x - a`, giving the
+//! division-free recurrence `x <- x + x(1 - a·x)` (paper Eq. 15). The
+//! initial guess is the machine-precision reciprocal `1.0 ⊘ a₀`, already
+//! accurate to `p` bits, and each iteration doubles the number of correct
+//! bits, so `ceil(log2(N)) + 1` full-width iterations reach the full
+//! precision of an `N`-term expansion with margin.
+//!
+//! [`div_karp_markstein`] implements the paper's Karp–Markstein
+//! optimization: the final Newton iteration is fused with the multiplication
+//! by the numerator, replacing a full-precision reciprocal polish with one
+//! multiply and one residual correction — benchmarked against plain
+//! `mul(b, recip(a))` in the ablation suite (DESIGN.md §3.5).
+
+use crate::addition::{add, sub};
+use crate::multiplication::{mul, mul_scalar};
+use mf_eft::FloatBase;
+
+/// Number of full-width Newton iterations for an `N`-term reciprocal.
+#[inline(always)]
+const fn recip_iters(n: usize) -> usize {
+    match n {
+        1 => 0,
+        2 | 3 => 2,
+        _ => 3,
+    }
+}
+
+/// `1 / a` as an `N`-term expansion.
+#[inline(always)]
+pub fn recip<T: FloatBase, const N: usize>(a: &[T; N]) -> [T; N] {
+    if N == 1 {
+        let mut out = [T::ZERO; N];
+        out[0] = a[0].recip();
+        return out;
+    }
+    let mut x = [T::ZERO; N];
+    x[0] = a[0].recip();
+    let one = {
+        let mut o = [T::ZERO; N];
+        o[0] = T::ONE;
+        o
+    };
+    for _ in 0..recip_iters(N) {
+        // e = 1 - a*x ; x = x + x*e
+        let ax = mul(a, &x);
+        let e = sub(&one, &ax);
+        let xe = mul(&x, &e);
+        x = add(&x, &xe);
+    }
+    x
+}
+
+/// `b / a` via a full-precision reciprocal: `b * recip(a)`.
+#[inline(always)]
+pub fn div_via_recip<T: FloatBase, const N: usize>(b: &[T; N], a: &[T; N]) -> [T; N] {
+    if N == 1 {
+        let mut out = [T::ZERO; N];
+        out[0] = b[0] / a[0];
+        return out;
+    }
+    mul(b, &recip(a))
+}
+
+/// `b / a` with the Karp–Markstein fusion: compute the reciprocal `y` one
+/// Newton iteration short of full precision, form `q₀ = b·y`, and correct
+/// with the residual `r = b - a·q₀`: `q = q₀ + y·r`. This trades a
+/// full-precision reciprocal polish for one extra multiply-and-add at the
+/// *quotient*, which converges because `q₀` is already accurate to half the
+/// target precision.
+#[inline(always)]
+pub fn div_karp_markstein<T: FloatBase, const N: usize>(b: &[T; N], a: &[T; N]) -> [T; N] {
+    if N == 1 {
+        let mut out = [T::ZERO; N];
+        out[0] = b[0] / a[0];
+        return out;
+    }
+    // Reciprocal to roughly half precision (one fewer iteration).
+    let mut y = [T::ZERO; N];
+    y[0] = a[0].recip();
+    let one = {
+        let mut o = [T::ZERO; N];
+        o[0] = T::ONE;
+        o
+    };
+    for _ in 0..recip_iters(N) - 1 {
+        let ay = mul(a, &y);
+        let e = sub(&one, &ay);
+        let ye = mul(&y, &e);
+        y = add(&y, &ye);
+    }
+    let q0 = mul(b, &y);
+    let aq0 = mul(a, &q0);
+    let r = sub(b, &aq0);
+    let yr = mul(&y, &r);
+    add(&q0, &yr)
+}
+
+/// `x / s` for a base-precision divisor, via the scalar reciprocal and a
+/// residual correction (cheaper than widening `s` to an expansion).
+#[inline(always)]
+pub fn div_scalar<T: FloatBase, const N: usize>(x: &[T; N], s: T) -> [T; N] {
+    if N == 1 {
+        let mut out = [T::ZERO; N];
+        out[0] = x[0] / s;
+        return out;
+    }
+    // Karp–Markstein with a scalar divisor: y ≈ 1/s to base precision,
+    // then two correction rounds at expansion precision.
+    let y = s.recip();
+    let mut q = mul_scalar(x, y);
+    // N-1 correction rounds: each squares the relative error of the
+    // quotient (2^-53 -> 2^-106 -> 2^-159 -> ...).
+    for _ in 0..N - 1 {
+        let sq = mul_scalar(&q, s);
+        let r = sub(x, &sq);
+        let corr = mul_scalar(&r, y);
+        q = add(&q, &corr);
+    }
+    q
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::addition::tests::rand_expansion;
+    use crate::MultiFloat;
+    use mf_mpsoft::MpFloat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quotient(b: &[f64], a: &[f64], prec: u32) -> MpFloat {
+        MpFloat::exact_sum(b).div(&MpFloat::exact_sum(a), prec)
+    }
+
+    fn check_div<const N: usize>(
+        rng: &mut SmallRng,
+        bound_exp: i32,
+        iters: usize,
+        km: bool,
+    ) -> f64 {
+        let mut worst: f64 = 0.0;
+        for _ in 0..iters {
+            let b = { let e0 = rng.gen_range(-30..30); rand_expansion::<N>(rng, e0) };
+            let a = { let e0 = rng.gen_range(-30..30); rand_expansion::<N>(rng, e0) };
+            if a[0] == 0.0 {
+                continue;
+            }
+            let q = if km {
+                div_karp_markstein(&b, &a)
+            } else {
+                div_via_recip(&b, &a)
+            };
+            assert!(
+                MultiFloat::<f64, N> { c: q }.is_nonoverlapping(),
+                "overlapping quotient: b={b:?} a={a:?} q={q:?}"
+            );
+            let exact = exact_quotient(&b, &a, 1200);
+            let got = MpFloat::exact_sum(&q);
+            if exact.is_zero() {
+                assert!(got.is_zero(), "b={b:?} a={a:?}");
+                continue;
+            }
+            let rel = got.rel_error_vs(&exact);
+            worst = worst.max(rel);
+            assert!(
+                rel <= 2.0f64.powi(bound_exp),
+                "error 2^{:.2} exceeds 2^{bound_exp}: b={b:?} a={a:?} (km={km})",
+                rel.log2()
+            );
+        }
+        worst
+    }
+
+    #[test]
+    fn div2_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(400);
+        let w = check_div::<2>(&mut rng, -101, 10_000, false);
+        eprintln!("div2 (recip) worst rel error: 2^{:.2}", w.log2());
+        let w = check_div::<2>(&mut rng, -101, 10_000, true);
+        eprintln!("div2 (km) worst rel error: 2^{:.2}", w.log2());
+    }
+
+    #[test]
+    fn div3_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(401);
+        let w = check_div::<3>(&mut rng, -152, 6_000, false);
+        eprintln!("div3 (recip) worst rel error: 2^{:.2}", w.log2());
+        let w = check_div::<3>(&mut rng, -152, 6_000, true);
+        eprintln!("div3 (km) worst rel error: 2^{:.2}", w.log2());
+    }
+
+    #[test]
+    fn div4_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(402);
+        let w = check_div::<4>(&mut rng, -203, 4_000, false);
+        eprintln!("div4 (recip) worst rel error: 2^{:.2}", w.log2());
+        let w = check_div::<4>(&mut rng, -203, 4_000, true);
+        eprintln!("div4 (km) worst rel error: 2^{:.2}", w.log2());
+    }
+
+    #[test]
+    fn recip_of_recip_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(403);
+        for _ in 0..5_000 {
+            let a = { let e0 = rng.gen_range(-20..20); rand_expansion::<3>(&mut rng, e0) };
+            if a[0] == 0.0 {
+                continue;
+            }
+            let r = recip(&recip(&a));
+            let exact = MpFloat::exact_sum(&a);
+            let got = MpFloat::exact_sum(&r);
+            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-150), "a={a:?}");
+        }
+    }
+
+    #[test]
+    fn exact_divisions() {
+        // Powers of two and exactly representable ratios stay exact.
+        let a: [f64; 2] = [4.0, 0.0];
+        let b: [f64; 2] = [1.0, 0.0];
+        let q = div_via_recip(&b, &a);
+        assert_eq!(q, [0.25, 0.0]);
+        let q = div_karp_markstein(&b, &a);
+        assert_eq!(q, [0.25, 0.0]);
+        let six: [f64; 3] = [6.0, 0.0, 0.0];
+        let three: [f64; 3] = [3.0, 0.0, 0.0];
+        assert_eq!(div_via_recip(&six, &three), [2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_third_times_three() {
+        let one: [f64; 4] = [1.0, 0.0, 0.0, 0.0];
+        let three: [f64; 4] = [3.0, 0.0, 0.0, 0.0];
+        let third = div_via_recip(&one, &three);
+        let back = mul(&third, &three);
+        let err = MpFloat::exact_sum(&back)
+            .sub(&MpFloat::from_f64(1.0, 53), 300)
+            .abs()
+            .to_f64();
+        assert!(err < 2.0f64.powi(-205), "err = {err:e}");
+    }
+
+    #[test]
+    fn div_scalar_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(404);
+        for _ in 0..10_000 {
+            let x = { let e0 = rng.gen_range(-20..20); rand_expansion::<3>(&mut rng, e0) };
+            let s: f64 = rng.gen_range(0.5..2.0) * 2.0f64.powi(rng.gen_range(-10..10));
+            let q = div_scalar(&x, s);
+            let exact = exact_quotient(&x, &[s], 1000);
+            let got = MpFloat::exact_sum(&q);
+            if exact.is_zero() {
+                assert!(got.abs().to_f64() < 1e-280);
+                continue;
+            }
+            assert!(
+                got.rel_error_vs(&exact) <= 2.0f64.powi(-152),
+                "x={x:?} s={s:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn division_by_zero_propagates_nan() {
+        // Paper §4.4: Inf semantics collapse to NaN through the EFTs.
+        let b: [f64; 2] = [1.0, 0.0];
+        let a: [f64; 2] = [0.0, 0.0];
+        let q = div_via_recip(&b, &a);
+        assert!(q[0].is_nan() || q[0].is_infinite(), "q = {q:?}");
+    }
+}

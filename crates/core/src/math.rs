@@ -1,0 +1,336 @@
+//! Elementary functions at expansion precision: `exp`, `ln`, `log2`,
+//! `log10`, `exp2`, `powi`, `powf`.
+//!
+//! These are the "optional extensions" beyond the paper's core arithmetic:
+//! every function below is built purely from the branch-free kernels
+//! (the only branches are the fixed-trip-count loops and domain checks).
+//! Accuracy is within a few ulps of the format; each implementation carries
+//! identity-based tests plus cross-checks against the decimal constants.
+
+use crate::{FloatBase, MultiFloat};
+
+/// Taylor terms for `exp` after reduction to `|r| <= ln2 / 2^(M+1)`.
+///
+/// Chosen so the truncation error sits ~10 bits below the format: with
+/// `|r| <= 2^-3.5`, term `k` is below `2^-3.5k / k!`.
+const fn exp_terms(n: usize) -> usize {
+    match n {
+        1 => 12,
+        2 => 18,
+        3 => 27,
+        _ => 33,
+    }
+}
+
+/// Argument-halving rounds for `exp`'s Taylor reduction. Each of the `m`
+/// closing squarings *doubles* the accumulated relative error, so `m` is
+/// kept small (2^4 = 16 ulps of amplification) and the series runs longer
+/// instead.
+const EXP_REDUCTION: i32 = 4;
+
+/// Newton iterations for `ln` (bits double from the 53-bit seed).
+const fn ln_iters(n: usize) -> usize {
+    match n {
+        1 => 1,
+        2 | 3 => 2,
+        _ => 3,
+    }
+}
+
+impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
+    /// Natural exponential `e^self`.
+    ///
+    /// Strategy: write `self = k·ln2 + r` with `|r| <= ln2/2`, halve `r`
+    /// [`EXP_REDUCTION`] more times, sum the now rapidly converging Taylor
+    /// series, square the same number of times, and scale by `2^k`
+    /// (exact).
+    pub fn exp(self) -> Self {
+        let hi = self.hi().to_f64();
+        if hi.is_nan() {
+            return Self::from_scalar(T::NAN);
+        }
+        // Overflow / underflow thresholds of the base type.
+        let max_in = (T::MAX_EXP as f64 - 1.0) * core::f64::consts::LN_2;
+        if hi > max_in {
+            return Self::from_scalar(T::INFINITY);
+        }
+        if hi < -max_in {
+            return Self::ZERO;
+        }
+        let kf = (hi * core::f64::consts::LOG2_E).round();
+        let k = kf as i32;
+        // r = self - k*ln2 at full precision.
+        let r = self.sub(Self::ln_2().mul_scalar(T::from_f64(kf)));
+        let r = r.scale_exp2(-EXP_REDUCTION);
+        // Taylor: 1 + r + r^2/2! + ...
+        let mut term = r;
+        let mut sum = Self::ONE.add(r);
+        for i in 2..=exp_terms(N) {
+            term = term.mul(r).div_scalar(T::from_f64(i as f64));
+            sum = sum.add(term);
+        }
+        // Undo the halvings by repeated squaring.
+        for _ in 0..EXP_REDUCTION {
+            sum = sum.sqr();
+        }
+        sum.scale_exp2(k)
+    }
+
+    /// Natural logarithm.
+    ///
+    /// Newton's iteration on `f(y) = e^y - x`: `y <- y + x·e^(-y) - 1`,
+    /// seeded with the base-precision `ln`; each round doubles the correct
+    /// bits.
+    pub fn ln(self) -> Self {
+        let hi = self.hi().to_f64();
+        if hi.is_nan() || hi < 0.0 {
+            return Self::from_scalar(T::NAN);
+        }
+        if hi == 0.0 {
+            return Self::from_scalar(T::NEG_INFINITY);
+        }
+        let mut y = Self::from(hi.ln());
+        for _ in 0..ln_iters(N) {
+            // y += x * exp(-y) - 1
+            let e = self.mul(y.neg().exp());
+            y = y.add(e.sub_scalar(T::ONE));
+        }
+        y
+    }
+
+    /// Base-2 exponential `2^self`.
+    pub fn exp2(self) -> Self {
+        self.mul(Self::ln_2()).exp()
+    }
+
+    /// Base-2 logarithm.
+    pub fn log2(self) -> Self {
+        self.ln().mul(Self::log2_e())
+    }
+
+    /// Base-10 logarithm.
+    pub fn log10(self) -> Self {
+        self.ln().mul(Self::log10_e())
+    }
+
+    /// Integer power by binary exponentiation (exact operation count:
+    /// `O(log |n|)` multiplications).
+    pub fn powi(self, n: i32) -> Self {
+        if n == 0 {
+            return Self::ONE;
+        }
+        let mut base = if n < 0 { self.recip() } else { self };
+        let mut e = n.unsigned_abs();
+        let mut acc = Self::ONE;
+        loop {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            e >>= 1;
+            if e == 0 {
+                break;
+            }
+            base = base.sqr();
+        }
+        acc
+    }
+
+    /// Real power `self^y = exp(y · ln self)` (requires `self > 0`).
+    pub fn powf(self, y: Self) -> Self {
+        self.ln().mul(y).exp()
+    }
+
+    /// Cube root (Newton on `t^3 - x`, seeded from the scalar cbrt).
+    pub fn cbrt(self) -> Self {
+        if self.is_zero() {
+            return Self::ZERO;
+        }
+        let neg = self.is_negative();
+        let a = self.abs();
+        let mut t = Self::from(a.hi().to_f64().cbrt());
+        // t <- t - (t^3 - a) / (3 t^2) = t + t*(a - t^3)/(3*t^3)
+        for _ in 0..ln_iters(N) + 1 {
+            let t3 = t.sqr().mul(t);
+            let num = a.sub(t3);
+            let corr = t.mul(num).div(t3.mul_scalar(T::from_f64(3.0)));
+            t = t.add(corr);
+        }
+        if neg {
+            t.neg()
+        } else {
+            t
+        }
+    }
+
+    /// `sqrt(self^2 + other^2)` without intermediate overflow for values
+    /// whose squares would overflow (rescales by a power of two first).
+    pub fn hypot(self, other: Self) -> Self {
+        let ea = self.hi().abs().exponent();
+        let eb = other.hi().abs().exponent();
+        let scale = ea.max(eb);
+        // Clamp the rescale so tiny values do not underflow either.
+        let scale = scale.clamp(T::MIN_EXP / 2, T::MAX_EXP / 2);
+        let a = self.scale_exp2(-scale);
+        let b = other.scale_exp2(-scale);
+        a.sqr().add(b.sqr()).sqrt().scale_exp2(scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{F64x2, F64x3, F64x4};
+    use mf_mpsoft::MpFloat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rel_err(a: &MpFloat, b: &MpFloat) -> f64 {
+        if b.is_zero() {
+            return a.abs().to_f64();
+        }
+        a.rel_error_vs(b)
+    }
+
+    #[test]
+    fn exp_of_one_is_e() {
+        let e2 = F64x2::ONE.exp();
+        assert!(rel_err(&e2.to_mp(300), &F64x2::e().to_mp(300)) <= 2.0f64.powi(-99));
+        let e4 = F64x4::ONE.exp();
+        assert!(
+            rel_err(&e4.to_mp(400), &F64x4::e().to_mp(400)) <= 2.0f64.powi(-200),
+            "err 2^{:.1}",
+            rel_err(&e4.to_mp(400), &F64x4::e().to_mp(400)).log2()
+        );
+    }
+
+    #[test]
+    fn exp_zero_and_extremes() {
+        assert_eq!(F64x3::ZERO.exp().to_f64(), 1.0);
+        assert!(F64x2::from(1e10).exp().hi().is_infinite());
+        assert!(F64x2::from(-1e10).exp().is_zero());
+        assert!(F64x2::from(f64::NAN).exp().is_nan());
+    }
+
+    #[test]
+    fn exp_additivity() {
+        // exp(a+b) == exp(a)·exp(b) to full precision.
+        let mut rng = SmallRng::seed_from_u64(600);
+        for _ in 0..200 {
+            let a = F64x4::from(rng.gen_range(-10.0..10.0));
+            let b = F64x4::from(rng.gen_range(-10.0..10.0));
+            let lhs = a.add(b).exp();
+            let rhs = a.exp().mul(b.exp());
+            let err = rel_err(&lhs.to_mp(400), &rhs.to_mp(400));
+            assert!(err <= 2.0f64.powi(-194), "a={a} b={b} err=2^{:.1}", err.log2());
+        }
+    }
+
+    #[test]
+    fn ln_exp_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(601);
+        for _ in 0..200 {
+            let x = F64x4::from(rng.gen_range(-20.0..20.0));
+            let back = x.exp().ln();
+            let err = back.sub(x).abs().to_f64();
+            assert!(err <= 2.0f64.powi(-192), "x={x} err={err:e}");
+        }
+        for _ in 0..200 {
+            let x = F64x3::from(rng.gen_range(0.001..1000.0f64));
+            let back = x.ln().exp();
+            let err = rel_err(&back.to_mp(300), &x.to_mp(300));
+            assert!(err <= 2.0f64.powi(-146), "x={x} err=2^{:.1}", err.log2());
+        }
+    }
+
+    #[test]
+    fn ln_of_two_matches_constant() {
+        let l = F64x4::from(2.0).ln();
+        let err = rel_err(&l.to_mp(400), &F64x4::ln_2().to_mp(400));
+        assert!(err <= 2.0f64.powi(-204), "err 2^{:.1}", err.log2());
+    }
+
+    #[test]
+    fn ln_domain() {
+        assert!(F64x2::from(-1.0).ln().is_nan());
+        assert!(F64x2::ZERO.ln().hi().is_infinite());
+        assert_eq!(F64x2::ONE.ln().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn log_bases() {
+        let x = F64x3::from(1024.0);
+        assert!((x.log2().to_f64() - 10.0).abs() < 1e-40);
+        let y = F64x3::from(1000.0);
+        assert!((y.log10().to_f64() - 3.0).abs() < 1e-40);
+        let z = F64x2::from(5.0).exp2();
+        assert!((z.to_f64() - 32.0).abs() < 1e-25);
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let x = F64x3::from(1.5);
+        let mut acc = F64x3::ONE;
+        for n in 0..20 {
+            assert!(x.powi(n).sub(acc).abs().to_f64() < 1e-40, "n={n}");
+            acc = acc.mul(x);
+        }
+        // Negative powers.
+        let inv = x.powi(-3);
+        let direct = F64x3::ONE.div(x.powi(3));
+        assert!(inv.sub(direct).abs().to_f64() < 1e-44);
+        assert_eq!(x.powi(0).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn powf_consistency() {
+        // x^2.0 (powf) == x^2 (powi) for positive x.
+        let mut rng = SmallRng::seed_from_u64(602);
+        for _ in 0..100 {
+            let x = F64x2::from(rng.gen_range(0.1..10.0f64));
+            let a = x.powf(F64x2::from(2.0));
+            let b = x.powi(2);
+            let err = rel_err(&a.to_mp(200), &b.to_mp(200));
+            assert!(err <= 2.0f64.powi(-96), "x={x} err=2^{:.1}", err.log2());
+        }
+    }
+
+    #[test]
+    fn cbrt_cubes_back() {
+        let mut rng = SmallRng::seed_from_u64(603);
+        for _ in 0..500 {
+            let x = F64x3::from(rng.gen_range(-100.0..100.0f64));
+            if x.is_zero() {
+                continue;
+            }
+            let c = x.cbrt();
+            let back = c.sqr().mul(c);
+            let err = rel_err(&back.to_mp(300), &x.to_mp(300));
+            assert!(err <= 2.0f64.powi(-150), "x={x} err=2^{:.1}", err.log2());
+        }
+        assert_eq!(F64x3::from(27.0).cbrt().to_f64(), 3.0);
+        assert_eq!(F64x3::from(-8.0).cbrt().to_f64(), -2.0);
+    }
+
+    #[test]
+    fn hypot_pythagoras() {
+        let h = F64x2::from(3.0).hypot(F64x2::from(4.0));
+        assert!((h.to_f64() - 5.0).abs() < 1e-30);
+        // No overflow for large arguments.
+        let h = F64x2::from(1e200).hypot(F64x2::from(1e200));
+        assert!(h.is_finite());
+        assert!((h.to_f64() / 1e200 - core::f64::consts::SQRT_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_agrees_with_f64_at_low_precision() {
+        let mut rng = SmallRng::seed_from_u64(604);
+        for _ in 0..2000 {
+            let x: f64 = rng.gen_range(-30.0..30.0);
+            let got = F64x2::from(x).exp().to_f64();
+            let expect = x.exp();
+            assert!(
+                (got - expect).abs() <= 4.0 * expect.abs() * f64::EPSILON,
+                "x={x} got={got:e} expect={expect:e}"
+            );
+        }
+    }
+}

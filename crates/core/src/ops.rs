@@ -1,0 +1,232 @@
+//! Named arithmetic methods and operator-trait implementations.
+
+use crate::{addition, division, multiplication, sqrt as sqrt_mod, FloatBase, MultiFloat};
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
+    /// Sum of two expansions (branch-free addition FPAN).
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        MultiFloat {
+            c: addition::add(&self.c, &rhs.c),
+        }
+    }
+
+    /// Difference (negation is exact, then the addition FPAN).
+    #[inline(always)]
+    pub fn sub(self, rhs: Self) -> Self {
+        MultiFloat {
+            c: addition::sub(&self.c, &rhs.c),
+        }
+    }
+
+    /// Product (pruned `TwoProd` expansion + commutative accumulation FPAN).
+    #[inline(always)]
+    pub fn mul(self, rhs: Self) -> Self {
+        MultiFloat {
+            c: multiplication::mul(&self.c, &rhs.c),
+        }
+    }
+
+    /// Square (cheaper than `self.mul(self)` by symmetry).
+    #[inline(always)]
+    pub fn sqr(self) -> Self {
+        MultiFloat {
+            c: multiplication::sqr(&self.c),
+        }
+    }
+
+    /// Quotient via the Karp–Markstein-fused Newton division.
+    #[inline(always)]
+    pub fn div(self, rhs: Self) -> Self {
+        MultiFloat {
+            c: division::div_karp_markstein(&self.c, &rhs.c),
+        }
+    }
+
+    /// Quotient via a full-precision reciprocal (ablation alternative).
+    #[inline(always)]
+    pub fn div_via_recip(self, rhs: Self) -> Self {
+        MultiFloat {
+            c: division::div_via_recip(&self.c, &rhs.c),
+        }
+    }
+
+    /// Reciprocal `1/self` (Newton–Raphson, paper Eq. 15).
+    #[inline(always)]
+    pub fn recip(self) -> Self {
+        MultiFloat {
+            c: division::recip(&self.c),
+        }
+    }
+
+    /// Square root (Newton–Raphson on the inverse root, paper Eq. 16).
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        MultiFloat {
+            c: sqrt_mod::sqrt(&self.c),
+        }
+    }
+
+    /// Inverse square root `1/sqrt(self)`.
+    #[inline(always)]
+    pub fn rsqrt(self) -> Self {
+        MultiFloat {
+            c: sqrt_mod::rsqrt(&self.c),
+        }
+    }
+
+    /// Add a base-precision scalar (cheaper than widening it).
+    #[inline(always)]
+    pub fn add_scalar(self, rhs: T) -> Self {
+        MultiFloat {
+            c: addition::add_scalar(&self.c, rhs),
+        }
+    }
+
+    /// Subtract a base-precision scalar.
+    #[inline(always)]
+    pub fn sub_scalar(self, rhs: T) -> Self {
+        self.add_scalar(-rhs)
+    }
+
+    /// Multiply by a base-precision scalar.
+    #[inline(always)]
+    pub fn mul_scalar(self, rhs: T) -> Self {
+        MultiFloat {
+            c: multiplication::mul_scalar(&self.c, rhs),
+        }
+    }
+
+    /// Divide by a base-precision scalar.
+    #[inline(always)]
+    pub fn div_scalar(self, rhs: T) -> Self {
+        MultiFloat {
+            c: division::div_scalar(&self.c, rhs),
+        }
+    }
+
+    /// Fused multiply-add at expansion precision: `self * a + b`.
+    /// (Not a single-rounding FMA — it is the FPAN multiply followed by the
+    /// FPAN add, which is how the paper's BLAS kernels compose operations.)
+    #[inline(always)]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        self.mul(a).add(b)
+    }
+}
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl<T: FloatBase, const N: usize> $trait for MultiFloat<T, N> {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                MultiFloat::$method(self, rhs)
+            }
+        }
+
+        impl<T: FloatBase, const N: usize> $trait<&MultiFloat<T, N>> for MultiFloat<T, N> {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: &Self) -> Self {
+                MultiFloat::$method(self, *rhs)
+            }
+        }
+
+        impl<T: FloatBase, const N: usize> $trait for &MultiFloat<T, N> {
+            type Output = MultiFloat<T, N>;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> MultiFloat<T, N> {
+                MultiFloat::$method(*self, *rhs)
+            }
+        }
+
+        impl<T: FloatBase, const N: usize> $assign_trait for MultiFloat<T, N> {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: Self) {
+                *self = MultiFloat::$method(*self, rhs);
+            }
+        }
+    };
+}
+
+binop!(Add, add, AddAssign, add_assign);
+binop!(Sub, sub, SubAssign, sub_assign);
+binop!(Mul, mul, MulAssign, mul_assign);
+binop!(Div, div, DivAssign, div_assign);
+
+impl<T: FloatBase, const N: usize> Neg for MultiFloat<T, N> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        MultiFloat::neg(&self)
+    }
+}
+
+impl<T: FloatBase, const N: usize> Sum for MultiFloat<T, N> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl<'a, T: FloatBase, const N: usize> Sum<&'a MultiFloat<T, N>> for MultiFloat<T, N> {
+    fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, x| acc + *x)
+    }
+}
+
+impl<T: FloatBase, const N: usize> Product for MultiFloat<T, N> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |acc, x| acc * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{F64x2, F64x3};
+
+    #[test]
+    fn operator_sugar() {
+        let a = F64x2::from(2.0);
+        let b = F64x2::from(3.0);
+        assert_eq!((a + b).to_f64(), 5.0);
+        assert_eq!((a - b).to_f64(), -1.0);
+        assert_eq!((a * b).to_f64(), 6.0);
+        assert_eq!((b / a).to_f64(), 1.5);
+        assert_eq!((-a).to_f64(), -2.0);
+        let mut c = a;
+        c += b;
+        c *= b;
+        c -= a;
+        c /= b;
+        assert_eq!(c.to_f64(), (((2.0 + 3.0) * 3.0) - 2.0) / 3.0);
+        assert_eq!((&a + &b).to_f64(), 5.0);
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let xs: Vec<F64x3> = (1..=10).map(F64x3::from).collect();
+        let s: F64x3 = xs.iter().sum();
+        assert_eq!(s.to_f64(), 55.0);
+        let p: F64x3 = xs.into_iter().product();
+        assert_eq!(p.to_f64(), 3628800.0);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = F64x2::from(1.0);
+        assert_eq!(a.add_scalar(0.5).to_f64(), 1.5);
+        assert_eq!(a.sub_scalar(0.5).to_f64(), 0.5);
+        assert_eq!(a.mul_scalar(4.0).to_f64(), 4.0);
+        assert_eq!(a.div_scalar(4.0).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn mul_add_composition() {
+        let a = F64x2::from(3.0);
+        let b = F64x2::from(5.0);
+        let c = F64x2::from(7.0);
+        assert_eq!(a.mul_add(b, c).to_f64(), 22.0);
+    }
+}

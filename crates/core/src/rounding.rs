@@ -1,0 +1,163 @@
+//! Rounding to integral values at expansion precision.
+//!
+//! An expansion's integer part can need more than one component (e.g.
+//! `2^80 + 1` is exactly representable in `F64x2` but not in `f64`), so
+//! these operate componentwise with a correction pass rather than
+//! delegating to the base type once.
+
+use crate::{FloatBase, MultiFloat};
+
+impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
+    /// Largest integral value `<= self`.
+    pub fn floor(&self) -> Self {
+        // Floor each component from the top; the first component whose
+        // floor differs from itself cuts off everything below.
+        let mut c = [T::ZERO; N];
+        for i in 0..N {
+            let f = self.c[i].floor();
+            c[i] = f;
+            if f != self.c[i] {
+                // Components below are strictly smaller than 1 ulp of this
+                // one; they can only matter if they are negative and this
+                // component was already integral — not the case here.
+                break;
+            }
+        }
+        let candidate = Self::from_components_renorm(c);
+        // Correction: truncating the tail can overshoot by one when the
+        // discarded tail was negative and c was integral (e.g. 3 + (-eps)
+        // floors to 2, but componentwise gives 3). One conditional step
+        // fixes it — a data-dependent branch is acceptable here; rounding
+        // to integer is not a hot kernel (and IEEE hardware does the same).
+        if candidate > *self {
+            candidate.sub_scalar(T::ONE)
+        } else {
+            candidate
+        }
+    }
+
+    /// Smallest integral value `>= self`.
+    pub fn ceil(&self) -> Self {
+        self.neg().floor().neg()
+    }
+
+    /// Truncate toward zero.
+    pub fn trunc(&self) -> Self {
+        if self.is_negative() {
+            self.ceil()
+        } else {
+            self.floor()
+        }
+    }
+
+    /// Round half away from zero (like `f64::round`).
+    pub fn round(&self) -> Self {
+        let half = Self::from_scalar(T::HALF);
+        if self.is_negative() {
+            self.sub(half).ceil()
+        } else {
+            self.add(half).floor()
+        }
+    }
+
+    /// Fractional part: `self - self.trunc()` (same sign as `self`).
+    pub fn fract(&self) -> Self {
+        self.sub(self.trunc())
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.c.iter().all(|&x| x.trunc() == x)
+    }
+
+    /// IEEE-style remainder of `self / rhs` rounded toward zero
+    /// (`fmod` semantics).
+    pub fn fmod(&self, rhs: Self) -> Self {
+        let q = self.div(rhs).trunc();
+        self.sub(q.mul(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{F64x2, F64x4};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_f64_for_single_component() {
+        let mut rng = SmallRng::seed_from_u64(1500);
+        for _ in 0..20_000 {
+            let v: f64 = rng.gen_range(-1.0e6..1.0e6);
+            let x = F64x2::from(v);
+            assert_eq!(x.floor().to_f64(), v.floor(), "floor({v})");
+            assert_eq!(x.ceil().to_f64(), v.ceil(), "ceil({v})");
+            assert_eq!(x.trunc().to_f64(), v.trunc(), "trunc({v})");
+            assert_eq!(x.round().to_f64(), v.round(), "round({v})");
+            assert_eq!(x.fract().to_f64(), v.fract(), "fract({v})");
+        }
+    }
+
+    #[test]
+    fn multi_component_integers() {
+        // 2^80 + 1 is an integer that f64 cannot hold.
+        let big = F64x2::from(2.0f64.powi(80)).add_scalar(1.0);
+        assert!(big.is_integer());
+        assert_eq!(big.floor().components(), big.components());
+        // 2^80 + 1.5 floors to 2^80 + 1.
+        let x = F64x2::from(2.0f64.powi(80)).add_scalar(1.5);
+        assert_eq!(x.floor().components(), big.components());
+        assert_eq!(x.ceil().components(), big.add_scalar(1.0).components());
+    }
+
+    #[test]
+    fn negative_tail_correction() {
+        // 3 - eps: componentwise floor would give 3, true floor is 2.
+        let x = F64x4::from(3.0).sub_scalar(2.0f64.powi(-70));
+        assert_eq!(x.floor().to_f64(), 2.0);
+        assert_eq!(x.ceil().to_f64(), 3.0);
+        assert_eq!(x.trunc().to_f64(), 2.0);
+        // -3 + eps
+        let y = F64x4::from(-3.0).add_scalar(2.0f64.powi(-70));
+        assert_eq!(y.floor().to_f64(), -3.0);
+        assert_eq!(y.ceil().to_f64(), -2.0);
+        assert_eq!(y.trunc().to_f64(), -2.0);
+    }
+
+    #[test]
+    fn exact_integers_are_fixed_points() {
+        let mut rng = SmallRng::seed_from_u64(1501);
+        for _ in 0..5_000 {
+            let v: f64 = rng.gen_range(-1.0e9..1.0e9f64).trunc();
+            let x = F64x4::from(v);
+            assert_eq!(x.floor().components(), x.components());
+            assert_eq!(x.ceil().components(), x.components());
+            assert_eq!(x.round().components(), x.components());
+            assert!(x.fract().is_zero());
+        }
+    }
+
+    #[test]
+    fn fmod_basics() {
+        let x = F64x2::from(7.5);
+        let m = x.fmod(F64x2::from(2.0));
+        assert!((m.to_f64() - 1.5).abs() < 1e-30);
+        let y = F64x2::from(-7.5);
+        let m = y.fmod(F64x2::from(2.0));
+        assert!((m.to_f64() + 1.5).abs() < 1e-30, "fmod keeps dividend sign");
+        // High-precision: fmod(10^20 + 0.125, 1) = 0.125 despite f64's
+        // inability to represent the input.
+        let big = F64x4::from(1e20).add_scalar(0.125);
+        let m = big.fmod(F64x4::ONE);
+        assert!((m.to_f64() - 0.125).abs() < 1e-40);
+    }
+
+    #[test]
+    fn round_half_cases() {
+        assert_eq!(F64x2::from(2.5).round().to_f64(), 3.0);
+        assert_eq!(F64x2::from(-2.5).round().to_f64(), -3.0);
+        assert_eq!(F64x2::from(2.4999999).round().to_f64(), 2.0);
+        assert_eq!(F64x2::from(0.5).round().to_f64(), 1.0);
+        assert_eq!(F64x2::from(-0.5).round().to_f64(), -1.0);
+    }
+}

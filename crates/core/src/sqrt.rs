@@ -1,0 +1,226 @@
+//! Branch-free square root via Newton–Raphson on the *inverse* square root
+//! (paper §4.3).
+//!
+//! `1/√a` is the positive root of `f(x) = 1/x² - a`, giving the
+//! division-free recurrence `x <- x + ½·x(1 - a·x²)` (paper Eq. 16; the
+//! multiplication by ½ is exact termwise in binary floating point). The
+//! square root itself is recovered as `√a = a · (1/√a)`, followed by one
+//! fused correction step `s <- s + (a - s²)·(½·y)` — the square-root
+//! analogue of the Karp–Markstein fusion, which restores the last couple of
+//! bits lost in the final multiply.
+
+use crate::addition::{add, sub};
+use crate::multiplication::{mul, sqr};
+use mf_eft::FloatBase;
+
+/// Newton iteration count for the inverse square root at width `N`
+/// (one more than strictly needed for bit doubling, for safety margin).
+#[inline(always)]
+const fn rsqrt_iters(n: usize) -> usize {
+    match n {
+        1 => 0,
+        2 | 3 => 2,
+        _ => 3,
+    }
+}
+
+/// `1 / sqrt(a)` as an `N`-term expansion. NaN for negative input (the
+/// scalar seed is NaN and propagates, paper §4.4); zero input produces an
+/// infinite/NaN result like the scalar operation would.
+#[inline(always)]
+pub fn rsqrt<T: FloatBase, const N: usize>(a: &[T; N]) -> [T; N] {
+    if N == 1 {
+        let mut out = [T::ZERO; N];
+        out[0] = a[0].sqrt().recip();
+        return out;
+    }
+    let mut x = [T::ZERO; N];
+    x[0] = a[0].sqrt().recip();
+    let one = {
+        let mut o = [T::ZERO; N];
+        o[0] = T::ONE;
+        o
+    };
+    for _ in 0..rsqrt_iters(N) {
+        // x <- x + 0.5 * x * (1 - a * x^2)
+        let x2 = sqr(&x);
+        let ax2 = mul(a, &x2);
+        let e = sub(&one, &ax2);
+        let half_x = {
+            let mut h = x;
+            for v in &mut h {
+                *v = *v * T::HALF; // exact
+            }
+            h
+        };
+        let corr = mul(&half_x, &e);
+        x = add(&x, &corr);
+    }
+    x
+}
+
+/// `sqrt(a)` as an `N`-term expansion. `sqrt(0) = 0` is restored with a
+/// single conditional-move-style select, as the paper's §4.4 prescribes for
+/// special values.
+#[inline(always)]
+pub fn sqrt<T: FloatBase, const N: usize>(a: &[T; N]) -> [T; N] {
+    if N == 1 {
+        let mut out = [T::ZERO; N];
+        out[0] = a[0].sqrt();
+        return out;
+    }
+    if a[0].is_zero() {
+        // Select: √0 = 0 (the Newton seed 1/√0 = ∞ would otherwise poison
+        // the result with 0·∞ = NaN).
+        return [T::ZERO; N];
+    }
+    let y = rsqrt(a);
+    let s = mul(a, &y);
+    // Fused final correction: s <- s + (a - s²)·(y/2).
+    let s2 = sqr(&s);
+    let r = sub(a, &s2);
+    let half_y = {
+        let mut h = y;
+        for v in &mut h {
+            *v = *v * T::HALF;
+        }
+        h
+    };
+    let corr = mul(&r, &half_y);
+    add(&s, &corr)
+}
+
+/// `sqrt` of a base-precision scalar, widened to an expansion (more accurate
+/// than `from_scalar(x.sqrt())`, which carries the scalar rounding error).
+#[inline(always)]
+pub fn sqrt_scalar<T: FloatBase, const N: usize>(x: T) -> [T; N] {
+    let mut a = [T::ZERO; N];
+    a[0] = x;
+    sqrt(&a)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::addition::tests::rand_expansion;
+    use crate::MultiFloat;
+    use mf_mpsoft::MpFloat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_sqrt<const N: usize>(rng: &mut SmallRng, bound_exp: i32, iters: usize) -> f64 {
+        let mut worst: f64 = 0.0;
+        for _ in 0..iters {
+            let mut a = { let e0 = rng.gen_range(-30..30); rand_expansion::<N>(rng, e0) };
+            if a[0] == 0.0 {
+                continue;
+            }
+            if a[0] < 0.0 {
+                for v in &mut a {
+                    *v = -*v;
+                }
+                a = crate::renorm::renorm(a);
+            }
+            let s = sqrt(&a);
+            assert!(
+                MultiFloat::<f64, N> { c: s }.is_nonoverlapping(),
+                "overlapping sqrt: a={a:?} s={s:?}"
+            );
+            let exact = MpFloat::exact_sum(&a).sqrt(1200);
+            let got = MpFloat::exact_sum(&s);
+            let rel = got.rel_error_vs(&exact);
+            worst = worst.max(rel);
+            assert!(
+                rel <= 2.0f64.powi(bound_exp),
+                "error 2^{:.2} exceeds 2^{bound_exp}: a={a:?}",
+                rel.log2()
+            );
+        }
+        worst
+    }
+
+    #[test]
+    fn sqrt2_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(500);
+        let w = check_sqrt::<2>(&mut rng, -102, 10_000);
+        eprintln!("sqrt2 worst rel error: 2^{:.2}", w.log2());
+    }
+
+    #[test]
+    fn sqrt3_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(501);
+        let w = check_sqrt::<3>(&mut rng, -154, 6_000);
+        eprintln!("sqrt3 worst rel error: 2^{:.2}", w.log2());
+    }
+
+    #[test]
+    fn sqrt4_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(502);
+        let w = check_sqrt::<4>(&mut rng, -205, 4_000);
+        eprintln!("sqrt4 worst rel error: 2^{:.2}", w.log2());
+    }
+
+    #[test]
+    fn rsqrt_times_sqrt_is_one() {
+        let mut rng = SmallRng::seed_from_u64(503);
+        for _ in 0..4_000 {
+            let mut a = { let e0 = rng.gen_range(-20..20); rand_expansion::<3>(&mut rng, e0) };
+            if a[0] == 0.0 {
+                continue;
+            }
+            if a[0] < 0.0 {
+                for v in &mut a {
+                    *v = -*v;
+                }
+                a = crate::renorm::renorm(a);
+            }
+            let prod = mul(&sqrt(&a), &rsqrt(&a));
+            let got = MpFloat::exact_sum(&prod);
+            let one = MpFloat::from_f64(1.0, 53);
+            assert!(got.rel_error_vs(&one) <= 2.0f64.powi(-150), "a={a:?}");
+        }
+    }
+
+    #[test]
+    fn perfect_squares_are_near_exact() {
+        // Newton does not guarantee bit-exact results on perfect squares,
+        // but the head must be exact and any tail must be far below the
+        // format's precision (observed: ~2^-425 relative).
+        for n in 1..200u32 {
+            let sq = [(n * n) as f64, 0.0, 0.0, 0.0];
+            let s = sqrt(&sq);
+            assert_eq!(s[0], n as f64, "sqrt({})", n * n);
+            assert!(
+                s[1].abs() <= (n as f64) * 2.0f64.powi(-220),
+                "sqrt({}) tail {:e}",
+                n * n,
+                s[1]
+            );
+        }
+        // Powers of four are exact (the scalar seed is already exact).
+        let v: [f64; 2] = [2.0f64.powi(100), 0.0];
+        assert_eq!(sqrt(&v), [2.0f64.powi(50), 0.0]);
+    }
+
+    #[test]
+    fn sqrt_special_values() {
+        assert_eq!(sqrt(&[0.0f64, 0.0]), [0.0, 0.0]);
+        let neg = sqrt(&[-1.0f64, 0.0]);
+        assert!(neg[0].is_nan());
+        let nan = sqrt(&[f64::NAN, 0.0]);
+        assert!(nan[0].is_nan());
+    }
+
+    #[test]
+    fn sqrt_squared_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(504);
+        for _ in 0..4_000 {
+            let a: f64 = rng.gen_range(0.01..100.0);
+            let s: [f64; 4] = sqrt_scalar(a);
+            let back = sqr(&s);
+            let exact = MpFloat::from_f64(a, 53);
+            let got = MpFloat::exact_sum(&back);
+            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-200), "a={a}");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Trigonometric and hyperbolic functions at expansion precision.
+//!
+//! Extension features beyond the paper's core arithmetic (its §4 covers
+//! `+ - * / sqrt`): everything here composes the branch-free kernels.
+//!
+//! Strategy for `sin`/`cos`: reduce modulo π/2 using the full-precision
+//! constant (valid for |x| up to ~2^40 before the reduction itself runs
+//! out of π digits; inputs beyond that return NaN rather than silently
+//! losing precision), halve the residual three times, run both Taylor
+//! series, and reconstruct with double-angle identities. Inverses use
+//! Newton's method against the forward functions, seeded at machine
+//! precision.
+
+use crate::{FloatBase, MultiFloat};
+
+/// Taylor terms for sin/cos after reduction to `|r| <= pi/4 / 8 ≈ 0.1`.
+const fn trig_terms(n: usize) -> usize {
+    match n {
+        1 => 8,
+        2 => 12,
+        3 => 16,
+        _ => 20,
+    }
+}
+
+/// Halvings applied before the Taylor series (each costs ~2 bits of error
+/// amplification through the double-angle reconstruction).
+const TRIG_REDUCTION: usize = 3;
+
+/// Newton iterations for inverse functions.
+const fn inv_iters(n: usize) -> usize {
+    match n {
+        1 => 1,
+        2 | 3 => 2,
+        _ => 3,
+    }
+}
+
+impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
+    /// Simultaneous sine and cosine (sharing the reduction).
+    pub fn sin_cos(self) -> (Self, Self) {
+        let hi = self.hi().to_f64();
+        if !hi.is_finite() || hi.abs() > 2.0f64.powi(40) {
+            // Argument reduction beyond 2^40 would need more pi digits
+            // than the constants carry for the 4-term format.
+            return (Self::from_scalar(T::NAN), Self::from_scalar(T::NAN));
+        }
+        // x = k * (pi/2) + r, |r| <= pi/4.
+        let half_pi = Self::frac_pi_2();
+        let kf = (hi / (core::f64::consts::PI / 2.0)).round();
+        let k = (kf as i64).rem_euclid(4);
+        let r = self.sub(half_pi.mul_scalar(T::from_f64(kf)));
+        // Halve, run the series, reconstruct.
+        let rs = r.scale_exp2(-(TRIG_REDUCTION as i32));
+        let (mut s, mut c) = sin_cos_taylor(rs);
+        for _ in 0..TRIG_REDUCTION {
+            // sin 2t = 2 s c; cos 2t = 1 - 2 s^2
+            let s2 = s.mul(c).mul_scalar(T::TWO);
+            let c2 = Self::ONE.sub(s.sqr().mul_scalar(T::TWO));
+            s = s2;
+            c = c2;
+        }
+        // Quadrant fixup by k (a small, data-independent-count match).
+        match k {
+            0 => (s, c),
+            1 => (c, s.neg()),
+            2 => (s.neg(), c.neg()),
+            _ => (c.neg(), s),
+        }
+    }
+
+    /// Sine.
+    pub fn sin(self) -> Self {
+        self.sin_cos().0
+    }
+
+    /// Cosine.
+    pub fn cos(self) -> Self {
+        self.sin_cos().1
+    }
+
+    /// Tangent.
+    pub fn tan(self) -> Self {
+        let (s, c) = self.sin_cos();
+        s.div(c)
+    }
+
+    /// Arctangent via Newton on `tan(y) = x`:
+    /// `y <- y + cos(y) * (x * cos(y) - sin(y))` (quadratic convergence;
+    /// the update is exactly `-(tan y - x) * cos^2 y`).
+    pub fn atan(self) -> Self {
+        let hi = self.hi().to_f64();
+        if hi.is_nan() {
+            return Self::from_scalar(T::NAN);
+        }
+        let mut y = Self::from(hi.atan());
+        for _ in 0..inv_iters(N) {
+            let (s, c) = y.sin_cos();
+            let corr = c.mul(self.mul(c).sub(s));
+            y = y.add(corr);
+        }
+        y
+    }
+
+    /// Two-argument arctangent with the usual quadrant conventions.
+    pub fn atan2(self, x: Self) -> Self {
+        let ys = self.hi().to_f64();
+        let xs = x.hi().to_f64();
+        if xs == 0.0 && ys == 0.0 {
+            return Self::ZERO;
+        }
+        if xs > 0.0 {
+            self.div(x).atan()
+        } else if xs < 0.0 {
+            let base = self.div(x).atan();
+            if ys >= 0.0 {
+                base.add(Self::pi())
+            } else {
+                base.sub(Self::pi())
+            }
+        } else if ys > 0.0 {
+            Self::frac_pi_2()
+        } else {
+            Self::frac_pi_2().neg()
+        }
+    }
+
+    /// Arcsine: `asin(x) = atan(x / sqrt(1 - x^2))` for |x| < 1, with the
+    /// endpoints handled exactly.
+    pub fn asin(self) -> Self {
+        let hi = self.hi().to_f64();
+        if hi.abs() > 1.0 {
+            return Self::from_scalar(T::NAN);
+        }
+        let one_minus = Self::ONE.sub(self.sqr());
+        if one_minus.is_zero() || one_minus.is_negative() {
+            let hp = Self::frac_pi_2();
+            return if hi < 0.0 { hp.neg() } else { hp };
+        }
+        self.div(one_minus.sqrt()).atan()
+    }
+
+    /// Arccosine: `acos(x) = pi/2 - asin(x)`.
+    pub fn acos(self) -> Self {
+        Self::frac_pi_2().sub(self.asin())
+    }
+
+    /// Hyperbolic sine. For small |x| uses the series form
+    /// `(e^x - e^-x)/2` loses bits; we subtract exactly via `expm1`-style
+    /// reconstruction from `e^x`: `sinh = (e^x - 1/e^x) / 2` still cancels,
+    /// so for |x| < 0.5 a direct Taylor series is used instead.
+    pub fn sinh(self) -> Self {
+        let hi = self.hi().to_f64();
+        if hi.abs() < 0.5 {
+            // x + x^3/3! + x^5/5! + ...
+            let x2 = self.sqr();
+            let mut term = self;
+            let mut sum = self;
+            for k in 1..=trig_terms(N) {
+                let denom = T::from_f64(((2 * k) * (2 * k + 1)) as f64);
+                term = term.mul(x2).div_scalar(denom);
+                sum = sum.add(term);
+            }
+            sum
+        } else {
+            let e = self.exp();
+            e.sub(e.recip()).mul_scalar(T::HALF)
+        }
+    }
+
+    /// Hyperbolic cosine: `(e^x + e^-x)/2` (no cancellation).
+    pub fn cosh(self) -> Self {
+        let e = self.exp();
+        e.add(e.recip()).mul_scalar(T::HALF)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Self {
+        let hi = self.hi().to_f64();
+        if hi.abs() > 200.0 {
+            // Saturated far below the format's resolution.
+            return if hi > 0.0 { Self::ONE } else { Self::ONE.neg() };
+        }
+        let e2 = self.mul_scalar(T::TWO).exp();
+        e2.sub(Self::ONE).div(e2.add(Self::ONE))
+    }
+
+    /// Inverse hyperbolic sine: `ln(x + sqrt(x^2 + 1))`, stabilized for
+    /// negative x via odd symmetry.
+    pub fn asinh(self) -> Self {
+        if self.is_negative() {
+            return self.neg().asinh().neg();
+        }
+        self.add(self.sqr().add_scalar(T::ONE).sqrt()).ln()
+    }
+
+    /// Inverse hyperbolic cosine (x >= 1): `ln(x + sqrt(x^2 - 1))`.
+    pub fn acosh(self) -> Self {
+        self.add(self.sqr().sub_scalar(T::ONE).sqrt()).ln()
+    }
+
+    /// Inverse hyperbolic tangent (|x| < 1): `ln((1+x)/(1-x)) / 2`.
+    pub fn atanh(self) -> Self {
+        Self::ONE
+            .add(self)
+            .div(Self::ONE.sub(self))
+            .ln()
+            .mul_scalar(T::HALF)
+    }
+}
+
+/// Both Taylor series on the reduced argument (`|r| <~ 0.1`).
+fn sin_cos_taylor<T: FloatBase, const N: usize>(
+    r: MultiFloat<T, N>,
+) -> (MultiFloat<T, N>, MultiFloat<T, N>) {
+    let r2 = r.sqr();
+    // sin: r - r^3/3! + ...
+    let mut term = r;
+    let mut s = r;
+    for k in 1..=trig_terms(N) {
+        let denom = T::from_f64(((2 * k) * (2 * k + 1)) as f64);
+        term = term.mul(r2).div_scalar(denom).neg();
+        s = s.add(term);
+    }
+    // cos: 1 - r^2/2! + ...
+    let mut term = MultiFloat::<T, N>::ONE;
+    let mut c = MultiFloat::<T, N>::ONE;
+    for k in 1..=trig_terms(N) {
+        let denom = T::from_f64(((2 * k - 1) * (2 * k)) as f64);
+        term = term.mul(r2).div_scalar(denom).neg();
+        c = c.add(term);
+    }
+    (s, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{F64x2, F64x3, F64x4};
+    use mf_mpsoft::MpFloat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_close(got: &F64x4, want: &F64x4, bits: i32, ctx: &str) {
+        let d = got.sub(*want).abs().to_f64();
+        let scale = want.abs().to_f64().max(2.0f64.powi(-60));
+        assert!(
+            d / scale <= 2.0f64.powi(-bits),
+            "{ctx}: rel err 2^{:.1} (bound 2^-{bits})",
+            (d / scale).log2()
+        );
+    }
+
+    #[test]
+    fn pythagorean_identity() {
+        let mut rng = SmallRng::seed_from_u64(1400);
+        for _ in 0..150 {
+            let x = F64x4::from(rng.gen_range(-50.0..50.0));
+            let (s, c) = x.sin_cos();
+            let one = s.sqr().add(c.sqr());
+            assert_close(&one, &F64x4::ONE, 195, &format!("sin^2+cos^2 at {x}"));
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let pi = F64x4::pi();
+        // sin(pi/6) = 1/2
+        let s = pi.div_scalar(6.0).sin();
+        assert_close(&s, &F64x4::from(0.5), 196, "sin(pi/6)");
+        // cos(pi/3) = 1/2
+        let c = pi.div_scalar(3.0).cos();
+        assert_close(&c, &F64x4::from(0.5), 196, "cos(pi/3)");
+        // sin(pi/4) = cos(pi/4) = 1/sqrt(2)
+        let (s, c) = pi.div_scalar(4.0).sin_cos();
+        assert_close(&s, &F64x4::frac_1_sqrt_2(), 196, "sin(pi/4)");
+        assert_close(&c, &F64x4::frac_1_sqrt_2(), 196, "cos(pi/4)");
+        // tan(pi/4) = 1
+        assert_close(&pi.div_scalar(4.0).tan(), &F64x4::ONE, 193, "tan(pi/4)");
+        // sin(pi) ~ 0 far below the format.
+        assert!(pi.sin().abs().to_f64() < 1e-60, "sin(pi) = {:e}", pi.sin().to_f64());
+    }
+
+    #[test]
+    fn angle_addition_identity() {
+        let mut rng = SmallRng::seed_from_u64(1401);
+        for _ in 0..80 {
+            let a = F64x4::from(rng.gen_range(-3.0..3.0));
+            let b = F64x4::from(rng.gen_range(-3.0..3.0));
+            let (sa, ca) = a.sin_cos();
+            let (sb, cb) = b.sin_cos();
+            let lhs = a.add(b).sin();
+            let rhs = sa.mul(cb).add(ca.mul(sb));
+            assert_close(&lhs, &rhs, 192, &format!("sin(a+b) at a={a} b={b}"));
+        }
+    }
+
+    #[test]
+    fn atan_inverts_tan() {
+        let mut rng = SmallRng::seed_from_u64(1402);
+        for _ in 0..80 {
+            let x = F64x4::from(rng.gen_range(-1.4..1.4));
+            let back = x.tan().atan();
+            assert_close(&back, &x, 190, &format!("atan(tan(x)) at {x}"));
+        }
+        // atan(1) = pi/4.
+        assert_close(
+            &F64x4::ONE.atan(),
+            &F64x4::pi().div_scalar(4.0),
+            196,
+            "atan(1)",
+        );
+    }
+
+    #[test]
+    fn machin_formula_through_public_api() {
+        // pi = 16 atan(1/5) - 4 atan(1/239), all in F64x4 arithmetic.
+        // (1/5 must be the full-precision fifth, not the f64 literal 0.2!)
+        let a5 = F64x4::ONE.div_scalar(5.0).atan();
+        let a239 = F64x4::ONE.div_scalar(239.0).atan();
+        let pi = a5.mul_scalar(16.0).sub(a239.mul_scalar(4.0));
+        assert_close(&pi, &F64x4::pi(), 196, "Machin");
+    }
+
+    #[test]
+    fn asin_acos_range_and_identity() {
+        let mut rng = SmallRng::seed_from_u64(1403);
+        for _ in 0..60 {
+            let x = F64x4::from(rng.gen_range(-0.99..0.99));
+            let s = x.asin();
+            assert_close(&s.sin(), &x, 190, &format!("sin(asin(x)) at {x}"));
+            let sum = x.asin().add(x.acos());
+            assert_close(&sum, &F64x4::frac_pi_2(), 192, "asin+acos");
+        }
+        assert_close(&F64x4::ONE.asin(), &F64x4::frac_pi_2(), 200, "asin(1)");
+    }
+
+    #[test]
+    fn atan2_quadrants() {
+        let one = F64x4::ONE;
+        let q1 = one.atan2(one);
+        assert_close(&q1, &F64x4::pi().div_scalar(4.0), 196, "atan2(1,1)");
+        let q2 = one.atan2(one.neg());
+        assert_close(&q2, &F64x4::pi().mul_scalar(0.75), 196, "atan2(1,-1)");
+        let q3 = one.neg().atan2(one.neg());
+        assert_close(&q3, &F64x4::pi().mul_scalar(-0.75), 196, "atan2(-1,-1)");
+        let up = one.atan2(F64x4::ZERO);
+        assert_close(&up, &F64x4::frac_pi_2(), 200, "atan2(1,0)");
+    }
+
+    #[test]
+    fn hyperbolic_identities() {
+        let mut rng = SmallRng::seed_from_u64(1404);
+        for _ in 0..60 {
+            let x = F64x4::from(rng.gen_range(-5.0..5.0));
+            // cosh^2 - sinh^2 = 1
+            let one = x.cosh().sqr().sub(x.sinh().sqr());
+            assert_close(&one, &F64x4::ONE, 180, &format!("cosh2-sinh2 at {x}"));
+            // tanh = sinh/cosh
+            let t = x.tanh();
+            let ratio = x.sinh().div(x.cosh());
+            assert_close(&t, &ratio, 185, &format!("tanh at {x}"));
+        }
+    }
+
+    #[test]
+    fn inverse_hyperbolics_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(1405);
+        for _ in 0..60 {
+            let x = F64x4::from(rng.gen_range(-10.0..10.0));
+            assert_close(&x.sinh().asinh(), &x, 180, &format!("asinh(sinh) at {x}"));
+            let y = F64x4::from(rng.gen_range(-0.95..0.95));
+            assert_close(&y.tanh().atanh(), &y, 175, &format!("atanh(tanh) at {y}"));
+            let z = F64x4::from(rng.gen_range(1.1..20.0));
+            assert_close(&z.cosh().acosh().cosh(), &z.cosh(), 170, "acosh roundtrip");
+        }
+    }
+
+    #[test]
+    fn small_sinh_keeps_precision() {
+        // The series path: sinh(1e-10) must be accurate to the format, not
+        // to the cancellation floor of (e^x - e^-x)/2.
+        let x = F64x3::from(1e-10);
+        let s = x.sinh();
+        // sinh(x) = x + x^3/3! + x^5/5! + O(x^7); the x^7 term (~2e-74)
+        // sits far below the F64x3 bound.
+        let expect = x
+            .add(x.powi(3).div_scalar(6.0))
+            .add(x.powi(5).div_scalar(120.0));
+        let d = s.sub(expect).abs().to_f64();
+        assert!(d <= 1e-10 * 2.0f64.powi(-148), "d = {d:e}");
+    }
+
+    #[test]
+    fn trig_against_oracle_digits() {
+        // sin(1) to 60 digits (reference: independently computable; we pin
+        // the value against the F64x2/F64x3/F64x4 agreement plus f64).
+        let s4 = F64x4::ONE.sin();
+        let s3 = F64x3::ONE.sin();
+        let s2 = F64x2::ONE.sin();
+        assert!((s4.to_f64() - 1.0f64.sin()).abs() < 1e-15);
+        // Successive widths agree to the narrower width's precision.
+        let d23 = s2.to_mp(300).rel_error_vs(&s3.to_mp(300));
+        let d34 = s3.to_mp(300).rel_error_vs(&s4.to_mp(300));
+        assert!(d23 <= 2.0f64.powi(-97), "2v3: 2^{:.1}", d23.log2());
+        assert!(d34 <= 2.0f64.powi(-149), "3v4: 2^{:.1}", d34.log2());
+        let _ = MpFloat::zero(60);
+    }
+
+    #[test]
+    fn domain_errors_are_nan() {
+        assert!(F64x2::from(2.0).asin().is_nan());
+        assert!(F64x2::from(-2.0).asin().is_nan());
+        assert!(F64x2::from(f64::NAN).sin().is_nan());
+        assert!(F64x2::from(1e100).sin().is_nan(), "out-of-range reduction");
+    }
+}

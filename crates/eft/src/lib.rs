@@ -1,0 +1,31 @@
+//! Error-free transformations and the `FloatBase` abstraction.
+//!
+//! This crate provides the building blocks of all extended-precision
+//! arithmetic in this workspace (paper §2.3):
+//!
+//! * [`two_sum`] — Algorithm 1 (Knuth/Møller): `(s, e)` with `s = fl(x + y)`
+//!   and `e = (x + y) - s` *exactly*, for any inputs.
+//! * [`fast_two_sum`] — Algorithm 3 (Dekker): the 3-operation variant, valid
+//!   when `|x| >= |y|` (or either is zero).
+//! * [`two_prod`] — Algorithm 2 (FMA-based): `(p, e)` with `p = fl(x * y)` and
+//!   `e = x * y - p` exactly.
+//! * [`two_prod_dekker`] — the classic Veltkamp/Dekker splitting variant for
+//!   hardware without FMA, kept for the ablation study (DESIGN.md §3.2).
+//!
+//! All transformations are generic over [`FloatBase`], which abstracts the
+//! underlying machine format exactly like the paper's `MultiFloat<T, N>`
+//! template parameter `T`: the same branch-free kernels run on `f64`
+//! (quad/sextuple/octuple precision), `f32` (the GPU substitution of
+//! DESIGN.md T3), and the bit-exact soft float used by the FPAN verifier.
+
+pub mod base;
+pub mod ops;
+
+pub use base::FloatBase;
+pub use ops::{
+    fast_two_sum, split, three_sum, three_sum2, two_diff, two_prod, two_prod_dekker, two_sum,
+    two_square,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,268 @@
+//! Exactness tests for the error-free transformations.
+//!
+//! "Exact" is checked by lifting doubles into scaled `i128` integers: any
+//! finite `f64` is `±m · 2^(e-52)` with `m < 2^53`, so sums and 53×53-bit
+//! products of moderate-exponent values fit in `i128` and can be compared
+//! without rounding.
+
+use crate::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Decompose a finite nonzero f64 into `(signed mantissa, ulp exponent)` such
+/// that `x == m * 2^k` exactly with `|m| < 2^53`.
+fn decompose(x: f64) -> (i64, i32) {
+    assert!(x.is_finite());
+    if x == 0.0 {
+        return (0, 0);
+    }
+    let bits = x.abs().to_bits();
+    let raw_exp = (bits >> 52) as i32;
+    let (m, k) = if raw_exp == 0 {
+        ((bits & ((1 << 52) - 1)) as i64, -1074)
+    } else {
+        ((bits & ((1 << 52) - 1) | (1 << 52)) as i64, raw_exp - 1075)
+    };
+    (if x < 0.0 { -m } else { m }, k)
+}
+
+/// `x` as an exact `i128` multiple of `2^scale`. Panics if not representable.
+fn to_scaled(x: f64, scale: i32) -> i128 {
+    let (m, k) = decompose(x);
+    if m == 0 {
+        return 0;
+    }
+    let shift = k - scale;
+    if shift >= 0 {
+        assert!(shift <= 74, "shift {shift} out of range");
+        (m as i128) << shift
+    } else {
+        // Value is still a multiple of 2^scale iff the mantissa has enough
+        // trailing zeros (decompose normalizes small values downward).
+        let back = (-shift) as u32;
+        assert!(
+            m.trailing_zeros() >= back,
+            "x = {x:e} is not a multiple of 2^{scale}"
+        );
+        (m >> back) as i128
+    }
+}
+
+/// Random f64 with a full-width (top-bit-set) 53-bit mantissa and exponent in
+/// `exp_range`, so its ulp exponent is exactly `e - 52` and scaled-integer
+/// checks can use a fixed scale.
+fn rand_f64(rng: &mut SmallRng, exp_range: core::ops::Range<i32>) -> f64 {
+    let m: u64 = (rng.gen::<u64>() >> 11) | (1 << 52);
+    let e = rng.gen_range(exp_range);
+    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    sign * (m as f64) * 2.0f64.powi(e - 52)
+}
+
+#[test]
+fn two_sum_is_exact_random() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    for _ in 0..200_000 {
+        let x = rand_f64(&mut rng, -25..25);
+        let y = rand_f64(&mut rng, -25..25);
+        let (s, e) = two_sum(x, y);
+        let scale = -80;
+        assert_eq!(
+            to_scaled(s, scale) + to_scaled(e, scale),
+            to_scaled(x, scale) + to_scaled(y, scale),
+            "x={x:e} y={y:e}"
+        );
+        assert_eq!(s, x + y, "s must be the rounded sum");
+    }
+}
+
+#[test]
+fn two_diff_is_exact_random() {
+    let mut rng = SmallRng::seed_from_u64(43);
+    for _ in 0..100_000 {
+        let x = rand_f64(&mut rng, -25..25);
+        let y = rand_f64(&mut rng, -25..25);
+        let (d, e) = two_diff(x, y);
+        let scale = -80;
+        assert_eq!(
+            to_scaled(d, scale) + to_scaled(e, scale),
+            to_scaled(x, scale) - to_scaled(y, scale)
+        );
+        assert_eq!(d, x - y);
+    }
+}
+
+#[test]
+fn fast_two_sum_exact_when_ordered() {
+    let mut rng = SmallRng::seed_from_u64(44);
+    for _ in 0..100_000 {
+        let a = rand_f64(&mut rng, -25..25);
+        let b = rand_f64(&mut rng, -25..25);
+        // Order by exponent to satisfy the precondition.
+        let (x, y) = if FloatBase::exponent(a) >= FloatBase::exponent(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let (s, e) = fast_two_sum(x, y);
+        let (s2, e2) = two_sum(x, y);
+        assert_eq!(s, s2);
+        assert_eq!(e, e2, "x={x:e} y={y:e}");
+    }
+}
+
+#[test]
+fn fast_two_sum_zero_cases() {
+    assert_eq!(fast_two_sum(0.0f64, 0.0), (0.0, 0.0));
+    assert_eq!(fast_two_sum(0.0f64, 3.5), (3.5, 0.0));
+    assert_eq!(fast_two_sum(3.5f64, 0.0), (3.5, 0.0));
+}
+
+#[test]
+fn two_prod_is_exact_random() {
+    let mut rng = SmallRng::seed_from_u64(45);
+    for _ in 0..200_000 {
+        let x = rand_f64(&mut rng, -12..12);
+        let y = rand_f64(&mut rng, -12..12);
+        let (p, e) = two_prod(x, y);
+        let (mx, kx) = decompose(x);
+        let (my, ky) = decompose(y);
+        let scale = kx + ky;
+        let exact = (mx as i128) * (my as i128);
+        assert_eq!(
+            to_scaled(p, scale) + to_scaled(e, scale),
+            exact,
+            "x={x:e} y={y:e}"
+        );
+        assert_eq!(p, x * y);
+    }
+}
+
+#[test]
+fn two_prod_dekker_matches_fma_variant() {
+    let mut rng = SmallRng::seed_from_u64(46);
+    for _ in 0..200_000 {
+        let x = rand_f64(&mut rng, -100..100);
+        let y = rand_f64(&mut rng, -100..100);
+        let (p1, e1) = two_prod(x, y);
+        let (p2, e2) = two_prod_dekker(x, y);
+        assert_eq!(p1, p2);
+        assert_eq!(e1, e2, "x={x:e} y={y:e}");
+    }
+}
+
+#[test]
+fn two_square_matches_two_prod() {
+    let mut rng = SmallRng::seed_from_u64(47);
+    for _ in 0..50_000 {
+        let x = rand_f64(&mut rng, -50..50);
+        assert_eq!(two_square(x), two_prod(x, x));
+    }
+}
+
+#[test]
+fn split_halves_are_narrow_and_exact() {
+    let mut rng = SmallRng::seed_from_u64(48);
+    for _ in 0..50_000 {
+        let x = rand_f64(&mut rng, -50..50);
+        let (hi, lo) = split(x);
+        assert_eq!(hi + lo, x, "split must be exact");
+        // Each half fits in 27 bits of mantissa => hi*hi, hi*lo etc. exact.
+        for half in [hi, lo] {
+            if half != 0.0 {
+                let (m, _) = decompose(half);
+                let m = m.unsigned_abs();
+                let width = 64 - m.trailing_zeros() - m.leading_zeros();
+                assert!(width <= 27, "x={x:e} half={half:e} width={width}");
+            }
+        }
+    }
+}
+
+#[test]
+fn three_sum_is_exact() {
+    let mut rng = SmallRng::seed_from_u64(49);
+    for _ in 0..100_000 {
+        let x = rand_f64(&mut rng, -20..20);
+        let y = rand_f64(&mut rng, -20..20);
+        let z = rand_f64(&mut rng, -20..20);
+        let (s, e0, e1) = three_sum(x, y, z);
+        let scale = -80;
+        // three_sum is exact: s + e0 + e1 == x + y + z as reals. The error
+        // terms of the two TwoSums are themselves summed with TwoSum, which
+        // is exact, so equality holds at any common scale.
+        let lhs = to_scaled(s, scale) + to_scaled(e0, scale) + to_scaled(e1, scale);
+        let rhs = to_scaled(x, scale) + to_scaled(y, scale) + to_scaled(z, scale);
+        assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn eft_works_for_f32() {
+    let mut rng = SmallRng::seed_from_u64(50);
+    for _ in 0..100_000 {
+        let x = (rng.gen::<f32>() - 0.5) * 1000.0;
+        let y = (rng.gen::<f32>() - 0.5) * 1000.0;
+        let (s, e) = two_sum(x, y);
+        // Check in f64, which represents f32 sums exactly.
+        assert_eq!(s as f64 + e as f64, x as f64 + y as f64);
+        let (p, ep) = two_prod(x, y);
+        assert_eq!(p as f64 + ep as f64, x as f64 * y as f64);
+    }
+}
+
+#[test]
+fn two_sum_huge_cancellation() {
+    // Classic catastrophic-cancellation case: naive sum loses y entirely.
+    let x = 1.0e16f64;
+    let y = 1.0f64;
+    let (s, e) = two_sum(x, y);
+    assert_eq!(s + e, 1.0e16 + 1.0); // rounded equality
+    assert_eq!(s as f64, x + y);
+    // The error term recovers exactly what rounding lost.
+    assert_eq!(to_scaled(s, -60) + to_scaled(e, -60), to_scaled(x, -60) + to_scaled(y, -60));
+}
+
+#[test]
+fn two_sum_commutative() {
+    let mut rng = SmallRng::seed_from_u64(51);
+    for _ in 0..50_000 {
+        let x = rand_f64(&mut rng, -30..30);
+        let y = rand_f64(&mut rng, -30..30);
+        assert_eq!(two_sum(x, y), two_sum(y, x));
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_two_sum_exact(x in -1.0e12f64..1.0e12, y in -1.0e12f64..1.0e12) {
+        let (s, e) = two_sum(x, y);
+        prop_assert_eq!(s, x + y);
+        let scale = -80;
+        prop_assert_eq!(
+            to_scaled(s, scale) + to_scaled(e, scale),
+            to_scaled(x, scale) + to_scaled(y, scale)
+        );
+    }
+
+    #[test]
+    fn prop_two_prod_error_small(x in -1.0e6f64..1.0e6, y in -1.0e6f64..1.0e6) {
+        let (p, e) = two_prod(x, y);
+        prop_assert_eq!(p, x * y);
+        // |e| <= ulp(p)/2 by correct rounding.
+        prop_assert!(e.abs() <= 0.5 * FloatBase::ulp(p));
+    }
+
+    #[test]
+    fn prop_two_sum_error_small(x in -1.0e12f64..1.0e12, y in -1.0e12f64..1.0e12) {
+        let (s, e) = two_sum(x, y);
+        prop_assert!(e.abs() <= 0.5 * FloatBase::ulp(s));
+    }
+
+    #[test]
+    fn prop_split_roundtrip(x in -1.0e100f64..1.0e100) {
+        let (hi, lo) = split(x);
+        prop_assert_eq!(hi + lo, x);
+        prop_assert!(lo.abs() <= hi.abs() || x == 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Transcendental functions on [`MpFloat`], implemented independently of
+//! `mf-core` (plain Taylor series in limb arithmetic, no argument-halving
+//! tricks, no shared constants). Their purpose is to act as an oracle for
+//! the extension functions in `mf-core::math` / `mf-core::trig`: two
+//! implementations that agree to 200+ bits are unlikely to share a bug.
+//!
+//! These are *not* performance-oriented (hundreds of limb multiplications
+//! per call) and carry a few guard bits beyond the requested precision
+//! rather than a rigorous ulp guarantee — ample for differential testing
+//! against formats of at most 215 bits.
+
+use crate::float::{MpFloat, Sign};
+
+/// Working guard bits added to every internal computation.
+const GUARD: u32 = 64;
+
+/// `ln 2` via `2 * atanh(1/3)`: `atanh(z) = z + z^3/3 + z^5/5 + …`.
+pub fn ln2(prec: u32) -> MpFloat {
+    let wp = prec + GUARD;
+    let third = MpFloat::from_u64(1, wp).div(&MpFloat::from_u64(3, wp), wp);
+    let nine_inv = third.mul(&third, wp);
+    let mut term = third.clone(); // z^(2k+1)
+    let mut sum = term.clone();
+    let mut k = 1u64;
+    loop {
+        term = term.mul(&nine_inv, wp);
+        let add = term.div(&MpFloat::from_u64(2 * k + 1, wp), wp);
+        sum = sum.add(&add, wp);
+        if add.exp2().map(|e| e < -(wp as i64)).unwrap_or(true) {
+            break;
+        }
+        k += 1;
+    }
+    sum.add(&sum, wp).round(prec)
+}
+
+/// π via Machin's formula `16 atan(1/5) − 4 atan(1/239)`.
+pub fn pi(prec: u32) -> MpFloat {
+    let wp = prec + GUARD;
+    let a5 = atan_inv_u64(5, wp);
+    let a239 = atan_inv_u64(239, wp);
+    a5.mul(&MpFloat::from_u64(16, wp), wp)
+        .sub(&a239.mul(&MpFloat::from_u64(4, wp), wp), wp)
+        .round(prec)
+}
+
+/// `atan(1/q)` by the alternating Taylor series (for Machin-type formulas).
+fn atan_inv_u64(q: u64, wp: u32) -> MpFloat {
+    let qq = MpFloat::from_u64(q * q, wp);
+    let mut term = MpFloat::from_u64(1, wp).div(&MpFloat::from_u64(q, wp), wp);
+    let mut sum = term.clone();
+    let mut k = 1u64;
+    loop {
+        term = term.div(&qq, wp);
+        let add = term.div(&MpFloat::from_u64(2 * k + 1, wp), wp);
+        sum = if k % 2 == 1 {
+            sum.sub(&add, wp)
+        } else {
+            sum.add(&add, wp)
+        };
+        if add.exp2().map(|e| e < -(wp as i64)).unwrap_or(true) {
+            break;
+        }
+        k += 1;
+    }
+    sum
+}
+
+/// `e^x`: reduce by `x = k ln2 + r` (`|r| <= ln2/2`), then plain Taylor.
+pub fn exp(x: &MpFloat, prec: u32) -> MpFloat {
+    let wp = prec + GUARD;
+    if x.is_zero() {
+        return MpFloat::from_u64(1, prec);
+    }
+    let l2 = ln2(wp);
+    // k = round(x / ln2) as i64 (magnitudes beyond i64 would overflow the
+    // result's exponent anyway).
+    let k = (x.to_f64() / core::f64::consts::LN_2).round() as i64;
+    let r = x.sub(&l2.mul(&MpFloat::from_i64(k, wp), wp), wp);
+    // Taylor sum of e^r.
+    let mut term = MpFloat::from_u64(1, wp);
+    let mut sum = MpFloat::from_u64(1, wp);
+    let mut n = 1u64;
+    loop {
+        term = term.mul(&r, wp).div(&MpFloat::from_u64(n, wp), wp);
+        sum = sum.add(&term, wp);
+        let done = term
+            .exp2()
+            .map(|e| e < sum.exp2().unwrap_or(0) - wp as i64 - 4)
+            .unwrap_or(true);
+        if done {
+            break;
+        }
+        n += 1;
+    }
+    // Scale by 2^k exactly: multiply the exponent in.
+    let two_k = pow2_mp(k, wp);
+    sum.mul(&two_k, wp).round(prec)
+}
+
+/// Exact `2^k` as an MpFloat.
+fn pow2_mp(k: i64, prec: u32) -> MpFloat {
+    let one = MpFloat::from_u64(1, prec);
+    // Construct via from_int_scaled to avoid looping.
+    MpFloat::from_int_scaled(Sign::Pos, vec![1u64], k, prec, false).add(&one.sub(&one, prec), prec)
+}
+
+/// Natural logarithm: reduce `x = m · 2^e` with `m ∈ [1, 2)`, then
+/// `ln m = 2 atanh((m-1)/(m+1))`.
+pub fn ln(x: &MpFloat, prec: u32) -> MpFloat {
+    assert!(!x.is_zero() && !x.is_negative(), "ln domain");
+    let wp = prec + GUARD;
+    let e = x.exp2().unwrap() - 1; // x in [2^(e), 2^(e+1))
+    let m = x.mul(&pow2_mp(-e, wp), wp); // m in [1, 2)
+    let num = m.sub(&MpFloat::from_u64(1, wp), wp);
+    let den = m.add(&MpFloat::from_u64(1, wp), wp);
+    let z = num.div(&den, wp);
+    let zz = z.mul(&z, wp);
+    let mut term = z.clone();
+    let mut sum = z.clone();
+    let mut k = 1u64;
+    loop {
+        term = term.mul(&zz, wp);
+        let add = term.div(&MpFloat::from_u64(2 * k + 1, wp), wp);
+        sum = sum.add(&add, wp);
+        let done = add
+            .exp2()
+            .map(|ae| sum.exp2().map(|se| ae < se - wp as i64 - 4).unwrap_or(false))
+            .unwrap_or(true);
+        if done {
+            break;
+        }
+        k += 1;
+    }
+    let ln_m = sum.add(&sum, wp);
+    ln_m.add(&ln2(wp).mul(&MpFloat::from_i64(e, wp), wp), wp)
+        .round(prec)
+}
+
+/// Sine and cosine: reduce modulo `π/2`, then two Taylor series.
+pub fn sin_cos(x: &MpFloat, prec: u32) -> (MpFloat, MpFloat) {
+    let wp = prec + GUARD;
+    let half_pi = pi(wp + 64).div(&MpFloat::from_u64(2, wp + 64), wp + 64);
+    let kf = (x.to_f64() / (core::f64::consts::PI / 2.0)).round() as i64;
+    let r = x.sub(&half_pi.mul(&MpFloat::from_i64(kf, wp + 64), wp + 64), wp);
+    let rr = r.mul(&r, wp);
+    // sin series on the residual.
+    let mut term = r.clone();
+    let mut s = r.clone();
+    let mut n = 1u64;
+    loop {
+        term = term
+            .mul(&rr, wp)
+            .div(&MpFloat::from_u64((2 * n) * (2 * n + 1), wp), wp)
+            .neg();
+        s = s.add(&term, wp);
+        if term.exp2().map(|e| e < -(wp as i64)).unwrap_or(true) {
+            break;
+        }
+        n += 1;
+    }
+    // cos series.
+    let mut term = MpFloat::from_u64(1, wp);
+    let mut c = MpFloat::from_u64(1, wp);
+    let mut n = 1u64;
+    loop {
+        term = term
+            .mul(&rr, wp)
+            .div(&MpFloat::from_u64((2 * n - 1) * (2 * n), wp), wp)
+            .neg();
+        c = c.add(&term, wp);
+        if term.exp2().map(|e| e < -(wp as i64)).unwrap_or(true) {
+            break;
+        }
+        n += 1;
+    }
+    // Quadrant fixup.
+    let (s, c) = match kf.rem_euclid(4) {
+        0 => (s, c),
+        1 => (c, s.neg()),
+        2 => (s.neg(), c.neg()),
+        _ => (c.neg(), s),
+    };
+    (s.round(prec), c.round(prec))
+}
+
+/// Arctangent via the quadratically convergent Newton iteration against
+/// [`sin_cos`] (`y <- y + cos y (x cos y - sin y)`), seeded from f64.
+pub fn atan(x: &MpFloat, prec: u32) -> MpFloat {
+    let wp = prec + GUARD;
+    let mut y = MpFloat::from_f64(x.to_f64().atan(), wp);
+    // 53 bits seed, doubling per iteration: ceil(log2(wp/53)) + 1 rounds.
+    let iters = ((wp as f64 / 53.0).log2().ceil() as usize).max(1) + 1;
+    for _ in 0..iters {
+        let (s, c) = sin_cos(&y, wp);
+        let corr = c.mul(&x.mul(&c, wp).sub(&s, wp), wp);
+        y = y.add(&corr, wp);
+    }
+    y.round(prec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln2_digits() {
+        let l = ln2(300);
+        let known = MpFloat::from_decimal_str(
+            "0.693147180559945309417232121458176568075500134360255254120680",
+            300,
+        )
+        .unwrap();
+        assert!(l.rel_error_vs(&known) < 2.0f64.powi(-195));
+    }
+
+    #[test]
+    fn pi_digits() {
+        let p = pi(300);
+        let known = MpFloat::from_decimal_str(
+            "3.14159265358979323846264338327950288419716939937510582097494459",
+            300,
+        )
+        .unwrap();
+        assert!(p.rel_error_vs(&known) < 2.0f64.powi(-195));
+    }
+
+    #[test]
+    fn exp_and_ln_invert() {
+        for v in [0.5f64, 1.0, -2.25, 3.75, 10.0, -20.0] {
+            let x = MpFloat::from_f64(v, 300);
+            let e = exp(&x, 300);
+            let back = ln(&e, 300);
+            assert!(back.rel_error_vs(&x) < 2.0f64.powi(-240), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn exp_one_is_e() {
+        let e = exp(&MpFloat::from_f64(1.0, 300), 300);
+        // 63 significant digits pin the reference to ~2^-207; assert to the
+        // literal's own resolution.
+        let known = MpFloat::from_decimal_str(
+            "2.71828182845904523536028747135266249775724709369995957496696763",
+            300,
+        )
+        .unwrap();
+        assert!(e.rel_error_vs(&known) < 2.0f64.powi(-200));
+    }
+
+    #[test]
+    fn sin_cos_pythagoras_and_known_points() {
+        let (s, c) = sin_cos(&MpFloat::from_f64(1.0, 300), 300);
+        let one = s.mul(&s, 300).add(&c.mul(&c, 300), 300);
+        assert!(one.rel_error_vs(&MpFloat::from_u64(1, 64)) < 2.0f64.powi(-240));
+        // sin(pi/6) = 1/2 exactly.
+        let sixth = pi(360).div(&MpFloat::from_u64(6, 360), 360);
+        let (s, _) = sin_cos(&sixth, 300);
+        assert!(s.rel_error_vs(&MpFloat::from_f64(0.5, 64)) < 2.0f64.powi(-240));
+    }
+
+    #[test]
+    fn atan_one_is_quarter_pi() {
+        let a = atan(&MpFloat::from_u64(1, 300), 300);
+        let q = pi(360).div(&MpFloat::from_u64(4, 360), 360);
+        assert!(a.rel_error_vs(&q) < 2.0f64.powi(-240));
+    }
+}

@@ -1,0 +1,486 @@
+//! Big-integer primitives on little-endian `u64` limb slices.
+//!
+//! This is the digit layer of the "software FPU emulation" approach (paper
+//! §2.2): big integers in base 2^64 with arrays of machine words as digits.
+//! All routines are allocation-light and operate on `Vec<u64>` / `&[u64]`.
+//! Limb vectors are **little-endian** (limb 0 is least significant) and may
+//! carry leading (high-index) zero limbs unless noted; [`trim`] removes them.
+
+use core::cmp::Ordering;
+
+/// Remove high zero limbs in place. An all-zero value becomes the empty vec.
+pub fn trim(a: &mut Vec<u64>) {
+    while a.last() == Some(&0) {
+        a.pop();
+    }
+}
+
+/// True if the value is zero (all limbs zero or empty).
+pub fn is_zero(a: &[u64]) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// Number of significant bits (0 for zero).
+pub fn bit_len(a: &[u64]) -> usize {
+    for (i, &l) in a.iter().enumerate().rev() {
+        if l != 0 {
+            return 64 * i + (64 - l.leading_zeros() as usize);
+        }
+    }
+    0
+}
+
+/// Test bit `i` (false beyond the end).
+pub fn get_bit(a: &[u64], i: usize) -> bool {
+    let (limb, bit) = (i / 64, i % 64);
+    limb < a.len() && (a[limb] >> bit) & 1 == 1
+}
+
+/// Compare two limb slices as integers (leading zeros ignored).
+pub fn cmp(a: &[u64], b: &[u64]) -> Ordering {
+    let la = bit_len(a);
+    let lb = bit_len(b);
+    if la != lb {
+        return la.cmp(&lb);
+    }
+    let n = la.div_ceil(64);
+    for i in (0..n).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `a + b`.
+pub fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = short.get(i).copied().unwrap_or(0);
+        let (t, c1) = long[i].overflowing_add(s);
+        let (t, c2) = t.overflowing_add(carry);
+        carry = (c1 as u64) + (c2 as u64);
+        out.push(t);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a - b`; requires `a >= b`.
+pub fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(cmp(a, b) != Ordering::Less, "limb::sub underflow");
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let s = b.get(i).copied().unwrap_or(0);
+        let (t, b1) = a[i].overflowing_sub(s);
+        let (t, b2) = t.overflowing_sub(borrow);
+        borrow = (b1 as u64) + (b2 as u64);
+        out.push(t);
+    }
+    debug_assert_eq!(borrow, 0);
+    trim(&mut out);
+    out
+}
+
+/// `a << n` (bits).
+pub fn shl(a: &[u64], n: usize) -> Vec<u64> {
+    if is_zero(a) {
+        return Vec::new();
+    }
+    let (limbs, bits) = (n / 64, n % 64);
+    let mut out = vec![0u64; a.len() + limbs + 1];
+    if bits == 0 {
+        out[limbs..limbs + a.len()].copy_from_slice(a);
+    } else {
+        for (i, &l) in a.iter().enumerate() {
+            out[limbs + i] |= l << bits;
+            out[limbs + i + 1] |= l >> (64 - bits);
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+/// `a >> n` (bits), returning the shifted value and a *sticky* flag that is
+/// true iff any 1-bit was shifted out.
+pub fn shr_sticky(a: &[u64], n: usize) -> (Vec<u64>, bool) {
+    let len_bits = bit_len(a);
+    if n >= len_bits {
+        return (Vec::new(), !is_zero(a));
+    }
+    let (limbs, bits) = (n / 64, n % 64);
+    let mut sticky = a[..limbs].iter().any(|&l| l != 0);
+    if bits > 0 {
+        sticky |= a[limbs] & ((1u64 << bits) - 1) != 0;
+    }
+    let mut out = Vec::with_capacity(a.len() - limbs);
+    if bits == 0 {
+        out.extend_from_slice(&a[limbs..]);
+    } else {
+        for i in limbs..a.len() {
+            let lo = a[i] >> bits;
+            let hi = if i + 1 < a.len() {
+                a[i + 1] << (64 - bits)
+            } else {
+                0
+            };
+            out.push(lo | hi);
+        }
+    }
+    trim(&mut out);
+    (out, sticky)
+}
+
+/// Schoolbook `a * b`. Quadratic, which is fine: the workspace uses
+/// precisions of a few hundred bits (≤ a dozen limbs).
+pub fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if is_zero(a) || is_zero(b) {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = (ai as u128) * (bj as u128) + (out[i + j] as u128) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = (out[k] as u128) + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+/// `a * m` for a single limb `m`.
+pub fn mul_small(a: &[u64], m: u64) -> Vec<u64> {
+    if m == 0 || is_zero(a) {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u128;
+    for &l in a {
+        let t = (l as u128) * (m as u128) + carry;
+        out.push(t as u64);
+        carry = t >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as u64);
+    }
+    out
+}
+
+/// `a + m` for a single limb `m`.
+pub fn add_small(a: &[u64], m: u64) -> Vec<u64> {
+    add(a, &[m])
+}
+
+/// `(a / m, a % m)` for a single nonzero limb `m`.
+pub fn div_rem_small(a: &[u64], m: u64) -> (Vec<u64>, u64) {
+    assert_ne!(m, 0);
+    let mut out = vec![0u64; a.len()];
+    let mut rem = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 64) | a[i] as u128;
+        out[i] = (cur / m as u128) as u64;
+        rem = cur % m as u128;
+    }
+    trim(&mut out);
+    (out, rem as u64)
+}
+
+/// Knuth Algorithm D: `(a / b, a % b)` for arbitrary nonzero `b`.
+pub fn div_rem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(!is_zero(b), "division by zero");
+    let mut b = b.to_vec();
+    trim(&mut b);
+    if b.len() == 1 {
+        let (q, r) = div_rem_small(a, b[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+    if cmp(a, &b) == Ordering::Less {
+        let mut r = a.to_vec();
+        trim(&mut r);
+        return (Vec::new(), r);
+    }
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = b.last().unwrap().leading_zeros() as usize;
+    let bn = shl(&b, shift);
+    let mut an = shl(a, shift);
+    let n = bn.len();
+    let m = an.len().max(n) - n;
+    an.resize(n + m + 1, 0); // extra high limb for the algorithm
+    let mut q = vec![0u64; m + 1];
+    let b_top = bn[n - 1];
+    let b_second = bn[n - 2];
+
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two limbs of the current remainder.
+        let num = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
+        let mut qhat = num / b_top as u128;
+        let mut rhat = num % b_top as u128;
+        while qhat >= 1u128 << 64
+            || qhat * b_second as u128 > ((rhat << 64) | an[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += b_top as u128;
+            if rhat >= 1u128 << 64 {
+                break;
+            }
+        }
+        // D4: multiply-and-subtract q̂ * b from the remainder window.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * bn[i] as u128 + carry;
+            carry = p >> 64;
+            let t = an[j + i] as i128 - (p as u64) as i128 + borrow;
+            an[j + i] = t as u64;
+            borrow = t >> 64; // arithmetic shift: 0 or -1
+        }
+        let t = an[j + n] as i128 - carry as i128 + borrow;
+        an[j + n] = t as u64;
+        borrow = t >> 64;
+        // D5/D6: if we overshot (rare), add back one divisor.
+        if borrow != 0 {
+            qhat -= 1;
+            let mut c = 0u128;
+            for i in 0..n {
+                let t = an[j + i] as u128 + bn[i] as u128 + c;
+                an[j + i] = t as u64;
+                c = t >> 64;
+            }
+            an[j + n] = an[j + n].wrapping_add(c as u64);
+        }
+        q[j] = qhat as u64;
+    }
+
+    trim(&mut q);
+    // D8: denormalize the remainder.
+    an.truncate(n);
+    let (mut r, _) = shr_sticky(&an, shift);
+    trim(&mut r);
+    (q, r)
+}
+
+/// Integer square root: largest `s` with `s*s <= a`, by Newton's method.
+pub fn isqrt(a: &[u64]) -> Vec<u64> {
+    if is_zero(a) {
+        return Vec::new();
+    }
+    let bits = bit_len(a);
+    // Initial guess: 2^ceil(bits/2) >= sqrt(a).
+    let mut x = shl(&[1u64], bits.div_ceil(2));
+    loop {
+        // x' = (x + a/x) / 2
+        let (d, _) = div_rem(a, &x);
+        let s = add(&x, &d);
+        let (mut next, _) = shr_sticky(&s, 1);
+        trim(&mut next);
+        if cmp(&next, &x) != Ordering::Less {
+            break;
+        }
+        x = next;
+    }
+    // x is now the floor sqrt (Newton for isqrt converges from above and the
+    // first non-decreasing step lands on it).
+    debug_assert!(cmp(&mul(&x, &x), a) != Ordering::Greater);
+    x
+}
+
+/// `10^n` as a limb vector.
+pub fn pow10(n: u32) -> Vec<u64> {
+    let mut out = vec![1u64];
+    let mut rem = n;
+    while rem >= 19 {
+        out = mul_small(&out, 10u64.pow(19));
+        rem -= 19;
+    }
+    if rem > 0 {
+        out = mul_small(&out, 10u64.pow(rem));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_u128(x: u128) -> Vec<u64> {
+        let mut v = vec![x as u64, (x >> 64) as u64];
+        trim(&mut v);
+        v
+    }
+
+    fn to_u128(a: &[u64]) -> u128 {
+        assert!(a.len() <= 2);
+        a.first().copied().unwrap_or(0) as u128
+            | (a.get(1).copied().unwrap_or(0) as u128) << 64
+    }
+
+    #[test]
+    fn add_sub_roundtrip_u128() {
+        let cases = [
+            (0u128, 0u128),
+            (1, 1),
+            (u64::MAX as u128, 1),
+            (u128::MAX / 2, u128::MAX / 3),
+            (0xdeadbeef_cafebabe_12345678_9abcdef0, 0xffff_ffff_ffff_ffff),
+        ];
+        for &(x, y) in &cases {
+            assert_eq!(to_u128(&add(&from_u128(x), &from_u128(y))), x + y);
+            let (hi, lo) = if x >= y { (x, y) } else { (y, x) };
+            assert_eq!(to_u128(&sub(&from_u128(hi), &from_u128(lo))), hi - lo);
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [(0u128, 5u128), (3, 7), (u64::MAX as u128, u64::MAX as u128), (1 << 63, 1 << 63)];
+        for &(x, y) in &cases {
+            assert_eq!(to_u128(&mul(&from_u128(x), &from_u128(y))), x * y);
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let cases: [(u128, u128); 6] = [
+            (100, 7),
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (u128::MAX, (u64::MAX as u128) + 1),
+            (0xdead_beef_cafe_babe_1234_5678_9abc_def0, 0x1_0000_0001),
+            (12345, 123456789),
+        ];
+        for &(x, y) in &cases {
+            let (q, r) = div_rem(&from_u128(x), &from_u128(y));
+            assert_eq!(to_u128(&q), x / y, "q for {x}/{y}");
+            assert_eq!(to_u128(&r), x % y, "r for {x}/{y}");
+        }
+    }
+
+    #[test]
+    fn div_rem_multi_limb_identity() {
+        // Reconstruct a = q*b + r for pseudo-random multi-limb values.
+        let mut state = 0x12345678_9abcdef0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for nb in 2..5usize {
+            for na in nb..8usize {
+                let a: Vec<u64> = (0..na).map(|_| next()).collect();
+                let b: Vec<u64> = (0..nb).map(|_| next() | 1).collect();
+                let (q, r) = div_rem(&a, &b);
+                assert_eq!(cmp(&r, &b), Ordering::Less, "remainder must be < divisor");
+                let recon = add(&mul(&q, &b), &r);
+                let mut a_t = a.clone();
+                trim(&mut a_t);
+                assert_eq!(recon, a_t, "a = q*b + r failed (na={na} nb={nb})");
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = vec![0xdead_beefu64, 0xcafe_babe, 0x1234];
+        for n in [0usize, 1, 17, 64, 65, 128, 130] {
+            let s = shl(&a, n);
+            let (back, sticky) = shr_sticky(&s, n);
+            let mut a_t = a.clone();
+            trim(&mut a_t);
+            assert_eq!(back, a_t);
+            assert!(!sticky, "no bits should be lost");
+        }
+    }
+
+    #[test]
+    fn shr_sticky_detects_lost_bits() {
+        let (v, sticky) = shr_sticky(&[0b101u64], 1);
+        assert_eq!(v, vec![0b10u64]);
+        assert!(sticky);
+        let (v, sticky) = shr_sticky(&[0b100u64], 2);
+        assert_eq!(v, vec![1u64]);
+        assert!(!sticky);
+        let (v, sticky) = shr_sticky(&[5u64], 64);
+        assert!(v.is_empty());
+        assert!(sticky);
+    }
+
+    #[test]
+    fn bit_len_cases() {
+        assert_eq!(bit_len(&[]), 0);
+        assert_eq!(bit_len(&[0]), 0);
+        assert_eq!(bit_len(&[1]), 1);
+        assert_eq!(bit_len(&[u64::MAX]), 64);
+        assert_eq!(bit_len(&[0, 1]), 65);
+        assert_eq!(bit_len(&[7, 0]), 3);
+    }
+
+    #[test]
+    fn isqrt_small_values() {
+        for n in 0u64..2000 {
+            let s = isqrt(&[n]);
+            let sv = s.first().copied().unwrap_or(0);
+            assert!(sv * sv <= n, "n={n}");
+            assert!((sv + 1) * (sv + 1) > n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn isqrt_large_perfect_square() {
+        let x = vec![0xdead_beef_cafe_babeu64, 0x1234_5678];
+        let sq = mul(&x, &x);
+        assert_eq!(isqrt(&sq), x);
+        // One less than a perfect square roots to x - 1.
+        let sq_m1 = sub(&sq, &[1]);
+        assert_eq!(isqrt(&sq_m1), sub(&x, &[1]));
+    }
+
+    #[test]
+    fn pow10_values() {
+        assert_eq!(pow10(0), vec![1]);
+        assert_eq!(pow10(1), vec![10]);
+        assert_eq!(pow10(19), vec![10u64.pow(19)]);
+        assert_eq!(to_u128(&pow10(20)), 10u128.pow(20));
+        assert_eq!(to_u128(&pow10(38)), 10u128.pow(38));
+        // 10^25 spans two limbs.
+        assert_eq!(to_u128(&pow10(25)), 10u128.pow(25));
+    }
+
+    #[test]
+    fn mul_small_and_div_rem_small_roundtrip() {
+        let a = vec![0x1111_2222_3333_4444u64, 0x5555_6666];
+        let m = 0xfedc_ba98u64;
+        let p = mul_small(&a, m);
+        let (q, r) = div_rem_small(&p, m);
+        let mut a_t = a.clone();
+        trim(&mut a_t);
+        assert_eq!(q, a_t);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn cmp_ignores_leading_zeros() {
+        assert_eq!(cmp(&[1, 0, 0], &[1]), Ordering::Equal);
+        assert_eq!(cmp(&[2, 0], &[1]), Ordering::Greater);
+        assert_eq!(cmp(&[0, 1], &[u64::MAX]), Ordering::Greater);
+    }
+}

@@ -1,0 +1,339 @@
+//! Differential tests: `MpFloat` at 53-bit precision must agree **bit for
+//! bit** with hardware IEEE double arithmetic (both are round-to-nearest,
+//! ties-to-even). This exercises every alignment/normalization/rounding
+//! branch against a known-correct reference on hundreds of thousands of
+//! cases.
+
+use crate::{limb, MpFloat};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_f64(rng: &mut SmallRng, exp_range: core::ops::Range<i32>) -> f64 {
+    let m: u64 = rng.gen::<u64>() >> 11;
+    let e = rng.gen_range(exp_range);
+    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    sign * (1.0 + (m as f64) * 2.0f64.powi(-53)) * 2.0f64.powi(e)
+}
+
+fn check_bits(expect: f64, got: &MpFloat, ctx: &str) {
+    let g = got.to_f64();
+    assert!(
+        expect.to_bits() == g.to_bits(),
+        "{ctx}: expected {expect:e} ({:#x}), got {g:e} ({:#x})",
+        expect.to_bits(),
+        g.to_bits()
+    );
+}
+
+#[test]
+fn add_matches_hardware_double() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for i in 0..100_000 {
+        let x = rand_f64(&mut rng, -60..60);
+        let y = rand_f64(&mut rng, -60..60);
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        check_bits(x + y, &a.add(&b, 53), &format!("iter {i}: {x:e} + {y:e}"));
+        check_bits(x - y, &a.sub(&b, 53), &format!("iter {i}: {x:e} - {y:e}"));
+    }
+}
+
+#[test]
+fn add_matches_hardware_close_magnitudes() {
+    // Heavy cancellation: same exponent, opposite signs.
+    let mut rng = SmallRng::seed_from_u64(2);
+    for i in 0..100_000 {
+        let x = rand_f64(&mut rng, 0..1);
+        let y = -rand_f64(&mut rng, 0..1);
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        check_bits(x + y, &a.add(&b, 53), &format!("iter {i}: {x:e} + {y:e}"));
+    }
+}
+
+#[test]
+fn add_matches_hardware_far_magnitudes() {
+    // Exercises the sticky fast path (gap > prec + 2).
+    let mut rng = SmallRng::seed_from_u64(3);
+    for i in 0..50_000 {
+        let x = rand_f64(&mut rng, 100..120);
+        let y = rand_f64(&mut rng, -120..-100);
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        check_bits(x + y, &a.add(&b, 53), &format!("iter {i}: {x:e} + {y:e}"));
+        check_bits(x - y, &a.sub(&b, 53), &format!("iter {i}: {x:e} - {y:e}"));
+    }
+}
+
+#[test]
+fn add_rounding_boundary_cases() {
+    // Hand-picked halfway and near-halfway cases around the 53-bit boundary.
+    let cases: &[(f64, f64)] = &[
+        (1.0, f64::EPSILON / 2.0),                   // exact tie -> even (1.0)
+        (1.0, f64::EPSILON / 2.0 + f64::EPSILON / 4.0), // above tie -> up
+        (1.0 + f64::EPSILON, f64::EPSILON / 2.0),    // tie with odd lsb -> up
+        (1.0, -f64::EPSILON / 4.0),
+        (1.0, -f64::EPSILON / 2.0),
+        (2.0f64.powi(52), 0.5),
+        (2.0f64.powi(52), 0.5 + 2.0f64.powi(-60)),
+        (2.0f64.powi(53) - 1.0, 0.5),                // tie at odd mantissa
+        (2.0f64.powi(53) - 1.0, 0.5 - 2.0f64.powi(-55)),
+        (1.5, 1.5),
+        (0.1, 0.2),
+        (1e308, 1e308 * 0.5),
+        (3.0, -3.0),
+    ];
+    for &(x, y) in cases {
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        check_bits(x + y, &a.add(&b, 53), &format!("{x:e} + {y:e}"));
+    }
+}
+
+#[test]
+fn mul_matches_hardware_double() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for i in 0..100_000 {
+        let x = rand_f64(&mut rng, -40..40);
+        let y = rand_f64(&mut rng, -40..40);
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        check_bits(x * y, &a.mul(&b, 53), &format!("iter {i}: {x:e} * {y:e}"));
+    }
+}
+
+#[test]
+fn div_matches_hardware_double() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    for i in 0..100_000 {
+        let x = rand_f64(&mut rng, -40..40);
+        let y = rand_f64(&mut rng, -40..40);
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        check_bits(x / y, &a.div(&b, 53), &format!("iter {i}: {x:e} / {y:e}"));
+    }
+}
+
+#[test]
+fn sqrt_matches_hardware_double() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    for i in 0..50_000 {
+        let x = rand_f64(&mut rng, -60..60).abs();
+        let a = MpFloat::from_f64(x, 53);
+        check_bits(x.sqrt(), &a.sqrt(53), &format!("iter {i}: sqrt({x:e})"));
+    }
+    check_bits(2.0f64.sqrt(), &MpFloat::from_f64(2.0, 53).sqrt(53), "sqrt(2)");
+    check_bits(0.0, &MpFloat::zero(53).sqrt(53), "sqrt(0)");
+    // Perfect squares are exact.
+    for n in 1u32..100 {
+        let x = (n * n) as f64;
+        check_bits(n as f64, &MpFloat::from_f64(x, 53).sqrt(53), "perfect square");
+    }
+}
+
+#[test]
+fn f32_rounding_matches_hardware() {
+    // Round f64 values to 24 bits and compare with `as f32`.
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..100_000 {
+        let x = rand_f64(&mut rng, -30..30);
+        let r = MpFloat::from_f64(x, 24).to_f64();
+        assert_eq!(r as f32, x as f32, "x = {x:e}");
+        assert_eq!(r, (x as f32) as f64, "x = {x:e}");
+    }
+}
+
+#[test]
+fn high_precision_add_is_exact_for_doubles() {
+    // At >= 2200 bits, sums of doubles are exact; verify associativity holds
+    // exactly (it fails in f64).
+    let xs = [1e300, 1.0, -1e300, 1e-300, 3.5, -1e-300];
+    let s1 = MpFloat::exact_sum(&xs);
+    let mut rev = xs;
+    rev.reverse();
+    let s2 = MpFloat::exact_sum(&rev);
+    assert_eq!(s1, s2);
+    assert_eq!(s1.to_f64(), 4.5);
+    // f64 gets this wrong in at least one order:
+    let naive: f64 = xs.iter().sum();
+    let naive_rev: f64 = rev.iter().sum();
+    assert!(naive != naive_rev || naive != 4.5, "expected f64 to struggle");
+}
+
+#[test]
+fn exact_dot_simple() {
+    let xs = [0.1, 0.2, 0.3];
+    let ys = [3.0, 2.0, 1.0];
+    let d = MpFloat::exact_dot(&xs, &ys);
+    // Exact value of fl(0.1)*3 + fl(0.2)*2 + fl(0.3)*1 is close to 1.0.
+    assert!((d.to_f64() - 1.0).abs() < 1e-15);
+    // Compare against two-pass evaluation at high precision.
+    let mut acc = MpFloat::zero(5000);
+    for (&x, &y) in xs.iter().zip(&ys) {
+        let p = MpFloat::from_f64(x, 53).mul(&MpFloat::from_f64(y, 53), 106);
+        acc = acc.add(&p, 5000);
+    }
+    assert_eq!(d, acc);
+}
+
+#[test]
+fn decimal_roundtrip() {
+    let cases = ["1", "-1", "0.5", "3.14159", "1e10", "-2.5e-10", "123456789.123456789"];
+    for &s in cases.iter() {
+        let v = MpFloat::from_decimal_str(s, 200).unwrap();
+        let back = MpFloat::from_decimal_str(&v.to_decimal_string(40), 200).unwrap();
+        assert!(
+            v.rel_error_vs(&back) < 1e-35 || (v.is_zero() && back.is_zero()),
+            "roundtrip {s}"
+        );
+    }
+    assert!(MpFloat::from_decimal_str("0", 53).unwrap().is_zero());
+    assert!(MpFloat::from_decimal_str("0.000e5", 53).unwrap().is_zero());
+    assert!(MpFloat::from_decimal_str("abc", 53).is_err());
+    assert!(MpFloat::from_decimal_str("", 53).is_err());
+    assert!(MpFloat::from_decimal_str("1e", 53).is_err());
+}
+
+#[test]
+fn decimal_parse_matches_f64_literals() {
+    // Parsing at 53 bits must agree with Rust's own correctly rounded f64
+    // literal parser.
+    let cases = [
+        "0.1", "0.2", "0.3", "3.141592653589793", "2.718281828459045",
+        "1e-300", "9.999999999999999e200", "-123.456e-7", "0.000001",
+    ];
+    for &s in cases.iter() {
+        let v = MpFloat::from_decimal_str(s, 53).unwrap().to_f64();
+        let expect: f64 = s.parse().unwrap();
+        assert_eq!(v.to_bits(), expect.to_bits(), "parse {s}");
+    }
+}
+
+#[test]
+fn display_pi() {
+    let pi = MpFloat::from_decimal_str(
+        "3.14159265358979323846264338327950288419716939937510582097494459",
+        212,
+    )
+    .unwrap();
+    let s = pi.to_decimal_string(50);
+    assert!(s.starts_with("3.1415926535897932384626433832795028841971693993751"));
+}
+
+#[test]
+fn comparisons() {
+    let a = MpFloat::from_f64(1.5, 100);
+    let b = MpFloat::from_f64(2.5, 60);
+    let z = MpFloat::zero(10);
+    assert!(a < b);
+    assert!(b > a);
+    assert!(a.neg() < z);
+    assert!(z < a);
+    assert!(a == a.clone());
+    assert!(!(a.neg() < b.neg()));
+    assert!(b.neg() < a.neg());
+    // Equal values at different precisions compare equal.
+    let x1 = MpFloat::from_f64(0.1, 53);
+    let x2 = MpFloat::from_f64(0.1, 500);
+    assert!(x1 == x2);
+}
+
+#[test]
+fn precision_actually_limits() {
+    // (1 + 2^-100) at 200 bits keeps the tail; at 53 bits it is 1.
+    let one = MpFloat::from_f64(1.0, 200);
+    let tiny = MpFloat::from_f64(2.0f64.powi(-100), 200);
+    let hi = one.add(&tiny, 200);
+    let lo = one.add(&tiny, 53);
+    assert!(hi > one);
+    assert!(lo == one);
+    // Round-trip rounding drops the tail again.
+    assert!(hi.round(53) == one);
+}
+
+#[test]
+fn mul_high_precision_exactness() {
+    // Product of two 53-bit values is exact at 106 bits.
+    let mut rng = SmallRng::seed_from_u64(8);
+    for _ in 0..20_000 {
+        let x = rand_f64(&mut rng, -20..20);
+        let y = rand_f64(&mut rng, -20..20);
+        let p = MpFloat::from_f64(x, 53).mul(&MpFloat::from_f64(y, 53), 106);
+        // fl(x*y) + err == exact product; check fl via rounding.
+        assert_eq!(p.round(53).to_f64(), x * y);
+        // And the exact product minus fl(x*y) equals the FMA residual.
+        let fl = MpFloat::from_f64(x * y, 53);
+        let resid = p.sub(&fl, 106).to_f64();
+        assert_eq!(resid, x.mul_add(y, -(x * y)));
+    }
+}
+
+#[test]
+fn sqrt_respects_rne_at_odd_precisions() {
+    // Compare sqrt at several precisions against a much higher precision
+    // computation rounded down.
+    for prec in [24u32, 53, 103, 156, 208] {
+        for v in [2.0f64, 3.0, 5.0, 7.5, 1234.5678] {
+            let x = MpFloat::from_f64(v, prec);
+            let lo = x.sqrt(prec);
+            let hi = x.sqrt(prec + 200).round(prec);
+            assert!(lo == hi, "sqrt({v}) at prec {prec}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn prop_add_matches_f64(x in -1e100f64..1e100, y in -1e100f64..1e100) {
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        prop_assert_eq!(a.add(&b, 53).to_f64().to_bits(), (x + y).to_bits());
+    }
+
+    #[test]
+    fn prop_mul_matches_f64(x in -1e100f64..1e100, y in -1e100f64..1e100) {
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        prop_assert_eq!(a.mul(&b, 53).to_f64().to_bits(), (x * y).to_bits());
+    }
+
+    #[test]
+    fn prop_div_matches_f64(x in -1e100f64..1e100, y in -1e100f64..1e100) {
+        prop_assume!(y != 0.0);
+        let a = MpFloat::from_f64(x, 53);
+        let b = MpFloat::from_f64(y, 53);
+        prop_assert_eq!(a.div(&b, 53).to_f64().to_bits(), (x / y).to_bits());
+    }
+
+    #[test]
+    fn prop_roundtrip_f64(x in -1e300f64..1e300) {
+        prop_assert_eq!(MpFloat::from_f64(x, 53).to_f64().to_bits(), x.to_bits());
+        prop_assert_eq!(MpFloat::from_f64(x, 300).to_f64().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn prop_mul_commutes(x in -1e50f64..1e50, y in -1e50f64..1e50) {
+        let a = MpFloat::from_f64(x, 120);
+        let b = MpFloat::from_f64(y, 120);
+        prop_assert!(a.mul(&b, 120) == b.mul(&a, 120));
+    }
+
+    #[test]
+    fn prop_sqrt_squares_back(x in 1e-100f64..1e100) {
+        let a = MpFloat::from_f64(x, 200);
+        let s = a.sqrt(200);
+        let back = s.mul(&s, 200);
+        prop_assert!(back.rel_error_vs(&a) < 1e-58);
+    }
+}
+
+#[test]
+fn limb_pow10_consistency_with_float_parse() {
+    // "1e30" parsed must equal 10^30 built from limbs.
+    let parsed = MpFloat::from_decimal_str("1e30", 150).unwrap();
+    let built = MpFloat::from_int_scaled(crate::Sign::Pos, limb::pow10(30), 0, 150, false);
+    assert!(parsed == built);
+}

@@ -1,0 +1,302 @@
+//! Correctly rounded arithmetic for [`SoftFloat`].
+//!
+//! All operations compute the exact result in wide integer arithmetic and
+//! round once (RNE) through [`SoftFloat::round_from_u128`], with a sticky
+//! path for operands too far apart to align exactly.
+
+use crate::{Kind, SoftFloat};
+
+/// Signed add of two aligned magnitudes. Returns `(neg, magnitude)`.
+/// Magnitudes must be < 2^127 so the same-sign case cannot overflow.
+fn signed_add(neg_a: bool, a: u128, neg_b: bool, b: u128) -> (bool, u128) {
+    debug_assert!(a < 1 << 127 && b < 1 << 127);
+    if neg_a == neg_b {
+        (neg_a, a + b)
+    } else if a >= b {
+        (neg_a, a - b)
+    } else {
+        (neg_b, b - a)
+    }
+}
+
+pub(crate) fn add<const P: u32>(a: SoftFloat<P>, b: SoftFloat<P>) -> SoftFloat<P> {
+    match (a.kind, b.kind) {
+        (Kind::Nan, _) | (_, Kind::Nan) => SoftFloat::nan(),
+        (Kind::Inf, Kind::Inf) => {
+            if a.neg == b.neg {
+                a
+            } else {
+                SoftFloat::nan()
+            }
+        }
+        (Kind::Inf, _) => a,
+        (_, Kind::Inf) => b,
+        (Kind::Zero, Kind::Zero) => {
+            // IEEE RNE: (+0) + (-0) = +0; like signs keep the sign.
+            if a.neg == b.neg {
+                a
+            } else {
+                SoftFloat::zero()
+            }
+        }
+        (Kind::Zero, _) => b,
+        (_, Kind::Zero) => a,
+        (Kind::Finite, Kind::Finite) => {
+            let (hi, lo) = if a.cmp_abs(b) != core::cmp::Ordering::Less {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let gap = hi.exp - lo.exp;
+            if gap > P as i32 + 2 {
+                // `lo` lies entirely below the guard position: fold it into
+                // a sticky bit. Keep two explicit guard bits on `hi`.
+                let (mh, kh) = hi.parts();
+                let m = (mh as u128) << 2;
+                let m = if hi.neg == lo.neg { m } else { m - 1 };
+                return SoftFloat::round_from_u128(hi.neg, m, kh - 2, true);
+            }
+            // Exact alignment in 128 bits: shifts are bounded by
+            // gap + P <= 2P + 2 <= 122.
+            let (mh, kh) = hi.parts();
+            let (ml, kl) = lo.parts();
+            let k = kh.min(kl);
+            let ah = (mh as u128) << (kh - k) as u32;
+            let al = (ml as u128) << (kl - k) as u32;
+            let (neg, m) = signed_add(hi.neg, ah, lo.neg, al);
+            if m == 0 {
+                // Exact cancellation: RNE yields +0.
+                return SoftFloat::zero();
+            }
+            SoftFloat::round_from_u128(neg, m, k, false)
+        }
+    }
+}
+
+pub(crate) fn sub<const P: u32>(a: SoftFloat<P>, b: SoftFloat<P>) -> SoftFloat<P> {
+    add(a, -b)
+}
+
+pub(crate) fn mul<const P: u32>(a: SoftFloat<P>, b: SoftFloat<P>) -> SoftFloat<P> {
+    let neg = a.neg != b.neg;
+    match (a.kind, b.kind) {
+        (Kind::Nan, _) | (_, Kind::Nan) => SoftFloat::nan(),
+        (Kind::Inf, Kind::Zero) | (Kind::Zero, Kind::Inf) => SoftFloat::nan(),
+        (Kind::Inf, _) | (_, Kind::Inf) => {
+            if neg {
+                SoftFloat::neg_infinity()
+            } else {
+                SoftFloat::infinity()
+            }
+        }
+        (Kind::Zero, _) | (_, Kind::Zero) => SoftFloat::raw(Kind::Zero, neg, 0, 0),
+        (Kind::Finite, Kind::Finite) => {
+            let (ma, ka) = a.parts();
+            let (mb, kb) = b.parts();
+            SoftFloat::round_from_u128(neg, (ma as u128) * (mb as u128), ka + kb, false)
+        }
+    }
+}
+
+pub(crate) fn div<const P: u32>(a: SoftFloat<P>, b: SoftFloat<P>) -> SoftFloat<P> {
+    let neg = a.neg != b.neg;
+    match (a.kind, b.kind) {
+        (Kind::Nan, _) | (_, Kind::Nan) => SoftFloat::nan(),
+        (Kind::Inf, Kind::Inf) | (Kind::Zero, Kind::Zero) => SoftFloat::nan(),
+        (Kind::Inf, _) => {
+            if neg {
+                SoftFloat::neg_infinity()
+            } else {
+                SoftFloat::infinity()
+            }
+        }
+        (_, Kind::Inf) | (Kind::Zero, _) => SoftFloat::raw(Kind::Zero, neg, 0, 0),
+        (_, Kind::Zero) => {
+            if neg {
+                SoftFloat::neg_infinity()
+            } else {
+                SoftFloat::infinity()
+            }
+        }
+        (Kind::Finite, Kind::Finite) => {
+            let (ma, ka) = a.parts();
+            let (mb, kb) = b.parts();
+            // Quotient with P + 3 extra bits: q has at least P + 2
+            // significant bits, so the sticky flag is decisive.
+            let shift = P + 3;
+            let num = (ma as u128) << shift;
+            let q = num / mb as u128;
+            let sticky = num % mb as u128 != 0;
+            SoftFloat::round_from_u128(neg, q, ka - kb - shift as i32, sticky)
+        }
+    }
+}
+
+/// Fused multiply-add with a single rounding: `a * b + c`.
+pub(crate) fn fused_mul_add<const P: u32>(
+    a: SoftFloat<P>,
+    b: SoftFloat<P>,
+    c: SoftFloat<P>,
+) -> SoftFloat<P> {
+    // Special values: delegate to mul/add semantics.
+    if a.kind == Kind::Nan || b.kind == Kind::Nan || c.kind == Kind::Nan {
+        return SoftFloat::nan();
+    }
+    if a.kind == Kind::Inf || b.kind == Kind::Inf || c.kind == Kind::Inf {
+        return add(mul(a, b), c);
+    }
+    if a.kind == Kind::Zero || b.kind == Kind::Zero {
+        return add(mul(a, b), c);
+    }
+    if c.kind == Kind::Zero {
+        return mul(a, b);
+    }
+
+    // Exact product: up to 2P <= 120 bits.
+    let (ma, ka) = a.parts();
+    let (mb, kb) = b.parts();
+    let mp = (ma as u128) * (mb as u128);
+    let kp = ka + kb;
+    let neg_p = a.neg != b.neg;
+    let lenp = 128 - mp.leading_zeros() as i32;
+    let msb_p = kp + lenp - 1;
+    let (mc, kc) = c.parts();
+    let msb_c = c.exp;
+
+    // Anchor: keep 126 bits below the larger msb; everything under the
+    // anchor is folded into sticky. Deep cancellation (msb gap <= 1) always
+    // fits exactly, so sticky never participates in a cancelled result
+    // (see crate tests `fma_matches_hardware`).
+    let anchor = msb_p.max(msb_c) - 125;
+    let mut sticky = false;
+    let align = |m: u128, k: i32, sticky: &mut bool| -> u128 {
+        if k >= anchor {
+            m << (k - anchor) as u32
+        } else {
+            let sh = (anchor - k) as u32;
+            if sh >= 128 {
+                *sticky |= m != 0;
+                0
+            } else {
+                *sticky |= m & ((1u128 << sh) - 1) != 0;
+                m >> sh
+            }
+        }
+    };
+    let ap = align(mp, kp, &mut sticky);
+    let ac = align(mc as u128, kc, &mut sticky);
+    let (neg, m) = signed_add(neg_p, ap, c.neg, ac);
+    if m == 0 {
+        return if sticky {
+            // Result magnitude is entirely sticky residue — cannot happen:
+            // sticky is only set when one operand dominates by > 126 bits.
+            unreachable!("fma cancellation with sticky residue")
+        } else {
+            SoftFloat::zero()
+        };
+    }
+    SoftFloat::round_from_u128(neg, m, anchor, sticky)
+}
+
+fn isqrt_u128(n: u128) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = (n as f64).sqrt() as u128 + 2;
+    loop {
+        let y = (x + n / x) / 2;
+        if y >= x {
+            break;
+        }
+        x = y;
+    }
+    while x * x > n {
+        x -= 1;
+    }
+    while (x + 1) * (x + 1) <= n {
+        x += 1;
+    }
+    x
+}
+
+pub(crate) fn sqrt<const P: u32>(a: SoftFloat<P>) -> SoftFloat<P> {
+    match a.kind {
+        Kind::Nan => SoftFloat::nan(),
+        Kind::Zero => a, // sqrt(±0) = ±0
+        Kind::Inf => {
+            if a.neg {
+                SoftFloat::nan()
+            } else {
+                a
+            }
+        }
+        Kind::Finite => {
+            if a.neg {
+                return SoftFloat::nan();
+            }
+            let (m, k) = a.parts();
+            // Radicand m << t with k - t even; t large enough that the root
+            // carries >= P + 2 bits.
+            let mut t = P as i32 + 6;
+            if (k - t) % 2 != 0 {
+                t += 1;
+            }
+            let r = (m as u128) << t as u32;
+            let s = isqrt_u128(r);
+            let sticky = s * s != r;
+            SoftFloat::round_from_u128(false, s, (k - t) / 2, sticky)
+        }
+    }
+}
+
+pub(crate) fn floor<const P: u32>(a: SoftFloat<P>) -> SoftFloat<P> {
+    match a.kind {
+        Kind::Finite => {
+            if a.exp >= P as i32 - 1 {
+                return a; // already an integer
+            }
+            if a.exp < 0 {
+                // |a| < 1
+                return if a.neg {
+                    -SoftFloat::one()
+                } else {
+                    SoftFloat::zero()
+                };
+            }
+            let frac_bits = (P as i32 - 1 - a.exp) as u32;
+            let int_part = a.mant >> frac_bits;
+            let has_frac = a.mant & ((1u64 << frac_bits) - 1) != 0;
+            let int_part = if a.neg && has_frac { int_part + 1 } else { int_part };
+            SoftFloat::round_from_u128(a.neg, int_part as u128, 0, false)
+        }
+        _ => a,
+    }
+}
+
+/// Round half away from zero (`f64::round` semantics).
+pub(crate) fn round_half_away<const P: u32>(a: SoftFloat<P>) -> SoftFloat<P> {
+    match a.kind {
+        Kind::Finite => {
+            if a.exp >= P as i32 - 1 {
+                return a;
+            }
+            if a.exp < -1 {
+                return SoftFloat::raw(Kind::Zero, a.neg, 0, 0);
+            }
+            if a.exp == -1 {
+                // 0.5 <= |a| < 1 rounds away to ±1.
+                return if a.neg {
+                    -SoftFloat::one()
+                } else {
+                    SoftFloat::one()
+                };
+            }
+            let frac_bits = (P as i32 - 1 - a.exp) as u32;
+            let int_part = a.mant >> frac_bits;
+            let half = 1u64 << (frac_bits - 1);
+            let int_part = if a.mant & half != 0 { int_part + 1 } else { int_part };
+            SoftFloat::round_from_u128(a.neg, int_part as u128, 0, false)
+        }
+        _ => a,
+    }
+}

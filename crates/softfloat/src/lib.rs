@@ -1,0 +1,445 @@
+//! `mf-softfloat`: a bit-exact software binary floating-point type with a
+//! compile-time precision parameter and round-to-nearest-even arithmetic.
+//!
+//! [`SoftFloat<P>`] implements [`mf_eft::FloatBase`], so every branch-free
+//! kernel in the workspace — the error-free transformations, the FPAN
+//! executor, the `MultiFloat` arithmetic — runs unchanged on it. This is the
+//! substrate for the FPAN verification procedure (DESIGN.md substitution
+//! T1): the paper's Figure 1 illustrates expansions at `p = 6`, and its SMT
+//! verifier reasons about floats at arbitrary `p`; we *execute* networks at
+//! small `p` (4…11) where structured input spaces can be enumerated densely,
+//! and at `p = 24/53` where results are cross-checked against hardware.
+//!
+//! # Representation
+//!
+//! A finite nonzero value is `(-1)^neg · mant · 2^(exp - P + 1)` with
+//! `2^(P-1) <= mant < 2^P` (normalized, value in `[2^exp, 2^(exp+1))`).
+//! The exponent range is ±100 000 — far wider than any network test needs —
+//! so overflow and underflow never interfere with rounding-error analysis,
+//! matching the paper's assumption that inputs lie within machine
+//! thresholds. There are no subnormals (the paper's §2.1 simplification).
+//!
+//! ```
+//! use mf_softfloat::SoftFloat;
+//! use mf_eft::two_sum;
+//!
+//! type F6 = SoftFloat<6>; // the toy precision of the paper's Figure 1
+//! let x = F6::from_f64(1.0);
+//! let y = F6::from_f64(1.0 / 64.0 + 1.0 / 128.0); // needs > 6 bits vs 1.0
+//! let (s, e) = two_sum(x, y);
+//! // TwoSum is error-free at ANY precision:
+//! assert_eq!(s.to_f64() + e.to_f64(), x.to_f64() + y.to_f64());
+//! ```
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+use mf_eft::FloatBase;
+
+mod arith;
+#[cfg(test)]
+mod tests;
+
+/// What a [`SoftFloat`] holds. Finite values keep sign/exp/mant; zero keeps
+/// only sign (so `-0.0` exists, as in IEEE 754).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Zero,
+    Finite,
+    Inf,
+    Nan,
+}
+
+/// Software binary float with `P` bits of precision (including the implicit
+/// leading bit) and RNE rounding. `P` must be in `2..=60`.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftFloat<const P: u32> {
+    pub(crate) kind: Kind,
+    pub(crate) neg: bool,
+    /// Value in `[2^exp, 2^(exp+1))` when finite.
+    pub(crate) exp: i32,
+    /// `P` significant bits, top bit set, when finite.
+    pub(crate) mant: u64,
+}
+
+/// Exponent bound: anything with |exp| beyond this saturates to infinity or
+/// flushes to zero. Deliberately enormous (see module docs).
+pub const EXP_LIMIT: i32 = 100_000;
+
+impl<const P: u32> SoftFloat<P> {
+    const CHECK: () = assert!(P >= 2 && P <= 60, "SoftFloat precision must be in 2..=60");
+
+    pub(crate) const fn raw(kind: Kind, neg: bool, exp: i32, mant: u64) -> Self {
+        #[allow(clippy::let_unit_value)]
+        let _ = Self::CHECK;
+        SoftFloat { kind, neg, exp, mant }
+    }
+
+    pub const fn zero() -> Self {
+        Self::raw(Kind::Zero, false, 0, 0)
+    }
+
+    pub const fn neg_zero() -> Self {
+        Self::raw(Kind::Zero, true, 0, 0)
+    }
+
+    pub const fn infinity() -> Self {
+        Self::raw(Kind::Inf, false, 0, 0)
+    }
+
+    pub const fn neg_infinity() -> Self {
+        Self::raw(Kind::Inf, true, 0, 0)
+    }
+
+    pub const fn nan() -> Self {
+        Self::raw(Kind::Nan, false, 0, 0)
+    }
+
+    pub const fn one() -> Self {
+        Self::raw(Kind::Finite, false, 0, 1u64 << (P - 1))
+    }
+
+    /// Build and round a value `(-1)^neg · m · 2^k` (with `m` arbitrary, not
+    /// normalized) to the nearest representable. `sticky` indicates that
+    /// nonzero bits below `2^k` were already discarded; when `sticky` is
+    /// set, `m` must carry at least `P + 2` significant bits so the rounding
+    /// decision is determined.
+    pub(crate) fn round_from_u128(neg: bool, m: u128, k: i32, sticky: bool) -> Self {
+        if m == 0 {
+            debug_assert!(!sticky, "sticky residue with zero mantissa");
+            return Self::raw(Kind::Zero, neg, 0, 0);
+        }
+        let len = 128 - m.leading_zeros();
+        debug_assert!(!sticky || len >= P + 2, "sticky set with only {len} bits");
+        let exp = k + len as i32 - 1;
+        if len <= P {
+            // Exact: shift up into normalized position.
+            let mant = (m as u64) << (P - len);
+            return Self::finite_checked(neg, exp, mant);
+        }
+        let drop = len - P;
+        let guard = (m >> (drop - 1)) & 1 == 1;
+        let below = if drop >= 2 {
+            sticky || (m & ((1u128 << (drop - 1)) - 1)) != 0
+        } else {
+            sticky
+        };
+        let mut mant = (m >> drop) as u64;
+        let round_up = guard && (below || (mant & 1 == 1));
+        let mut exp = exp;
+        if round_up {
+            mant += 1;
+            if mant == 1u64 << P {
+                mant >>= 1;
+                exp += 1;
+            }
+        }
+        Self::finite_checked(neg, exp, mant)
+    }
+
+    fn finite_checked(neg: bool, exp: i32, mant: u64) -> Self {
+        debug_assert!(mant >= 1 << (P - 1) && mant >> P == 0);
+        if exp > EXP_LIMIT {
+            return if neg { Self::neg_infinity() } else { Self::infinity() };
+        }
+        if exp < -EXP_LIMIT {
+            return Self::raw(Kind::Zero, neg, 0, 0);
+        }
+        Self::raw(Kind::Finite, neg, exp, mant)
+    }
+
+    /// The value as `(mantissa, lsb exponent)` with `value = ±mant · 2^k`.
+    /// Finite nonzero values only.
+    pub(crate) fn parts(self) -> (u64, i32) {
+        debug_assert_eq!(self.kind, Kind::Finite);
+        (self.mant, self.exp - P as i32 + 1)
+    }
+
+    /// Magnitude comparison (no NaNs).
+    pub(crate) fn cmp_abs(self, other: Self) -> Ordering {
+        debug_assert!(self.kind != Kind::Nan && other.kind != Kind::Nan);
+        match (self.kind, other.kind) {
+            (Kind::Zero, Kind::Zero) => Ordering::Equal,
+            (Kind::Zero, _) => Ordering::Less,
+            (_, Kind::Zero) => Ordering::Greater,
+            (Kind::Inf, Kind::Inf) => Ordering::Equal,
+            (Kind::Inf, _) => Ordering::Greater,
+            (_, Kind::Inf) => Ordering::Less,
+            _ => (self.exp, self.mant).cmp(&(other.exp, other.mant)),
+        }
+    }
+
+    /// Exact conversion to `f64` (exact whenever `P <= 53` and the exponent
+    /// is within double range, which covers every use in this workspace).
+    pub fn to_f64(self) -> f64 {
+        match self.kind {
+            Kind::Nan => f64::NAN,
+            Kind::Inf => {
+                if self.neg {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Kind::Zero => {
+                if self.neg {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            Kind::Finite => {
+                let (m, k) = self.parts();
+                let mag = (m as f64) * 2.0f64.powi(k);
+                if self.neg {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        }
+    }
+
+    /// Conversion from `f64`, rounded (RNE) to `P` bits.
+    pub fn from_f64(x: f64) -> Self {
+        if x.is_nan() {
+            return Self::nan();
+        }
+        if x.is_infinite() {
+            return if x < 0.0 {
+                Self::neg_infinity()
+            } else {
+                Self::infinity()
+            };
+        }
+        if x == 0.0 {
+            return Self::raw(Kind::Zero, x.is_sign_negative(), 0, 0);
+        }
+        let bits = x.abs().to_bits();
+        let raw_exp = (bits >> 52) as i32;
+        let (m, k) = if raw_exp == 0 {
+            (bits & ((1 << 52) - 1), -1074)
+        } else {
+            (bits & ((1 << 52) - 1) | (1 << 52), raw_exp - 1075)
+        };
+        Self::round_from_u128(x < 0.0, m as u128, k, false)
+    }
+
+    /// Smallest positive value in this toy format (no subnormals exist).
+    pub const fn min_positive() -> Self {
+        Self::raw(Kind::Finite, false, -EXP_LIMIT, 1u64 << (P - 1))
+    }
+
+    /// Largest finite value.
+    pub const fn max_value() -> Self {
+        Self::raw(Kind::Finite, false, EXP_LIMIT, (1u64 << P) - 1)
+    }
+}
+
+impl<const P: u32> PartialEq for SoftFloat<P> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.kind, other.kind) {
+            (Kind::Nan, _) | (_, Kind::Nan) => false,
+            (Kind::Zero, Kind::Zero) => true, // -0 == +0
+            (Kind::Inf, Kind::Inf) => self.neg == other.neg,
+            (Kind::Finite, Kind::Finite) => {
+                self.neg == other.neg && self.exp == other.exp && self.mant == other.mant
+            }
+            _ => false,
+        }
+    }
+}
+
+impl<const P: u32> PartialOrd for SoftFloat<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.kind == Kind::Nan || other.kind == Kind::Nan {
+            return None;
+        }
+        if self == other {
+            return Some(Ordering::Equal);
+        }
+        let sn = self.kind != Kind::Zero && self.neg;
+        let on = other.kind != Kind::Zero && other.neg;
+        Some(match (sn, on) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.cmp_abs(*other),
+            (true, true) => other.cmp_abs(*self),
+        })
+    }
+}
+
+impl<const P: u32> Default for SoftFloat<P> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<const P: u32> fmt::Display for SoftFloat<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const P: u32> fmt::LowerExp for SoftFloat<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerExp::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const P: u32> Neg for SoftFloat<P> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        let mut out = self;
+        if out.kind != Kind::Nan {
+            out.neg = !out.neg;
+        }
+        out
+    }
+}
+
+macro_rules! fwd_binop {
+    ($trait:ident, $method:ident, $impl_fn:ident) => {
+        impl<const P: u32> $trait for SoftFloat<P> {
+            type Output = Self;
+            fn $method(self, rhs: Self) -> Self {
+                arith::$impl_fn(self, rhs)
+            }
+        }
+    };
+}
+
+fwd_binop!(Add, add, add);
+fwd_binop!(Sub, sub, sub);
+fwd_binop!(Mul, mul, mul);
+fwd_binop!(Div, div, div);
+
+impl<const P: u32> FloatBase for SoftFloat<P> {
+    const PRECISION: u32 = P;
+    const MIN_EXP: i32 = -EXP_LIMIT;
+    const MAX_EXP: i32 = EXP_LIMIT;
+
+    const ZERO: Self = Self::zero();
+    const ONE: Self = Self::one();
+    const NEG_ONE: Self = Self::raw(Kind::Finite, true, 0, 1u64 << (P - 1));
+    const HALF: Self = Self::raw(Kind::Finite, false, -1, 1u64 << (P - 1));
+    const TWO: Self = Self::raw(Kind::Finite, false, 1, 1u64 << (P - 1));
+    const EPSILON: Self = Self::raw(Kind::Finite, false, 1 - P as i32, 1u64 << (P - 1));
+    const MAX: Self = Self::max_value();
+    const MIN_POSITIVE: Self = Self::min_positive();
+    const INFINITY: Self = Self::infinity();
+    const NEG_INFINITY: Self = Self::neg_infinity();
+    const NAN: Self = Self::nan();
+
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        arith::fused_mul_add(self, a, b)
+    }
+
+    fn sqrt(self) -> Self {
+        arith::sqrt(self)
+    }
+
+    fn abs(self) -> Self {
+        let mut out = self;
+        if out.kind != Kind::Nan {
+            out.neg = false;
+        }
+        out
+    }
+
+    fn recip(self) -> Self {
+        Self::one() / self
+    }
+
+    fn floor(self) -> Self {
+        arith::floor(self)
+    }
+
+    fn ceil(self) -> Self {
+        -arith::floor(-self)
+    }
+
+    fn round(self) -> Self {
+        arith::round_half_away(self)
+    }
+
+    fn trunc(self) -> Self {
+        if self.neg {
+            -arith::floor(-self)
+        } else {
+            arith::floor(self)
+        }
+    }
+
+    fn is_nan(self) -> bool {
+        self.kind == Kind::Nan
+    }
+
+    fn is_infinite(self) -> bool {
+        self.kind == Kind::Inf
+    }
+
+    fn is_finite(self) -> bool {
+        matches!(self.kind, Kind::Zero | Kind::Finite)
+    }
+
+    fn is_sign_negative(self) -> bool {
+        self.neg
+    }
+
+    fn exponent(self) -> i32 {
+        match self.kind {
+            Kind::Finite => self.exp,
+            _ => Self::MIN_EXP - P as i32,
+        }
+    }
+
+    fn exp2i(e: i32) -> Self {
+        debug_assert!(e.abs() <= EXP_LIMIT);
+        Self::raw(Kind::Finite, false, e, 1u64 << (P - 1))
+    }
+
+    fn from_f64(x: f64) -> Self {
+        SoftFloat::from_f64(x)
+    }
+
+    fn to_f64(self) -> f64 {
+        SoftFloat::to_f64(self)
+    }
+
+    fn copysign(self, sign: Self) -> Self {
+        let mut out = self;
+        if out.kind != Kind::Nan {
+            out.neg = sign.neg;
+        }
+        out
+    }
+
+    fn min(self, other: Self) -> Self {
+        match self.partial_cmp(&other) {
+            Some(Ordering::Greater) => other,
+            None => {
+                if self.is_nan() {
+                    other
+                } else {
+                    self
+                }
+            }
+            _ => self,
+        }
+    }
+
+    fn max(self, other: Self) -> Self {
+        match self.partial_cmp(&other) {
+            Some(Ordering::Less) => other,
+            None => {
+                if self.is_nan() {
+                    other
+                } else {
+                    self
+                }
+            }
+            _ => self,
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Validation of the software float against two independent references:
+//!
+//! 1. **Hardware**: at `P = 53` / `P = 24`, every operation must agree bit
+//!    for bit with native `f64` / `f32` (including fused multiply-add).
+//! 2. **MpFloat**: at small precisions (no hardware analogue exists), dense
+//!    enumerations of operand pairs must agree with the limb-based
+//!    `mf-mpsoft` reference, which is itself differentially tested against
+//!    hardware.
+
+use crate::SoftFloat;
+use mf_eft::FloatBase;
+use mf_mpsoft::MpFloat;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+type F53 = SoftFloat<53>;
+type F24 = SoftFloat<24>;
+
+fn rand_f64(rng: &mut SmallRng, exp_range: core::ops::Range<i32>) -> f64 {
+    let m: u64 = rng.gen::<u64>() >> 11;
+    let e = rng.gen_range(exp_range);
+    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    sign * (1.0 + (m as f64) * 2.0f64.powi(-53)) * 2.0f64.powi(e)
+}
+
+#[test]
+fn p53_add_sub_matches_hardware() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for i in 0..200_000 {
+        let x = rand_f64(&mut rng, -80..80);
+        let y = rand_f64(&mut rng, -80..80);
+        let (a, b) = (F53::from_f64(x), F53::from_f64(y));
+        assert_eq!((a + b).to_f64().to_bits(), (x + y).to_bits(), "add iter {i}: {x:e} {y:e}");
+        assert_eq!((a - b).to_f64().to_bits(), (x - y).to_bits(), "sub iter {i}: {x:e} {y:e}");
+    }
+}
+
+#[test]
+fn p53_mul_div_matches_hardware() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    for i in 0..200_000 {
+        let x = rand_f64(&mut rng, -60..60);
+        let y = rand_f64(&mut rng, -60..60);
+        let (a, b) = (F53::from_f64(x), F53::from_f64(y));
+        assert_eq!((a * b).to_f64().to_bits(), (x * y).to_bits(), "mul iter {i}: {x:e} {y:e}");
+        assert_eq!((a / b).to_f64().to_bits(), (x / y).to_bits(), "div iter {i}: {x:e} {y:e}");
+    }
+}
+
+#[test]
+fn p53_fma_matches_hardware() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    for i in 0..200_000 {
+        let x = rand_f64(&mut rng, -40..40);
+        let y = rand_f64(&mut rng, -40..40);
+        let z = rand_f64(&mut rng, -60..60);
+        let got = F53::from_f64(x)
+            .mul_add(F53::from_f64(y), F53::from_f64(z))
+            .to_f64();
+        assert_eq!(
+            got.to_bits(),
+            x.mul_add(y, z).to_bits(),
+            "fma iter {i}: {x:e} {y:e} {z:e}"
+        );
+    }
+}
+
+#[test]
+fn p53_fma_cancellation_cases() {
+    // The two_prod pattern: fma(x, y, -(x*y)) extracts the exact rounding
+    // error of a product — maximal cancellation inside the FMA.
+    let mut rng = SmallRng::seed_from_u64(14);
+    for _ in 0..100_000 {
+        let x = rand_f64(&mut rng, -40..40);
+        let y = rand_f64(&mut rng, -40..40);
+        let p = x * y;
+        let got = F53::from_f64(x)
+            .mul_add(F53::from_f64(y), F53::from_f64(-p))
+            .to_f64();
+        assert_eq!(got.to_bits(), x.mul_add(y, -p).to_bits(), "{x:e} {y:e}");
+    }
+}
+
+#[test]
+fn p53_sqrt_matches_hardware() {
+    let mut rng = SmallRng::seed_from_u64(15);
+    for _ in 0..100_000 {
+        let x = rand_f64(&mut rng, -80..80).abs();
+        assert_eq!(
+            F53::from_f64(x).sqrt().to_f64().to_bits(),
+            x.sqrt().to_bits(),
+            "sqrt({x:e})"
+        );
+    }
+}
+
+#[test]
+fn p24_ops_match_hardware_f32() {
+    let mut rng = SmallRng::seed_from_u64(16);
+    for _ in 0..200_000 {
+        let x = (rand_f64(&mut rng, -30..30) as f32) + 0.0;
+        let y = (rand_f64(&mut rng, -30..30) as f32) + 0.0;
+        let (a, b) = (F24::from_f64(x as f64), F24::from_f64(y as f64));
+        assert_eq!((a + b).to_f64() as f32, x + y, "{x:e} + {y:e}");
+        assert_eq!((a * b).to_f64() as f32, x * y, "{x:e} * {y:e}");
+        assert_eq!((a / b).to_f64() as f32, x / y, "{x:e} / {y:e}");
+        assert_eq!(
+            a.mul_add(b, F24::from_f64(1.5)).to_f64() as f32,
+            x.mul_add(y, 1.5),
+            "fma {x:e} {y:e}"
+        );
+    }
+}
+
+/// Every finite nonzero SoftFloat<P> with exponent in the given range.
+fn enumerate<const P: u32>(exp_range: core::ops::Range<i32>) -> Vec<SoftFloat<P>> {
+    let mut out = Vec::new();
+    for exp in exp_range {
+        for mant in (1u64 << (P - 1))..(1u64 << P) {
+            for neg in [false, true] {
+                out.push(SoftFloat::raw(crate::Kind::Finite, neg, exp, mant));
+            }
+        }
+    }
+    out
+}
+
+fn to_mp<const P: u32>(x: SoftFloat<P>) -> MpFloat {
+    MpFloat::from_f64(x.to_f64(), P)
+}
+
+#[test]
+fn p5_exhaustive_add_mul_vs_mpsoft() {
+    // 2 signs x 16 mantissas x 5 exponents = 160 values; all 25 600 pairs.
+    let vals = enumerate::<5>(-2..3);
+    for &a in &vals {
+        let ma = to_mp(a);
+        for &b in &vals {
+            let mb = to_mp(b);
+            let s = (a + b).to_f64();
+            let expect = ma.add(&mb, 5).to_f64();
+            assert_eq!(s, expect, "{:e} + {:e}", a.to_f64(), b.to_f64());
+            let p = (a * b).to_f64();
+            let expect = ma.mul(&mb, 5).to_f64();
+            assert_eq!(p, expect, "{:e} * {:e}", a.to_f64(), b.to_f64());
+        }
+    }
+}
+
+#[test]
+fn p5_exhaustive_div_vs_mpsoft() {
+    let vals = enumerate::<5>(-2..3);
+    for &a in &vals {
+        let ma = to_mp(a);
+        for &b in &vals {
+            let mb = to_mp(b);
+            let q = (a / b).to_f64();
+            let expect = ma.div(&mb, 5).to_f64();
+            assert_eq!(q, expect, "{:e} / {:e}", a.to_f64(), b.to_f64());
+        }
+    }
+}
+
+#[test]
+fn p4_exhaustive_sqrt_vs_mpsoft() {
+    let vals = enumerate::<4>(-6..7);
+    for &a in &vals {
+        if a.is_sign_negative() {
+            continue;
+        }
+        let s = a.sqrt().to_f64();
+        let expect = to_mp(a).sqrt(4).to_f64();
+        assert_eq!(s, expect, "sqrt({:e})", a.to_f64());
+    }
+}
+
+#[test]
+fn p6_fma_dense_vs_mpsoft() {
+    // Sampled triples at the paper's illustration precision p = 6.
+    let vals = enumerate::<6>(-3..4);
+    let mut rng = SmallRng::seed_from_u64(17);
+    for _ in 0..60_000 {
+        let a = vals[rng.gen_range(0..vals.len())];
+        let b = vals[rng.gen_range(0..vals.len())];
+        let c = vals[rng.gen_range(0..vals.len())];
+        let got = a.mul_add(b, c).to_f64();
+        // Reference: exact product at 12 bits, then a single rounding at 6.
+        let exact_p = to_mp(a).mul(&to_mp(b), 12);
+        let expect = exact_p.add(&to_mp(c), 6).to_f64();
+        assert_eq!(
+            got,
+            expect,
+            "fma({:e}, {:e}, {:e})",
+            a.to_f64(),
+            b.to_f64(),
+            c.to_f64()
+        );
+    }
+}
+
+#[test]
+fn special_values() {
+    let inf = F53::infinity();
+    let one = F53::one();
+    assert!((inf - inf).is_nan());
+    assert!((inf + inf).is_infinite());
+    assert!((F53::zero() / F53::zero()).is_nan());
+    assert!((one / F53::zero()).is_infinite());
+    assert!((F53::from_f64(-1.0)).sqrt().is_nan());
+    assert_eq!((F53::zero() + F53::neg_zero()).to_f64().to_bits(), 0.0f64.to_bits());
+    assert!((F53::nan() + one).is_nan());
+    assert!(F53::nan().partial_cmp(&one).is_none());
+    // -0 == +0 per IEEE.
+    assert!(F53::zero() == F53::neg_zero());
+}
+
+#[test]
+fn rounding_functions_match_hardware() {
+    let mut rng = SmallRng::seed_from_u64(18);
+    for _ in 0..100_000 {
+        let x = rand_f64(&mut rng, -5..60);
+        let a = F53::from_f64(x);
+        assert_eq!(a.floor().to_f64(), x.floor(), "floor({x:e})");
+        assert_eq!(FloatBase::ceil(a).to_f64(), x.ceil(), "ceil({x:e})");
+        assert_eq!(FloatBase::round(a).to_f64(), x.round(), "round({x:e})");
+        assert_eq!(a.trunc().to_f64(), x.trunc(), "trunc({x:e})");
+    }
+    // Halfway and small-magnitude cases.
+    for x in [0.5f64, -0.5, 1.5, 2.5, -2.5, 0.25, -0.25, 0.75, 3.0, -3.0] {
+        let a = F53::from_f64(x);
+        assert_eq!(a.floor().to_f64(), x.floor(), "floor({x})");
+        assert_eq!(FloatBase::round(a).to_f64(), x.round(), "round({x})");
+        assert_eq!(FloatBase::ceil(a).to_f64(), x.ceil(), "ceil({x})");
+    }
+}
+
+#[test]
+fn eft_identities_hold_at_small_precision() {
+    // TwoSum and FastTwoSum are error-free at every precision; check at
+    // p = 6 against exact f64 arithmetic (6-bit values sum exactly in f64).
+    let vals = enumerate::<6>(-3..4);
+    let mut rng = SmallRng::seed_from_u64(19);
+    for _ in 0..50_000 {
+        let a = vals[rng.gen_range(0..vals.len())];
+        let b = vals[rng.gen_range(0..vals.len())];
+        let (s, e) = mf_eft::two_sum(a, b);
+        assert_eq!(
+            s.to_f64() + e.to_f64(),
+            a.to_f64() + b.to_f64(),
+            "two_sum({:e}, {:e})",
+            a.to_f64(),
+            b.to_f64()
+        );
+        let (p, ep) = mf_eft::two_prod(a, b);
+        assert_eq!(
+            p.to_f64() + ep.to_f64(),
+            a.to_f64() * b.to_f64(),
+            "two_prod({:e}, {:e})",
+            a.to_f64(),
+            b.to_f64()
+        );
+    }
+}
+
+#[test]
+fn floatbase_constants_are_consistent() {
+    fn check<const P: u32>() {
+        assert_eq!(SoftFloat::<P>::ONE.to_f64(), 1.0);
+        assert_eq!(SoftFloat::<P>::TWO.to_f64(), 2.0);
+        assert_eq!(SoftFloat::<P>::HALF.to_f64(), 0.5);
+        assert_eq!(SoftFloat::<P>::NEG_ONE.to_f64(), -1.0);
+        assert_eq!(SoftFloat::<P>::EPSILON.to_f64(), 2.0f64.powi(1 - P as i32));
+        assert_eq!(SoftFloat::<P>::PRECISION, P);
+        let one = SoftFloat::<P>::ONE;
+        assert_eq!(one.ulp().to_f64(), 2.0f64.powi(1 - P as i32));
+        assert_eq!(FloatBase::exponent(SoftFloat::<P>::TWO), 1);
+        assert_eq!(SoftFloat::<P>::exp2i(-7).to_f64(), 2.0f64.powi(-7));
+    }
+    check::<4>();
+    check::<6>();
+    check::<11>();
+    check::<24>();
+    check::<53>();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+
+    #[test]
+    fn prop_p53_matches_f64(x in -1e50f64..1e50, y in -1e50f64..1e50) {
+        let (a, b) = (F53::from_f64(x), F53::from_f64(y));
+        prop_assert_eq!((a + b).to_f64().to_bits(), (x + y).to_bits());
+        prop_assert_eq!((a * b).to_f64().to_bits(), (x * y).to_bits());
+        prop_assume!(y != 0.0);
+        prop_assert_eq!((a / b).to_f64().to_bits(), (x / y).to_bits());
+    }
+
+    #[test]
+    fn prop_roundtrip(x in -1e100f64..1e100) {
+        prop_assert_eq!(F53::from_f64(x).to_f64().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn prop_ordering_matches_f64(x in -1e50f64..1e50, y in -1e50f64..1e50) {
+        let (a, b) = (F53::from_f64(x), F53::from_f64(y));
+        prop_assert_eq!(a.partial_cmp(&b), x.partial_cmp(&y));
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's §4.2 motivation for commutative multiplication, made
+//! concrete: with a *non-commutative* extended-precision product, the
+//! complex conjugate product `(a+bi)(a-bi)` acquires a small nonzero
+//! imaginary part — rounding noise that eigensolvers then chase. The FPAN
+//! multiplication's commutativity layer makes it exactly zero.
+//!
+//! Run with: `cargo run --release --example complex_commutativity`
+
+use multifloats::eft::{fast_two_sum, two_prod};
+use multifloats::core_crate::complex::C64x2;
+use multifloats::{F64x2, MultiFloat};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A double-word multiplication WITHOUT the commutativity layer: the cross
+/// terms are combined with an FMA whose association depends on operand
+/// order (`fma(x0, y1, x1*y0)`), as in several pre-FPAN libraries. Fast —
+/// one flop fewer — but `mul_nc(x, y) != mul_nc(y, x)` in the last bits.
+fn mul_nc(x: [f64; 2], y: [f64; 2]) -> [f64; 2] {
+    let (p, e) = two_prod(x[0], y[0]);
+    let cross = x[0].mul_add(y[1], x[1] * y[0]); // order-sensitive!
+    let (z0, z1) = fast_two_sum(p, e + cross);
+    [z0, z1]
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let trials = 100_000;
+
+    let mut nc_nonzero = 0u64;
+    let mut nc_worst: f64 = 0.0;
+    let mut fpan_nonzero = 0u64;
+
+    for _ in 0..trials {
+        let a = F64x2::from(rng.gen_range(-10.0..10.0))
+            .add_scalar(rng.gen_range(-1e-18..1e-18));
+        let b = F64x2::from(rng.gen_range(-10.0..10.0))
+            .add_scalar(rng.gen_range(-1e-18..1e-18));
+
+        // Im((a+bi)(a-bi)) = b*a - a*b (as computed; zero in exact math).
+        // Non-commutative product:
+        let ba = mul_nc(b.components(), a.components());
+        let ab = mul_nc(a.components(), b.components());
+        let im_nc = MultiFloat::<f64, 2>::from_components_renorm(ba)
+            .sub(MultiFloat::from_components_renorm(ab));
+        if !im_nc.is_zero() {
+            nc_nonzero += 1;
+            let denom = a.sqr().add(b.sqr()).to_f64().abs().max(1e-300);
+            nc_worst = nc_worst.max(im_nc.abs().to_f64() / denom);
+        }
+
+        // FPAN (commutative) product via the Complex type:
+        let z = C64x2::new(a, b);
+        let p = z.conj_product();
+        if !p.im.is_zero() {
+            fpan_nonzero += 1;
+        }
+    }
+
+    println!("conjugate products over {trials} random z = a + bi:\n");
+    println!(
+        "non-commutative multiply: Im(z * conj z) != 0 in {nc_nonzero} cases \
+         ({:.1}%), worst |Im|/|z|^2 = {nc_worst:.2e}",
+        100.0 * nc_nonzero as f64 / trials as f64
+    );
+    println!(
+        "FPAN (commutative) multiply: Im(z * conj z) != 0 in {fpan_nonzero} cases"
+    );
+    assert_eq!(fpan_nonzero, 0);
+    println!(
+        "\nThe FPAN product is bitwise invariant under operand swap (paper \
+         §4.2),\nso the imaginary part cancels *exactly* — no eigensolver \
+         ever sees a\nspurious imaginary component."
+    );
+}

@@ -1,0 +1,103 @@
+//! E8 — run the paper's §4.1 discovery procedure: simulated-annealing
+//! search for a floating-point accumulation network, starting from an
+//! empty network.
+//!
+//! The search evaluates candidates with the empirical verifier at p = 12
+//! (cheap, exact integer reference), then the final network is re-verified
+//! at f64 against the `mf-mpsoft` oracle — the same two-tier
+//! "test-to-propose, verify-to-accept" structure as the paper's
+//! search + SMT pipeline.
+//!
+//! Run with: `cargo run --release --example fpan_search`
+
+use multifloats::fpan::search::{search_addition, search_multiplication, SearchConfig};
+use multifloats::fpan::verify::{self, Config};
+use multifloats::fpan::networks;
+
+fn main() {
+    println!("Searching for a 2-term addition FPAN (paper §4.1)...\n");
+    // The paper reruns the annealer repeatedly and reports convergence
+    // across runs; a single seed can end in an unverifiable local minimum,
+    // so we retry seeds until a candidate survives strict verification.
+    let mut net = multifloats::fpan::Fpan::new(4, vec![0, 2]);
+    let mut ok = false;
+    for seed in [2025u64, 12345, 777, 31337] {
+        let cfg = SearchConfig {
+            n: 2,
+            q: 2 * 12 - 2, // 2p-2 at the search precision p = 12
+            iters: 6000,
+            trials: 200,
+            seed,
+        };
+        println!("-- annealing run, seed {seed} --");
+        let (n2, ok2) = search_addition(cfg, |p| {
+            println!(
+                "  iter {:>5}  best size {:>2}  depth {:>2}  T = {:.3}",
+                p.iter, p.best_size, p.best_depth, p.temperature
+            );
+        });
+        net = n2;
+        ok = ok2;
+        if ok {
+            break;
+        }
+        println!("  (seed {seed}: no candidate survived strict verification; retrying)");
+    }
+
+    println!("\nSearch finished: verified = {ok}");
+    println!("Discovered network: size {} depth {}", net.size(), net.depth());
+    let (adds, ts, fts) = net.gate_counts();
+    println!("Gates: {adds} add, {ts} TwoSum, {fts} FastTwoSum");
+    for (i, g) in net.gates.iter().enumerate() {
+        println!("  gate {i}: {:?} ({}, {})", g.kind, g.hi, g.lo);
+    }
+
+    // Final acceptance: f64 adversarial verification with the oracle.
+    println!("\nRe-verifying at f64 with the exact oracle (30k adversarial trials)...");
+    let rep = verify::verify_addition_f64(&net, 2, Config::new(30_000, 2 * 53 - 2, 99));
+    println!(
+        "  pass = {}, worst observed discarded error = 2^{:.1} (bound 2^-104)",
+        rep.pass, rep.worst_error_exp
+    );
+
+    let shipped = networks::add_2();
+    println!(
+        "\nReference: the shipped 2-term network has size {} depth {} \
+         (the paper's provably optimal Figure 2 network: size 6, depth 4).",
+        shipped.size(),
+        shipped.depth()
+    );
+    if net.size() <= shipped.size() {
+        println!("The search matched (or beat) the shipped network's size!");
+    } else {
+        println!(
+            "The search found a correct but larger network — rerun with more \
+             iterations or another seed to converge further, exactly as the \
+             paper describes its repeated annealing runs."
+        );
+    }
+
+    // Part 2: multiplication search with the imposed commutativity layer
+    // (paper §4.2: "we must deliberately impose the presence of the
+    // commutativity layer in our search procedure").
+    println!("\n== Searching for a 2-term multiplication accumulation network ==");
+    let mcfg = SearchConfig {
+        n: 2,
+        q: 2 * 12 - 3, // paper bound class 2^-(2p-3)
+        iters: 4000,
+        trials: 200,
+        seed: 4242,
+    };
+    let (mnet, mok) = search_multiplication(mcfg, |p| {
+        println!(
+            "  iter {:>5}  best size {:>2}  depth {:>2}",
+            p.iter, p.best_size, p.best_depth
+        );
+    });
+    println!("Multiplication search: verified = {mok}, size {} depth {}", mnet.size(), mnet.depth());
+    println!(
+        "(The frozen commutativity prefix has {} gate(s); the shipped optimal \
+         network — the paper's Figure 5 — has size 3, depth 3.)",
+        multifloats::fpan::networks::commutativity_layer(2).len()
+    );
+}

@@ -1,0 +1,149 @@
+//! Iterative refinement of an ill-conditioned linear system — the paper's
+//! motivating scenario (§1: condition numbers of 10^10–10^20 make plain
+//! double-precision solutions meaningless).
+//!
+//! We solve `H x = b` for a Hilbert-like matrix (condition number grows
+//! exponentially with n) three ways:
+//!   1. f64 LU factorization alone;
+//!   2. f64 LU + iterative refinement with the residual computed in
+//!      `F64x2` (quad) precision;
+//!   3. the same with `F64x4` (octuple) residuals.
+//!
+//! The factorization stays in fast machine precision; only the residual
+//! `r = b - A·x` is computed in extended precision — the classic
+//! mixed-precision pattern the paper's introduction cites (Higham & Mary
+//! 2022). Run with: `cargo run --release --example iterative_refinement`
+
+use multifloats::blas::kernels;
+use multifloats::{F64x4, MultiFloat};
+
+/// Plain f64 LU with partial pivoting. Returns (LU, perm).
+fn lu_factor(a: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let n = a.len();
+    let mut lu: Vec<Vec<f64>> = a.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for k in 0..n {
+        // Pivot.
+        let (mut pi, mut pv) = (k, lu[k][k].abs());
+        for i in k + 1..n {
+            if lu[i][k].abs() > pv {
+                pi = i;
+                pv = lu[i][k].abs();
+            }
+        }
+        lu.swap(k, pi);
+        perm.swap(k, pi);
+        // Eliminate.
+        for i in k + 1..n {
+            let f = lu[i][k] / lu[k][k];
+            lu[i][k] = f;
+            for j in k + 1..n {
+                lu[i][j] -= f * lu[k][j];
+            }
+        }
+    }
+    (lu, perm)
+}
+
+fn lu_solve(lu: &[Vec<f64>], perm: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = lu.len();
+    let mut x: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    for i in 1..n {
+        for j in 0..i {
+            x[i] -= lu[i][j] * x[j];
+        }
+    }
+    for i in (0..n).rev() {
+        for j in i + 1..n {
+            x[i] -= lu[i][j] * x[j];
+        }
+        x[i] /= lu[i][i];
+    }
+    x
+}
+
+/// Residual r = b - A x computed in extended precision, returned in f64.
+fn residual_extended<T, const N: usize>(a: &[Vec<f64>], b: &[f64], x: &[f64]) -> Vec<f64>
+where
+    T: multifloats::FloatBase,
+    MultiFloat<T, N>: multifloats::blas::Scalar,
+{
+    use multifloats::blas::Scalar;
+    let n = b.len();
+    let xe: Vec<MultiFloat<T, N>> = x.iter().map(|&v| Scalar::s_from_f64(v)).collect();
+    let mut r = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<MultiFloat<T, N>> =
+            a[i].iter().map(|&v| Scalar::s_from_f64(v)).collect();
+        let ax = kernels::dot(&row, &xe);
+        let ri = MultiFloat::<T, N>::from(b[i]).sub(ax);
+        r.push(ri.to_f64());
+    }
+    r
+}
+
+/// Residual in plain f64 (for the baseline refinement).
+fn residual_f64(a: &[Vec<f64>], b: &[f64], x: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    (0..n)
+        .map(|i| {
+            let mut acc = b[i];
+            for j in 0..n {
+                acc -= a[i][j] * x[j];
+            }
+            acc
+        })
+        .collect()
+}
+
+fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+fn main() {
+    let n = 12; // Hilbert condition number ~ 10^16 at n = 12
+    // H[i][j] = 1 / (i + j + 1)
+    let a: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| 1.0 / ((i + j + 1) as f64)).collect())
+        .collect();
+    // Choose x_true = (1, ..., 1); b = H * x_true computed in octuple
+    // precision so the experiment's ground truth is solid.
+    let x_true = vec![1.0f64; n];
+    let b: Vec<f64> = (0..n)
+        .map(|i| {
+            let row: Vec<F64x4> = a[i].iter().map(|&v| F64x4::from(v)).collect();
+            let ones: Vec<F64x4> = x_true.iter().map(|&v| F64x4::from(v)).collect();
+            kernels::dot(&row, &ones).to_f64()
+        })
+        .collect();
+
+    let (lu, perm) = lu_factor(&a);
+    let x0 = lu_solve(&lu, &perm, &b);
+    println!("Hilbert system, n = {n} (condition number ~1e16)\n");
+    println!("plain f64 LU solve:         error_inf = {:.3e}", norm_inf(
+        &x0.iter().zip(&x_true).map(|(a, b)| a - b).collect::<Vec<_>>()
+    ));
+
+    for (label, mode) in [("f64", 0usize), ("F64x2", 2), ("F64x4", 4)] {
+        let mut x = x0.clone();
+        for _ in 0..6 {
+            let r = match mode {
+                0 => residual_f64(&a, &b, &x),
+                2 => residual_extended::<f64, 2>(&a, &b, &x),
+                _ => residual_extended::<f64, 4>(&a, &b, &x),
+            };
+            let d = lu_solve(&lu, &perm, &r);
+            for i in 0..n {
+                x[i] += d[i];
+            }
+        }
+        let err = norm_inf(&x.iter().zip(&x_true).map(|(a, b)| a - b).collect::<Vec<_>>());
+        println!("refined ({label:>5} residual): error_inf = {err:.3e}");
+    }
+
+    println!(
+        "\nExtended-precision residuals recover the solution to machine accuracy;\n\
+         f64 residuals stall at the condition-number floor. Only the residual\n\
+         (an extended-precision DOT per row) pays the extra cost."
+    );
+}

@@ -1,0 +1,134 @@
+//! Long-time integration of the Lorenz attractor — the nonlinear-dynamics
+//! motivation from the paper's introduction (Fantuzzi et al.: rigorous
+//! computation for chaotic systems needs precision well beyond double).
+//!
+//! In a chaotic system, rounding error grows like `exp(λ t)` (λ ≈ 0.9 for
+//! Lorenz), so a double-precision trajectory loses *all* accuracy by
+//! t ≈ 40: 16 digits / (0.9 · log10(e)) ≈ 41. Extended precision buys time
+//! linearly in the number of digits: ~80 time units for quad, ~160 for
+//! octuple. This example integrates the same initial condition at three
+//! precisions with identical RK4 steps and reports when each diverges from
+//! the octuple reference.
+//!
+//! Run with: `cargo run --release --example lorenz`
+
+use multifloats::{FloatBase, MultiFloat};
+
+#[derive(Clone, Copy)]
+struct State<T: FloatBase, const N: usize> {
+    x: MultiFloat<T, N>,
+    y: MultiFloat<T, N>,
+    z: MultiFloat<T, N>,
+}
+
+fn deriv<T: FloatBase, const N: usize>(s: &State<T, N>) -> State<T, N> {
+    // sigma = 10, rho = 28, beta = 8/3
+    let sigma = MultiFloat::<T, N>::from(10.0);
+    let rho = MultiFloat::<T, N>::from(28.0);
+    let beta = MultiFloat::<T, N>::from(8.0).div_scalar(T::from_f64(3.0));
+    State {
+        x: sigma.mul(s.y.sub(s.x)),
+        y: s.x.mul(rho.sub(s.z)).sub(s.y),
+        z: s.x.mul(s.y).sub(beta.mul(s.z)),
+    }
+}
+
+fn rk4_step<T: FloatBase, const N: usize>(s: &State<T, N>, h: f64) -> State<T, N> {
+    let hh = T::from_f64(h);
+    let half = T::from_f64(h / 2.0);
+    let sixth = T::from_f64(h / 6.0);
+    let add_scaled = |a: &State<T, N>, k: &State<T, N>, f: T| State {
+        x: a.x.add(k.x.mul_scalar(f)),
+        y: a.y.add(k.y.mul_scalar(f)),
+        z: a.z.add(k.z.mul_scalar(f)),
+    };
+    let k1 = deriv(s);
+    let k2 = deriv(&add_scaled(s, &k1, half));
+    let k3 = deriv(&add_scaled(s, &k2, half));
+    let k4 = deriv(&add_scaled(s, &k3, hh));
+    let _ = hh;
+    State {
+        x: s.x.add(
+            k1.x.add(k2.x.mul_scalar(T::TWO))
+                .add(k3.x.mul_scalar(T::TWO))
+                .add(k4.x)
+                .mul_scalar(sixth),
+        ),
+        y: s.y.add(
+            k1.y.add(k2.y.mul_scalar(T::TWO))
+                .add(k3.y.mul_scalar(T::TWO))
+                .add(k4.y)
+                .mul_scalar(sixth),
+        ),
+        z: s.z.add(
+            k1.z.add(k2.z.mul_scalar(T::TWO))
+                .add(k3.z.mul_scalar(T::TWO))
+                .add(k4.z)
+                .mul_scalar(sixth),
+        ),
+    }
+}
+
+fn run<T: FloatBase, const N: usize>(t_end: f64, h: f64) -> Vec<(f64, f64, f64, f64)> {
+    let mut s = State::<T, N> {
+        x: MultiFloat::from(1.0),
+        y: MultiFloat::from(1.0),
+        z: MultiFloat::from(1.0),
+    };
+    let steps = (t_end / h) as usize;
+    let sample_every = (1.0 / h) as usize;
+    let mut out = Vec::new();
+    for i in 0..=steps {
+        if i % sample_every == 0 {
+            out.push((i as f64 * h, s.x.to_f64(), s.y.to_f64(), s.z.to_f64()));
+        }
+        s = rk4_step(&s, h);
+    }
+    out
+}
+
+fn main() {
+    let (t_end, h) = (50.0, 0.002);
+    println!("Lorenz attractor, RK4, h = {h}, t in [0, {t_end}]");
+    println!("(identical steps; only the arithmetic precision differs)\n");
+
+    let traj1 = run::<f64, 1>(t_end, h); // plain f64
+    let traj2 = run::<f64, 2>(t_end, h); // quad
+    let traj4 = run::<f64, 4>(t_end, h); // octuple (reference)
+
+    println!(
+        "{:>5} {:>14} {:>14}   (|x - x_ref|, reference = F64x4)",
+        "t", "f64", "F64x2"
+    );
+    let mut div1: Option<f64> = None;
+    let mut div2: Option<f64> = None;
+    for ((p1, p2), p4) in traj1.iter().zip(&traj2).zip(&traj4) {
+        let d1 = (p1.1 - p4.1).abs();
+        let d2 = (p2.1 - p4.1).abs();
+        if p1.0 % 5.0 < h {
+            println!("{:>5.0} {:>14.3e} {:>14.3e}", p1.0, d1, d2);
+        }
+        if d1 > 1.0 && div1.is_none() {
+            div1 = Some(p1.0);
+        }
+        if d2 > 1.0 && div2.is_none() {
+            div2 = Some(p2.0);
+        }
+    }
+    println!();
+    match div1 {
+        Some(t) => println!("f64 trajectory diverged (|dx| > 1) at t ≈ {t:.0}"),
+        None => println!("f64 trajectory still tracking at t = {t_end}"),
+    }
+    match div2 {
+        Some(t) => println!("F64x2 trajectory diverged at t ≈ {t:.0}"),
+        None => println!(
+            "F64x2 trajectory still tracking at t = {t_end} \
+             (rounding horizon ~2x the f64 one)"
+        ),
+    }
+    println!(
+        "\nChaos amplifies rounding error by e^(0.9 t): every extra 16 digits\n\
+         of working precision buys ~40 more time units of trustworthy orbit."
+    );
+}

@@ -1,0 +1,92 @@
+//! Evaluating the Wilkinson polynomial near its roots — a classic
+//! demonstration of why extended precision matters for polynomial and
+//! eigenvalue computations (the paper's §4.2 discusses the related
+//! eigensolver-degradation problem for complex arithmetic).
+//!
+//! `w(x) = Π_{k=1..20} (x - k)` expanded into monomial coefficients has
+//! coefficients up to 20! ≈ 2.4e18; evaluating it near x = 20 in f64 loses
+//! every significant digit to cancellation. Horner evaluation in octuple
+//! precision recovers the true values and lets Newton's method converge to
+//! the correct roots.
+//!
+//! Run with: `cargo run --release --example polynomial_roots`
+
+use multifloats::{F64x4, MpFloat};
+
+/// Coefficients of Π (x - k), k = 1..=degree, lowest power first,
+/// computed exactly in the oracle type (they are integers).
+fn wilkinson_coeffs(degree: usize) -> Vec<MpFloat> {
+    let prec = 600;
+    let mut c = vec![MpFloat::from_f64(1.0, prec)];
+    for k in 1..=degree {
+        // multiply by (x - k)
+        let mut next = vec![MpFloat::zero(prec); c.len() + 1];
+        for (i, ci) in c.iter().enumerate() {
+            next[i + 1] = next[i + 1].add(ci, prec);
+            next[i] = next[i].sub(&ci.mul(&MpFloat::from_f64(k as f64, prec), prec), prec);
+        }
+        c = next;
+    }
+    c
+}
+
+fn horner_f64(c: &[f64], x: f64) -> f64 {
+    c.iter().rev().fold(0.0, |acc, &ci| acc * x + ci)
+}
+
+fn horner_mf(c: &[F64x4], x: F64x4) -> F64x4 {
+    c.iter().rev().fold(F64x4::ZERO, |acc, &ci| acc * x + ci)
+}
+
+fn main() {
+    let degree = 20;
+    let coeffs_mp = wilkinson_coeffs(degree);
+    // The coefficients are exact integers up to 20! — representable in
+    // F64x4 exactly, but NOT in f64 (20! needs 62 bits).
+    let coeffs_f64: Vec<f64> = coeffs_mp.iter().map(|c| c.to_f64()).collect();
+    let coeffs_mf: Vec<F64x4> = coeffs_mp.iter().map(F64x4::from_mp).collect();
+
+    println!("Wilkinson polynomial w(x) = prod (x-k), k=1..{degree}\n");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16}",
+        "x", "f64 Horner", "F64x4 Horner", "true value"
+    );
+    for &x in &[10.5f64, 15.5, 19.5, 19.99, 20.5] {
+        let f = horner_f64(&coeffs_f64, x);
+        let m = horner_mf(&coeffs_mf, F64x4::from(x)).to_f64();
+        // Ground truth: product form is perfectly conditioned.
+        let t: f64 = (1..=degree).map(|k| x - k as f64).product();
+        println!("{x:>6} {f:>16.6e} {m:>16.6e} {t:>16.6e}");
+    }
+
+    // Newton's method on the monomial form, from a perturbed start near
+    // the (famously sensitive) root x = 20.
+    println!("\nNewton iteration on the monomial form, start x0 = 20.3:");
+    let dcoeffs_mf: Vec<F64x4> = coeffs_mf
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, &c)| c.mul_scalar(i as f64))
+        .collect();
+    let dcoeffs_f64: Vec<f64> = dcoeffs_mf.iter().map(|c| c.to_f64()).collect();
+
+    let mut xf = 20.3f64;
+    let mut xm = F64x4::from(20.3);
+    for it in 1..=12 {
+        xf -= horner_f64(&coeffs_f64, xf) / horner_f64(&dcoeffs_f64, xf);
+        let num = horner_mf(&coeffs_mf, xm);
+        let den = horner_mf(&dcoeffs_mf, xm);
+        xm = xm - num / den;
+        if it % 3 == 0 {
+            println!(
+                "  iter {it:>2}: f64 -> {xf:<22.16} F64x4 -> {}",
+                xm.to_decimal_string(30)
+            );
+        }
+    }
+    println!(
+        "\nf64 Newton wanders (the monomial form is numerically singular in\n\
+         double precision); octuple-precision Horner converges to the exact\n\
+         root x = 20."
+    );
+}

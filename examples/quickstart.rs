@@ -1,0 +1,55 @@
+//! Quickstart: the `MultiFloat` API in five minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use multifloats::{F64x2, F64x4, MpFloat};
+
+fn main() {
+    println!("== multifloats quickstart ==\n");
+
+    // 1. Construction: from machine floats (exact), integers, or decimal
+    //    strings (correctly rounded to the full extended precision).
+    let a = F64x2::from(2.0);
+    let b: F64x2 = "0.1".parse().unwrap();
+    println!("a           = {a}");
+    println!("b = \"0.1\"   = {b}   (32+ digits — note it is NOT exactly 1/10)");
+
+    // 2. Arithmetic: +, -, *, /, sqrt at ~106-bit precision, branch-free.
+    let c = (a + b) / (a - b);
+    println!("(a+b)/(a-b) = {c}");
+    println!("sqrt(2)     = {}", a.sqrt());
+
+    // 3. Where f64 fails: catastrophic cancellation.
+    //    (1 + 1e-16) - 1 in f64 collapses; F64x2 keeps every bit.
+    let one_plus = F64x2::from(1.0) + F64x2::from(1e-16);
+    let diff = one_plus - F64x2::from(1.0);
+    println!("\n(1 + 1e-16) - 1:");
+    println!("   f64      = {:e}", (1.0f64 + 1e-16) - 1.0);
+    println!("   F64x2    = {:e}", diff.to_f64());
+
+    // 4. Octuple precision (~64 digits) with N = 4 components.
+    let pi = F64x4::pi();
+    let e = F64x4::e();
+    println!("\npi  = {pi}");
+    println!("e   = {e}");
+    println!("pi^e = {}", pi.powf(e));
+
+    // 5. The components ARE the representation: an unevaluated sum of
+    //    doubles, most significant first (paper Eq. 6).
+    println!("\npi components: {:?}", pi.components());
+    println!("nonoverlapping (paper Eq. 8): {}", pi.is_nonoverlapping());
+
+    // 6. Every result can be checked against the exact limb-based oracle.
+    let exact_pi = MpFloat::from_decimal_str(
+        "3.14159265358979323846264338327950288419716939937510582097494459",
+        300,
+    )
+    .unwrap();
+    let err = pi.to_mp(300).rel_error_vs(&exact_pi);
+    println!("\n|pi - oracle| / pi = {err:.3e}   (~2^{:.0})", err.log2());
+
+    // 7. Effective precision by width:
+    for (label, digits) in [("F64x2", F64x2::decimal_digits()), ("F64x4", F64x4::decimal_digits())] {
+        println!("{label}: ~{digits} decimal digits");
+    }
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation
+# (DESIGN.md experiments E1-E8). Outputs land in results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+echo "=== E5/E6: network verification (Figures 2-7 captions) ==="
+cargo run --release -p mf-bench --bin verify_networks | tee results/verify_networks.txt
+
+echo
+echo "=== E1: CPU tables, native SIMD (Figure 9) ==="
+MF_PLATFORM_LABEL="x86-64 native SIMD (Zen5-substitute)" \
+  cargo run --release -p mf-bench --bin tables -- --out results/tables_wide.json \
+  | tee results/tables_wide.txt
+
+echo
+echo "=== E2: CPU tables, narrow SIMD (Figure 10 substitution, DESIGN.md T2) ==="
+# AVX1+FMA without AVX2/AVX-512: hardware FMA stays (the M3 has FMA units)
+# while the vector width drops from 512 to 256 bits — the narrow-SIMD
+# variable the paper isolates with its M3 runs.
+RUSTFLAGS="-C target-cpu=x86-64 -C target-feature=+avx,+fma" MF_PLATFORM_LABEL="x86-64 narrow SIMD (M3-substitute)" \
+  cargo run --release -p mf-bench --bin tables -- --out results/tables_narrow.json \
+  | tee results/tables_narrow.txt
+
+echo
+echo "=== E3: peak-performance ratios (Figure 8) ==="
+cargo run --release -p mf-bench --bin summary -- \
+  results/tables_wide.json results/tables_narrow.json | tee results/summary.txt
+
+echo
+echo "=== E4: T = float data-parallel run (Figure 11 substitution, T3) ==="
+cargo run --release -p mf-bench --bin gpu_sim -- --out results/gpu_sim.json \
+  | tee results/gpu_sim.txt
+
+echo
+echo "=== E8: simulated-annealing FPAN search (paper 4.1) ==="
+cargo run --release --example fpan_search | tee results/fpan_search.txt
+
+echo
+echo "All experiment outputs are in results/."

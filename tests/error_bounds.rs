@@ -1,0 +1,73 @@
+//! E5/E6 — end-to-end verification that the shipped arithmetic meets the
+//! paper's captioned error bounds (Figures 2–7), via the FPAN verifier and
+//! the exact oracle, across crates.
+
+use multifloats::fpan::networks;
+use multifloats::fpan::verify::{self, Config};
+
+const TRIALS: usize = 8_000;
+
+#[test]
+fn addition_bounds_figures_2_to_4() {
+    let p = 53i32;
+    // (n, asserted bound). For n = 2 the shipped kernel is
+    // AccurateDWPlusDW with tight worst case ~2.25u^2, i.e. one bit looser
+    // than the paper's Figure-2 network claim of 2^-(2p-1); see
+    // EXPERIMENTS.md E5.
+    for (n, q) in [(2usize, 2 * p - 2), (3, 3 * p - 3), (4, 4 * p - 4)] {
+        let net = networks::add_n(n);
+        let rep = verify::verify_addition_f64(&net, n, Config::new(TRIALS, q, 0xE5));
+        assert!(
+            rep.pass,
+            "add_{n} violates 2^-{q}: {:?} (worst 2^{:.1})",
+            rep.first_violation,
+            rep.worst_error_exp
+        );
+    }
+}
+
+#[test]
+fn multiplication_bounds_figures_5_to_7() {
+    let p = 53i32;
+    for (n, q) in [(2usize, 2 * p - 3), (3, 3 * p - 3), (4, 4 * p - 4)] {
+        let net = networks::mul_n(n);
+        let rep = verify::verify_multiplication_f64(&net, n, Config::new(TRIALS, q, 0xE6));
+        assert!(
+            rep.pass,
+            "mul_{n} violates 2^-{q}: {:?} (worst 2^{:.1})",
+            rep.first_violation,
+            rep.worst_error_exp
+        );
+    }
+}
+
+#[test]
+fn bounds_scale_with_precision_p12() {
+    // Paper §2.1: "all algorithms presented in this paper also work for
+    // other values of p". The SAME network objects, run at p = 12.
+    let p = 12i32;
+    for (n, q) in [(2usize, 2 * p - 2), (3, 3 * p - 3), (4, 4 * p - 4)] {
+        let net = networks::add_n(n);
+        let rep = verify::verify_addition_soft::<12>(&net, n, Config::new(TRIALS, q, 0x12));
+        assert!(
+            rep.pass,
+            "add_{n} at p=12 violates 2^-{q}: worst 2^{:.1}",
+            rep.worst_error_exp
+        );
+    }
+}
+
+#[test]
+fn bounds_scale_with_precision_p24_matches_f32() {
+    // And at p = 24 — the f32 base used by the GPU substitution (T3).
+    let p = 24i32;
+    for (n, q) in [(2usize, 2 * p - 2), (3, 3 * p - 3)] {
+        let net = networks::add_n(n);
+        let rep = verify::verify_addition_soft::<24>(&net, n, Config::new(TRIALS, q, 0x24));
+        assert!(
+            rep.pass,
+            "add_{n} at p=24 violates 2^-{q}: worst 2^{:.1}",
+            rep.worst_error_exp
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! E10 — the paper's §4.3 claims about Newton–Raphson division and square
+//! root: the number of correct bits roughly doubles on every iteration,
+//! division-free iteration converges from the machine-precision seed, and
+//! the Karp–Markstein fusion does not cost accuracy.
+
+use multifloats::{F64x2, F64x3, F64x4, MpFloat};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run the reciprocal iteration manually at F64x4 width and report the
+/// correct bits after each step.
+fn recip_bits_per_iteration(a: f64) -> Vec<f64> {
+    let prec = 600;
+    let exact = MpFloat::from_f64(1.0, prec).div(&MpFloat::from_f64(a, prec), prec);
+    let one = F64x4::ONE;
+    let av = F64x4::from(a);
+    let mut x = F64x4::from(1.0 / a);
+    let mut bits = Vec::new();
+    for _ in 0..4 {
+        let err = x.to_mp(400).rel_error_vs(&exact);
+        bits.push(if err == 0.0 { 256.0 } else { -err.log2() });
+        // x <- x + x(1 - a x)   (paper Eq. 15)
+        let e = one.sub(av.mul(x));
+        x = x.add(x.mul(e));
+    }
+    let err = x.to_mp(400).rel_error_vs(&exact);
+    bits.push(if err == 0.0 { 256.0 } else { -err.log2() });
+    bits
+}
+
+#[test]
+fn reciprocal_bits_double_per_iteration() {
+    let mut rng = SmallRng::seed_from_u64(1100);
+    for _ in 0..50 {
+        let a = rng.gen_range(0.5..2.0) * 2.0f64.powi(rng.gen_range(-10..10));
+        let bits = recip_bits_per_iteration(a);
+        // Seed: ~53 bits. After one iteration: >= 90. After two: >= 170.
+        // After three: at the format's limit (~205+).
+        assert!(bits[0] >= 45.0, "seed bits {:.1} for a={a}", bits[0]);
+        assert!(bits[1] >= 90.0, "iter1 bits {:.1} for a={a}", bits[1]);
+        assert!(bits[2] >= 170.0, "iter2 bits {:.1} for a={a}", bits[2]);
+        assert!(bits[3] >= 200.0, "iter3 bits {:.1} for a={a}", bits[3]);
+        // Roughly doubling, not linear: iter1 gain over seed must be large.
+        assert!(bits[1] - bits[0] >= 35.0, "not quadratic: {bits:?}");
+    }
+}
+
+#[test]
+fn karp_markstein_matches_full_reciprocal_accuracy() {
+    let mut rng = SmallRng::seed_from_u64(1101);
+    let prec = 700;
+    let mut worst_km: f64 = 0.0;
+    let mut worst_recip: f64 = 0.0;
+    for _ in 0..2_000 {
+        let b = rng.gen_range(-2.0..2.0f64);
+        let a = rng.gen_range(0.5..2.0f64) * if rng.gen() { 1.0 } else { -1.0 };
+        let exact = MpFloat::from_f64(b, prec).div(&MpFloat::from_f64(a, prec), prec);
+        if exact.is_zero() {
+            continue;
+        }
+        let bk = (F64x4::from(b).div(F64x4::from(a))).to_mp(400); // KM (default)
+        let br = (F64x4::from(b).div_via_recip(F64x4::from(a))).to_mp(400);
+        worst_km = worst_km.max(bk.rel_error_vs(&exact));
+        worst_recip = worst_recip.max(br.rel_error_vs(&exact));
+    }
+    assert!(
+        worst_km <= 2.0f64.powi(-203),
+        "KM worst 2^{:.1}",
+        worst_km.log2()
+    );
+    assert!(
+        worst_recip <= 2.0f64.powi(-203),
+        "recip worst 2^{:.1}",
+        worst_recip.log2()
+    );
+    // The fusion must not be meaningfully worse than the full reciprocal.
+    assert!(worst_km <= worst_recip * 16.0 + 1e-300);
+}
+
+#[test]
+fn division_exactness_on_representables() {
+    // b / a where the quotient is exactly representable must be exact.
+    for (b, a, q) in [(1.0f64, 4.0, 0.25), (3.0, 2.0, 1.5), (10.0, 8.0, 1.25)] {
+        for_all_widths(b, a, q);
+    }
+    fn for_all_widths(b: f64, a: f64, q: f64) {
+        assert_eq!((F64x2::from(b) / F64x2::from(a)).to_f64(), q);
+        assert_eq!((F64x3::from(b) / F64x3::from(a)).to_f64(), q);
+        assert_eq!((F64x4::from(b) / F64x4::from(a)).to_f64(), q);
+        let c2 = (F64x2::from(b) / F64x2::from(a)).components();
+        assert_eq!(c2[1], 0.0, "tail must be zero for exact quotient");
+    }
+}
+
+#[test]
+fn rsqrt_converges_from_scalar_seed() {
+    let mut rng = SmallRng::seed_from_u64(1102);
+    let prec = 700;
+    for _ in 0..500 {
+        let a = rng.gen_range(0.25..4.0f64) * 2.0f64.powi(2 * rng.gen_range(-20..20));
+        let exact = MpFloat::from_f64(1.0, prec)
+            .div(&MpFloat::from_f64(a, prec).sqrt(prec), prec);
+        let got = F64x3::from(a).rsqrt().to_mp(400);
+        let err = got.rel_error_vs(&exact);
+        assert!(err <= 2.0f64.powi(-150), "a={a:e} err 2^{:.1}", err.log2());
+    }
+}
+
+#[test]
+fn term_count_scaling_of_accuracy() {
+    // The same division at N = 2, 3, 4: accuracy must scale ~(N p) bits.
+    let mut rng = SmallRng::seed_from_u64(1103);
+    let prec = 700;
+    for _ in 0..300 {
+        let b = rng.gen_range(0.5..2.0f64);
+        let a = rng.gen_range(0.5..2.0f64);
+        let exact = MpFloat::from_f64(b, prec).div(&MpFloat::from_f64(a, prec), prec);
+        let e2 = (F64x2::from(b) / F64x2::from(a)).to_mp(400).rel_error_vs(&exact);
+        let e3 = (F64x3::from(b) / F64x3::from(a)).to_mp(400).rel_error_vs(&exact);
+        let e4 = (F64x4::from(b) / F64x4::from(a)).to_mp(400).rel_error_vs(&exact);
+        assert!(e2 <= 2.0f64.powi(-101), "N=2 err 2^{:.1}", e2.log2());
+        assert!(e3 <= 2.0f64.powi(-152), "N=3 err 2^{:.1}", e3.log2());
+        assert!(e4 <= 2.0f64.powi(-203), "N=4 err 2^{:.1}", e4.log2());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) over the public API: algebraic
+//! identities, invariant preservation, and representation round-trips.
+
+use multifloats::{F64x2, F64x3, F64x4, MpFloat, MultiFloat};
+use proptest::prelude::*;
+
+/// Strategy: a finite f64 with moderate exponent.
+fn moderate_f64() -> impl Strategy<Value = f64> {
+    (-1.0e15f64..1.0e15).prop_filter("nonzero-ish", |v| v.abs() > 1.0e-15)
+}
+
+/// Strategy: a valid F64x4 built from two doubles (covers multi-component
+/// values).
+fn mf4() -> impl Strategy<Value = F64x4> {
+    (moderate_f64(), -1.0e-3f64..1.0e-3)
+        .prop_map(|(a, b)| F64x4::from(a) + F64x4::from(a * b * 1e-16))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn add_commutes_bitwise(a in mf4(), b in mf4()) {
+        prop_assert_eq!((a + b).components(), (b + a).components());
+    }
+
+    #[test]
+    fn mul_commutes_bitwise(a in mf4(), b in mf4()) {
+        // The paper's §4.2 headline property.
+        prop_assert_eq!((a * b).components(), (b * a).components());
+    }
+
+    #[test]
+    fn results_stay_nonoverlapping(a in mf4(), b in mf4()) {
+        prop_assert!((a + b).is_nonoverlapping());
+        prop_assert!((a - b).is_nonoverlapping());
+        prop_assert!((a * b).is_nonoverlapping());
+        if !b.is_zero() {
+            prop_assert!((a / b).is_nonoverlapping());
+        }
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in mf4(), b in mf4()) {
+        prop_assert_eq!((a - b).components(), (a + (-b)).components());
+    }
+
+    #[test]
+    fn double_negation(a in mf4()) {
+        prop_assert_eq!((-(-a)).components(), a.components());
+    }
+
+    #[test]
+    fn add_identity_and_mul_identity(a in mf4()) {
+        prop_assert_eq!((a + F64x4::ZERO).components(), a.components());
+        prop_assert_eq!((a * F64x4::ONE).components(), a.components());
+    }
+
+    #[test]
+    fn mul_by_power_of_two_is_exact(a in mf4(), e in -30i32..30) {
+        let s = a.scale_exp2(e);
+        let direct = a * F64x4::from(2.0f64.powi(e));
+        prop_assert_eq!(s.components(), direct.components());
+    }
+
+    #[test]
+    fn ordering_is_antisymmetric(a in mf4(), b in mf4()) {
+        let ab = a.partial_cmp(&b);
+        let ba = b.partial_cmp(&a);
+        prop_assert_eq!(ab.map(|o| o.reverse()), ba);
+    }
+
+    #[test]
+    fn parse_print_fixed_point(a in mf4()) {
+        let s = a.to_decimal_string(70);
+        let back: F64x4 = s.parse().unwrap();
+        prop_assert_eq!(back.to_decimal_string(70), s);
+    }
+
+    #[test]
+    fn to_mp_is_exact(a in mf4()) {
+        // Round-trip through the oracle representation is lossless.
+        let mp = a.to_mp(400);
+        let back = F64x4::from_mp(&mp);
+        prop_assert_eq!(back.components(), a.components());
+    }
+
+    #[test]
+    fn widening_preserves_value(v in moderate_f64()) {
+        let x2 = F64x2::from(v);
+        let x3 = F64x3::from(v);
+        let x4 = F64x4::from(v);
+        prop_assert_eq!(x2.to_f64(), v);
+        prop_assert_eq!(x3.to_f64(), v);
+        prop_assert_eq!(x4.to_f64(), v);
+    }
+
+    #[test]
+    fn sqrt_of_square_is_abs(a in mf4()) {
+        prop_assume!(!a.is_zero());
+        prop_assume!(a.hi().abs() < 1e100);
+        let r = a.sqr().sqrt();
+        let expect = a.abs();
+        let err = r.sub(expect).abs().to_mp(400);
+        let bound = expect.to_mp(400).abs().mul(
+            &MpFloat::from_f64(2.0f64.powi(-200), 60), 400);
+        prop_assert!(err.to_f64() <= bound.to_f64() + 1e-300,
+            "sqrt(a^2) != |a| for a = {}", a);
+    }
+
+    #[test]
+    fn triangle_associativity_error_is_bounded(a in mf4(), b in mf4(), c in mf4()) {
+        // Floating-point addition is not associative, but at octuple
+        // precision the defect must be below 2^-200 relative.
+        let lhs = (a + b) + c;
+        let rhs = a + (b + c);
+        let d = lhs.sub(rhs).abs().to_f64();
+        let scale = lhs.abs().to_f64().max(1e-300);
+        prop_assert!(d / scale <= 2.0f64.powi(-195), "defect {:.3e}", d / scale);
+    }
+
+    #[test]
+    fn generic_widths_compose(v in moderate_f64(), w in moderate_f64()) {
+        // The same computation at N=2,3,4 converges toward the oracle.
+        prop_assume!(w != 0.0);
+        let prec = 600;
+        let exact = MpFloat::from_f64(v, prec).div(&MpFloat::from_f64(w, prec), prec);
+        let e2 = (F64x2::from(v) / F64x2::from(w)).to_mp(400).rel_error_vs(&exact);
+        let e4 = (F64x4::from(v) / F64x4::from(w)).to_mp(400).rel_error_vs(&exact);
+        prop_assert!(e2 <= 2.0f64.powi(-100));
+        prop_assert!(e4 <= 2.0f64.powi(-200));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn from_components_renorm_always_valid(
+        c0 in -1.0e10f64..1.0e10,
+        c1 in -1.0e10f64..1.0e10,
+        c2 in -1.0e10f64..1.0e10,
+        c3 in -1.0e10f64..1.0e10,
+    ) {
+        // Arbitrary (overlapping) components renormalize into a valid
+        // expansion of the same exact sum.
+        let m = MultiFloat::<f64, 4>::from_components_renorm([c0, c1, c2, c3]);
+        prop_assert!(m.is_nonoverlapping());
+        let exact = MpFloat::exact_sum(&[c0, c1, c2, c3]);
+        let got = m.to_mp(400);
+        if exact.is_zero() {
+            prop_assert!(got.is_zero());
+        } else {
+            prop_assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-200));
+        }
+    }
+}

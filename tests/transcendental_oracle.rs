@@ -1,0 +1,114 @@
+//! Differential validation of `mf-core`'s extension functions against the
+//! *independently implemented* transcendental oracle in
+//! `mf_mpsoft::functions` (plain Taylor series in limb arithmetic — no
+//! shared constants, no shared reduction strategy). Agreement to ~200 bits
+//! between two unrelated implementations is strong evidence both are right.
+
+use multifloats::mpsoft::functions as oracle;
+use multifloats::{F64x2, F64x4, MpFloat};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn check(got: &MpFloat, want: &MpFloat, bits: i32, ctx: &str) {
+    if want.is_zero() {
+        assert!(got.abs().to_f64() < 1e-290, "{ctx}: expected ~0");
+        return;
+    }
+    let err = got.rel_error_vs(want);
+    assert!(
+        err <= 2.0f64.powi(-bits),
+        "{ctx}: rel err 2^{:.1} (bound 2^-{bits})",
+        err.log2()
+    );
+}
+
+#[test]
+fn exp_matches_oracle() {
+    let mut rng = SmallRng::seed_from_u64(2000);
+    for _ in 0..40 {
+        let v = rng.gen_range(-30.0..30.0);
+        let x = MpFloat::from_f64(v, 300);
+        let want = oracle::exp(&x, 300);
+        let got = F64x4::from(v).exp().to_mp(400);
+        check(&got, &want, 198, &format!("exp({v})"));
+        let got2 = F64x2::from(v).exp().to_mp(300);
+        check(&got2, &want, 96, &format!("exp({v}) at N=2"));
+    }
+}
+
+#[test]
+fn ln_matches_oracle() {
+    let mut rng = SmallRng::seed_from_u64(2001);
+    for _ in 0..40 {
+        let v = rng.gen_range(1e-6..1e6f64);
+        let x = MpFloat::from_f64(v, 300);
+        let want = oracle::ln(&x, 300);
+        let got = F64x4::from(v).ln().to_mp(400);
+        check(&got, &want, 196, &format!("ln({v})"));
+    }
+}
+
+#[test]
+fn sin_cos_match_oracle() {
+    let mut rng = SmallRng::seed_from_u64(2002);
+    for _ in 0..30 {
+        let v = rng.gen_range(-40.0..40.0);
+        let x = MpFloat::from_f64(v, 320);
+        let (ws, wc) = oracle::sin_cos(&x, 300);
+        let (gs, gc) = F64x4::from(v).sin_cos();
+        // Near sin/cos zeros the relative error blows up by the
+        // cancellation factor; bound absolute error scaled by 1 instead.
+        let abs_s = gs.to_mp(400).sub(&ws, 400).abs().to_f64();
+        let abs_c = gc.to_mp(400).sub(&wc, 400).abs().to_f64();
+        assert!(abs_s <= 2.0f64.powi(-196), "sin({v}): {abs_s:e}");
+        assert!(abs_c <= 2.0f64.powi(-196), "cos({v}): {abs_c:e}");
+    }
+}
+
+#[test]
+fn atan_matches_oracle() {
+    let mut rng = SmallRng::seed_from_u64(2003);
+    for _ in 0..20 {
+        let v = rng.gen_range(-50.0..50.0);
+        let x = MpFloat::from_f64(v, 300);
+        let want = oracle::atan(&x, 300);
+        let got = F64x4::from(v).atan().to_mp(400);
+        check(&got, &want, 192, &format!("atan({v})"));
+    }
+}
+
+#[test]
+fn constants_match_oracle() {
+    // The decimal literals in mf-core::consts vs series computations.
+    let pi = oracle::pi(300);
+    check(&F64x4::pi().to_mp(400), &pi, 210, "pi literal");
+    let l2 = oracle::ln2(300);
+    check(&F64x4::ln_2().to_mp(400), &l2, 210, "ln2 literal");
+    // tau / frac_pi_2 consistency.
+    check(
+        &F64x4::tau().to_mp(400),
+        &pi.add(&pi, 300),
+        210,
+        "tau literal",
+    );
+    check(
+        &F64x4::frac_pi_2().to_mp(400),
+        &pi.div(&MpFloat::from_u64(2, 64), 300),
+        210,
+        "pi/2 literal",
+    );
+}
+
+#[test]
+fn powf_matches_oracle_composition() {
+    let mut rng = SmallRng::seed_from_u64(2004);
+    for _ in 0..15 {
+        let b = rng.gen_range(0.1..20.0f64);
+        let e = rng.gen_range(-4.0..4.0f64);
+        // b^e = exp(e ln b) via the oracle.
+        let lb = oracle::ln(&MpFloat::from_f64(b, 320), 320);
+        let want = oracle::exp(&lb.mul(&MpFloat::from_f64(e, 320), 320), 300);
+        let got = F64x4::from(b).powf(F64x4::from(e)).to_mp(400);
+        check(&got, &want, 190, &format!("{b}^{e}"));
+    }
+}
