@@ -186,7 +186,10 @@ mod tests {
             if exact.is_zero() {
                 continue;
             }
-            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-103), "a={a:?} b={b:?}");
+            assert!(
+                got.rel_error_vs(&exact) <= 2.0f64.powi(-103),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 
@@ -201,7 +204,10 @@ mod tests {
             if exact.is_zero() {
                 continue;
             }
-            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-101), "a={a:?} b={b:?}");
+            assert!(
+                got.rel_error_vs(&exact) <= 2.0f64.powi(-101),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 
@@ -219,7 +225,10 @@ mod tests {
             if exact.is_zero() {
                 continue;
             }
-            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-99), "a={a:?} b={b:?}");
+            assert!(
+                got.rel_error_vs(&exact) <= 2.0f64.powi(-99),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 
@@ -242,8 +251,14 @@ mod tests {
     fn sloppy_add_loses_bits_under_cancellation() {
         // Documented weakness of the sloppy variant: opposite-sign heads
         // with information in the tails.
-        let a = DoubleDouble { hi: 1.0, lo: 2.0f64.powi(-55) };
-        let b = DoubleDouble { hi: -1.0, lo: 2.0f64.powi(-107) };
+        let a = DoubleDouble {
+            hi: 1.0,
+            lo: 2.0f64.powi(-55),
+        };
+        let b = DoubleDouble {
+            hi: -1.0,
+            lo: 2.0f64.powi(-107),
+        };
         let sloppy = a.sloppy_add(b);
         let accurate = a.add(b);
         // Accurate keeps both tail contributions.

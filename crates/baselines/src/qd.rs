@@ -178,13 +178,11 @@ impl QuadDouble {
         for &v in &x[1..] {
             let (ns, e) = quick_two_sum(s, v);
             s = ns;
-            if e != 0.0 {
-                if k < 3 {
-                    out[k] = s;
-                    k += 1;
-                    s = e;
-                } // beyond 4 terms: dropped
-            }
+            if e != 0.0 && k < 3 {
+                out[k] = s;
+                k += 1;
+                s = e;
+            } // beyond 4 terms: dropped
         }
         if k <= 3 {
             out[k] = s;
@@ -392,7 +390,10 @@ mod tests {
             }
             // sloppy_add: ~2^-205 in benign cases; allow the documented
             // slack for its weaker worst case.
-            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-190), "a={a:?} b={b:?}");
+            assert!(
+                got.rel_error_vs(&exact) <= 2.0f64.powi(-190),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 
@@ -432,7 +433,10 @@ mod tests {
             if exact.is_zero() {
                 continue;
             }
-            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-190), "a={a:?} b={b:?}");
+            assert!(
+                got.rel_error_vs(&exact) <= 2.0f64.powi(-190),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 
@@ -449,7 +453,10 @@ mod tests {
             let back = q.mul(b);
             let exact = to_mp(a);
             let got = to_mp(back);
-            assert!(got.rel_error_vs(&exact) <= 2.0f64.powi(-185), "a={a:?} b={b:?}");
+            assert!(
+                got.rel_error_vs(&exact) <= 2.0f64.powi(-185),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 

@@ -7,7 +7,12 @@
 //!    opportunity);
 //! 5. unrolled fixed-sequence kernels vs the rolled generic-N construction
 //!    (`addition::add_generic`);
-//! 6. autovectorized SoA kernels vs explicit lock-step `Lanes<8>` execution.
+//! 6. autovectorized SoA kernels vs explicit lock-step `Lanes<8>` execution;
+//! 7. telemetry probe overhead with the feature *disabled* — run once with
+//!    the default build and once with `--features telemetry` and diff the
+//!    `telemetry_overhead/*` numbers; the disabled build must be within
+//!    1–2% of a build where the probes were never written (the probes
+//!    const-fold to nothing, see `mf_telemetry::ENABLED`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mf_baselines::qd::QuadDouble;
@@ -36,8 +41,8 @@ fn eft_ablation(c: &mut Criterion) {
 
 fn division_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("division");
-    let b3 = F64x3::from(1.7320508075688772).components();
-    let a3 = F64x3::from(1.4142135623730951).components();
+    let b3 = F64x3::from(3.0f64.sqrt()).components();
+    let a3 = F64x3::from(std::f64::consts::SQRT_2).components();
     g.bench_function("karp_markstein_N3", |b| {
         b.iter(|| black_box(division::div_karp_markstein(black_box(&b3), black_box(&a3))))
     });
@@ -101,12 +106,49 @@ fn qd_add_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+fn telemetry_overhead_ablation(c: &mut Criterion) {
+    use mf_bench::workloads::rand_f64s;
+    use mf_blas::kernels;
+    use mf_core::MultiFloat;
+    let mut g = c.benchmark_group("telemetry_overhead");
+    let n = 4096;
+    let to_mf = MultiFloat::<f64, 2>::from;
+    let xs: Vec<_> = rand_f64s(1, n).into_iter().map(to_mf).collect();
+    let mut ys: Vec<_> = rand_f64s(2, n).into_iter().map(to_mf).collect();
+    let alpha = to_mf(1.000000321);
+    // These kernels cross every instrumented layer (renorm probes in
+    // mf-core, dispatch probes in mf-blas); with the `telemetry` feature
+    // off, both must match an uninstrumented build to within noise.
+    g.bench_function(
+        if mf_telemetry::ENABLED {
+            "axpy_N2_telemetry_on"
+        } else {
+            "axpy_N2_telemetry_off"
+        },
+        |bch| {
+            bch.iter(|| {
+                kernels::axpy(black_box(alpha), black_box(&xs), black_box(&mut ys));
+                black_box(ys[0]);
+            })
+        },
+    );
+    g.bench_function(
+        if mf_telemetry::ENABLED {
+            "dot_N2_telemetry_on"
+        } else {
+            "dot_N2_telemetry_off"
+        },
+        |bch| bch.iter(|| black_box(kernels::dot(black_box(&xs), black_box(&ys)))),
+    );
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .sample_size(30)
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_millis(500));
-    targets = eft_ablation, division_ablation, qd_add_ablation, kernel_form_ablation, simd_form_ablation
+    targets = eft_ablation, division_ablation, qd_add_ablation, kernel_form_ablation, simd_form_ablation, telemetry_overhead_ablation
 );
 criterion_main!(benches);

@@ -71,9 +71,14 @@ fn axpy_group(c: &mut Criterion) {
 
     // MpFloat at 208 bits (GMP/MPFR class), smaller size to keep runtime sane.
     let n = 256;
-    let xs: Vec<MpFloat> = rand_f64s(1, n).iter().map(|&v| MpFloat::from_f64(v, 208)).collect();
-    let mut ys: Vec<MpFloat> =
-        rand_f64s(2, n).iter().map(|&v| MpFloat::from_f64(v, 208)).collect();
+    let xs: Vec<MpFloat> = rand_f64s(1, n)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, 208))
+        .collect();
+    let mut ys: Vec<MpFloat> = rand_f64s(2, n)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, 208))
+        .collect();
     let alpha = MpFloat::from_f64(1.0000001, 208);
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function(BenchmarkId::new("aos", "mpsoft208"), |b| {

@@ -43,18 +43,30 @@ fn ops_baselines(c: &mut Criterion) {
 
     let a = DoubleDouble::from_f64(1.2345678901234567);
     let b = DoubleDouble::from_f64(0.9876543210987654);
-    g.bench_function("dd/add", |bch| bch.iter(|| black_box(black_box(a).add(black_box(b)))));
-    g.bench_function("dd/mul", |bch| bch.iter(|| black_box(black_box(a).mul(black_box(b)))));
-    g.bench_function("dd/div", |bch| bch.iter(|| black_box(black_box(a).div(black_box(b)))));
+    g.bench_function("dd/add", |bch| {
+        bch.iter(|| black_box(black_box(a).add(black_box(b))))
+    });
+    g.bench_function("dd/mul", |bch| {
+        bch.iter(|| black_box(black_box(a).mul(black_box(b))))
+    });
+    g.bench_function("dd/div", |bch| {
+        bch.iter(|| black_box(black_box(a).div(black_box(b))))
+    });
 
     let a = QuadDouble::from_f64(1.2345678901234567);
     let b = QuadDouble::from_f64(0.9876543210987654);
-    g.bench_function("qd/add", |bch| bch.iter(|| black_box(black_box(a).add(black_box(b)))));
+    g.bench_function("qd/add", |bch| {
+        bch.iter(|| black_box(black_box(a).add(black_box(b))))
+    });
     g.bench_function("qd/accurate_add", |bch| {
         bch.iter(|| black_box(black_box(a).accurate_add(black_box(b))))
     });
-    g.bench_function("qd/mul", |bch| bch.iter(|| black_box(black_box(a).mul(black_box(b)))));
-    g.bench_function("qd/div", |bch| bch.iter(|| black_box(black_box(a).div(black_box(b)))));
+    g.bench_function("qd/mul", |bch| {
+        bch.iter(|| black_box(black_box(a).mul(black_box(b))))
+    });
+    g.bench_function("qd/div", |bch| {
+        bch.iter(|| black_box(black_box(a).div(black_box(b))))
+    });
 
     macro_rules! campary_n {
         ($n:expr, $label:expr) => {{

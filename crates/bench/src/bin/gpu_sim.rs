@@ -10,16 +10,28 @@
 //! orders of magnitude; the reproduced *shape* is the 1→4-term scaling of
 //! each kernel.
 //!
-//! Usage: cargo run --release -p mf-bench --bin gpu_sim [-- --out <json>]
+//! Usage:
+//!   cargo run --release -p mf-bench --bin gpu_sim -- [--out <json>] [--manifest <json>]
 
 use mf_bench::workloads::{rand_f64s, Sizes};
-use mf_bench::{measure_gops, sink, Cell, TableRun};
+use mf_bench::{cli, measure_gops, sink, Cell, RunManifest, TableRun};
 use mf_blas::kernels;
 use mf_blas::soa::{self, SoaMatrix, SoaVec};
 use mf_blas::Matrix;
 use mf_core::MultiFloat;
+use mf_telemetry::Section;
+use std::time::Instant;
 
 const KERNELS: [&str; 4] = ["AXPY", "DOT", "GEMV", "GEMM"];
+
+const USAGE: &str = "[--out <json>] [--manifest <json>]";
+
+static SEC_TERMS: [Section; 4] = [
+    Section::new("gpu_sim.terms_1"),
+    Section::new("gpu_sim.terms_2"),
+    Section::new("gpu_sim.terms_3"),
+    Section::new("gpu_sim.terms_4"),
+];
 
 fn bench_f32<const N: usize>(sizes: &Sizes) -> [f64; 4] {
     let to_mf = |v: f64| MultiFloat::<f32, N>::from(v);
@@ -125,26 +137,32 @@ fn bench_f32_aos<const N: usize>(sizes: &Sizes) -> [f64; 4] {
 }
 
 fn main() {
+    let started = Instant::now();
     let args: Vec<String> = std::env::args().collect();
     let mut out_path: Option<String> = None;
+    let mut manifest_path = String::from("results/manifest_gpu_sim.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
-                out_path = Some(args[i + 1].clone());
+                out_path = Some(cli::flag_value(&args, i, "gpu_sim", USAGE).to_string());
                 i += 2;
             }
-            other => panic!("unknown argument {other}"),
+            "--manifest" => {
+                manifest_path = cli::flag_value(&args, i, "gpu_sim", USAGE).to_string();
+                i += 2;
+            }
+            other => cli::usage_error("gpu_sim", USAGE, &format!("unknown argument '{other}'")),
         }
     }
 
     let sizes = Sizes::from_env();
     let mut cells = Vec::new();
     let results = [
-        bench_f32::<1>(&sizes),
-        bench_f32::<2>(&sizes),
-        bench_f32::<3>(&sizes),
-        bench_f32::<4>(&sizes),
+        SEC_TERMS[0].time(|| bench_f32::<1>(&sizes)),
+        SEC_TERMS[1].time(|| bench_f32::<2>(&sizes)),
+        SEC_TERMS[2].time(|| bench_f32::<3>(&sizes)),
+        SEC_TERMS[3].time(|| bench_f32::<4>(&sizes)),
     ];
     for (t, vals) in results.iter().enumerate() {
         for (k, &g) in KERNELS.iter().zip(vals) {
@@ -173,12 +191,17 @@ fn main() {
         println!();
     }
 
+    let run = TableRun {
+        platform: "f32 SIMD lanes (GPU substitution)".into(),
+        cells,
+    };
     if let Some(p) = out_path {
-        let run = TableRun {
-            platform: "f32 SIMD lanes (GPU substitution)".into(),
-            cells,
-        };
-        std::fs::write(&p, serde_json::to_string_pretty(&run).unwrap()).unwrap();
+        std::fs::write(&p, run.to_json().render_pretty())
+            .unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
         eprintln!("wrote {p}");
     }
+
+    let manifest =
+        RunManifest::collect("gpu_sim", "f32-soa", 1, started).with_extra("table", run.to_json());
+    cli::write_manifest(&manifest, &manifest_path);
 }

@@ -1,0 +1,150 @@
+//! Merge the telemetry run manifests under `results/` into a single
+//! human-readable digest (and optionally a merged JSON document).
+//!
+//! Every bench binary (`tables`, `gpu_sim`, `verify_networks`) drops a
+//! `results/manifest_<tool>.json` on exit; after an experiment sweep this
+//! tool answers "what ran, where, how long, and what did the probes see"
+//! in one place.
+//!
+//! Usage:
+//!   cargo run --release -p mf-bench --bin report -- [--dir <results>] [--out <json>]
+
+use mf_bench::{cli, RunManifest};
+use mf_telemetry::json::Json;
+use std::path::PathBuf;
+
+const USAGE: &str = "[--dir <results>] [--out <json>]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut dir = String::from("results");
+    let mut out_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                dir = cli::flag_value(&args, i, "report", USAGE).to_string();
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(cli::flag_value(&args, i, "report", USAGE).to_string());
+                i += 2;
+            }
+            other => cli::usage_error("report", USAGE, &format!("unknown argument '{other}'")),
+        }
+    }
+
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => cli::usage_error(
+            "report",
+            USAGE,
+            &format!("cannot read directory {dir}: {e}"),
+        ),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().map(|x| x == "json").unwrap_or(false)
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("manifest_"))
+                    .unwrap_or(false)
+        })
+        .collect();
+    paths.sort();
+
+    let mut manifests: Vec<(PathBuf, RunManifest)> = Vec::new();
+    for p in paths {
+        match RunManifest::read(&p) {
+            Ok(m) => manifests.push((p, m)),
+            Err(e) => eprintln!("report: skipping {}: {e}", p.display()),
+        }
+    }
+    if manifests.is_empty() {
+        cli::usage_error(
+            "report",
+            USAGE,
+            &format!("no manifest_*.json files found under {dir}/ — run a bench binary first"),
+        );
+    }
+
+    println!("Run digest: {} manifest(s) under {dir}/", manifests.len());
+    for (path, m) in &manifests {
+        println!("\n=== {} ({})", m.tool, path.display());
+        println!(
+            "  config={} threads={} wall={:.1}ms telemetry={}",
+            m.config,
+            m.threads,
+            m.wall_ms,
+            if m.telemetry_enabled { "on" } else { "off" }
+        );
+        println!(
+            "  platform: {} {} ({}){}",
+            m.platform.os,
+            m.platform.arch,
+            m.platform.rustc,
+            if m.platform.label.is_empty() {
+                String::new()
+            } else {
+                format!(" label={}", m.platform.label)
+            }
+        );
+        if !m.platform.rustflags.is_empty() {
+            println!("  rustflags: {}", m.platform.rustflags);
+        }
+        if !m.snapshot.sections.is_empty() {
+            println!("  sections:");
+            for s in &m.snapshot.sections {
+                println!(
+                    "    {:<32} {:>10.1} ms ({} span{})",
+                    s.name,
+                    s.total_ns as f64 / 1e6,
+                    s.count,
+                    if s.count == 1 { "" } else { "s" }
+                );
+            }
+        }
+        if !m.snapshot.counters.is_empty() {
+            println!("  counters:");
+            for (name, v) in &m.snapshot.counters {
+                println!("    {name:<32} {v:>12}");
+            }
+        }
+        for h in &m.snapshot.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            println!(
+                "  histogram {:<24} n={} mean={:.2} p50<=2^{} p99<=2^{}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.quantile_upper_bound(0.50),
+                h.quantile_upper_bound(0.99),
+            );
+        }
+        if !m.snapshot.events.is_empty() {
+            println!(
+                "  events: {} retained ({} dropped)",
+                m.snapshot.events.len(),
+                m.snapshot.dropped_events
+            );
+        }
+    }
+
+    if let Some(p) = out_path {
+        let merged = Json::Obj(vec![
+            ("schema".into(), Json::str("mf-telemetry/report/v1")),
+            (
+                "manifests".into(),
+                Json::Arr(manifests.iter().map(|(_, m)| m.to_json()).collect()),
+            ),
+        ]);
+        match std::fs::write(&p, merged.render_pretty() + "\n") {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => eprintln!("warning: could not write {p}: {e}"),
+        }
+    }
+}

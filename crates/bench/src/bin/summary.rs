@@ -8,26 +8,35 @@
 //! Each input is a JSON file produced by the `tables` binary. The paper's
 //! claim is that every ratio exceeds 1 (MultiFloats is always fastest).
 
-use mf_bench::TableRun;
+use mf_bench::{cli, TableRun};
+use mf_telemetry::json::Json;
 
 const KERNELS: [&str; 4] = ["AXPY", "DOT", "GEMV", "GEMM"];
 const BITS: [u32; 4] = [53, 103, 156, 208];
 const OURS: &str = "MultiFloats (ours)";
+const USAGE: &str = "<tables.json> [...]";
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: summary <tables.json> [...]");
-        std::process::exit(2);
+        cli::usage_error("summary", USAGE, "expected at least one tables.json path");
     }
     for path in paths {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let run: TableRun = serde_json::from_str(&text).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            cli::usage_error("summary", USAGE, &format!("cannot read {path}: {e}"))
+        });
+        let json = Json::parse(&text).unwrap_or_else(|e| {
+            cli::usage_error("summary", USAGE, &format!("{path} is not valid JSON: {e}"))
+        });
+        let run = TableRun::from_json(&json).unwrap_or_else(|| {
+            cli::usage_error(
+                "summary",
+                USAGE,
+                &format!("{path} is not a tables.json produced by the tables binary"),
+            )
+        });
         println!("\nPlatform: {} ({path})", run.platform);
-        println!(
-            "Ratio of MultiFloats peak over next-best library (paper Figure 8):"
-        );
+        println!("Ratio of MultiFloats peak over next-best library (paper Figure 8):");
         print!("{:<8}", "Kernel");
         for &b in &BITS {
             print!("{:>10}", format!("{b}-bit"));

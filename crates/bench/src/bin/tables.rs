@@ -3,7 +3,14 @@
 //! GEMM at 53/103/156/208-bit precision across libraries.
 //!
 //! Usage:
-//!   cargo run --release -p mf-bench --bin tables -- [--label <text>] [--out <json>]
+//!   cargo run --release -p mf-bench --bin tables -- \
+//!       [--config wide|narrow] [--label <text>] [--out <json>] [--manifest <json>]
+//!
+//! `--config` names the experiment configuration in the run manifest and
+//! the default platform label: `wide` (E1, native SIMD — the default) or
+//! `narrow` (E2, run under the narrowed-RUSTFLAGS build). It does not
+//! change codegen by itself — the SIMD width is fixed at compile time by
+//! RUSTFLAGS (see `scripts/run_experiments.sh`).
 //!
 //! Libraries reported (see DESIGN.md substitutions):
 //!   MultiFloats      — this work (max over AoS / SoA / threaded variants)
@@ -17,14 +24,23 @@ use mf_baselines::campary::Expansion;
 use mf_baselines::dd::DoubleDouble;
 use mf_baselines::qd::QuadDouble;
 use mf_bench::workloads::{rand_f64s, Sizes};
-use mf_bench::{measure_gops, render_table, sink, Cell, TableRun};
+use mf_bench::{cli, measure_gops, render_table, sink, Cell, RunManifest, TableRun};
 use mf_blas::soa::{self, SoaMatrix, SoaVec};
 use mf_blas::{kernels, mp, parallel, Matrix, Scalar};
 use mf_core::MultiFloat;
 use mf_mpsoft::MpFloat;
+use mf_telemetry::Section;
+use std::time::Instant;
 
 const KERNELS: [&str; 4] = ["AXPY", "DOT", "GEMV", "GEMM"];
 const BITS: [u32; 4] = [53, 103, 156, 208];
+
+const USAGE: &str = "[--config wide|narrow] [--label <text>] [--out <json>] [--manifest <json>]";
+
+static SEC_MULTIFLOATS: Section = Section::new("tables.multifloats");
+static SEC_MPSOFT: Section = Section::new("tables.mpsoft");
+static SEC_QD: Section = Section::new("tables.qd");
+static SEC_CAMPARY: Section = Section::new("tables.campary");
 
 /// Measure all four kernels for one `Scalar` type (AoS layout).
 fn bench_aos<S: Scalar>(sizes: &Sizes, threads: usize) -> [f64; 4] {
@@ -107,12 +123,8 @@ fn bench_soa<const N: usize>(sizes: &Sizes) -> [f64; 4] {
     type T = f64;
     let n = sizes.vec_len;
     let to_mf = |v: f64| MultiFloat::<T, N>::from(v);
-    let xs = SoaVec::from_slice(
-        &rand_f64s(1, n).into_iter().map(to_mf).collect::<Vec<_>>(),
-    );
-    let mut ys = SoaVec::from_slice(
-        &rand_f64s(2, n).into_iter().map(to_mf).collect::<Vec<_>>(),
-    );
+    let xs = SoaVec::from_slice(&rand_f64s(1, n).into_iter().map(to_mf).collect::<Vec<_>>());
+    let mut ys = SoaVec::from_slice(&rand_f64s(2, n).into_iter().map(to_mf).collect::<Vec<_>>());
     let alpha = to_mf(1.000000321);
     let beta = to_mf(0.999999712);
 
@@ -128,12 +140,8 @@ fn bench_soa<const N: usize>(sizes: &Sizes) -> [f64; 4] {
     let gn = sizes.gemv_n;
     let vals = rand_f64s(3, gn * gn);
     let a = SoaMatrix::from_fn(gn, gn, |i, j| to_mf(vals[i * gn + j]));
-    let xv = SoaVec::from_slice(
-        &rand_f64s(4, gn).into_iter().map(to_mf).collect::<Vec<_>>(),
-    );
-    let mut yv = SoaVec::from_slice(
-        &rand_f64s(5, gn).into_iter().map(to_mf).collect::<Vec<_>>(),
-    );
+    let xv = SoaVec::from_slice(&rand_f64s(4, gn).into_iter().map(to_mf).collect::<Vec<_>>());
+    let mut yv = SoaVec::from_slice(&rand_f64s(5, gn).into_iter().map(to_mf).collect::<Vec<_>>());
     let gemv = measure_gops(sizes.ops("GEMV"), sizes.min_secs, || {
         soa::gemv(alpha, &a, &xv, beta, &mut yv);
         sink(yv.comps[0][0]);
@@ -156,9 +164,14 @@ fn bench_soa<const N: usize>(sizes: &Sizes) -> [f64; 4] {
 /// Measure the limb-based MpFloat kernels at `prec` bits.
 fn bench_mp(sizes: &Sizes, prec: u32) -> [f64; 4] {
     let n = sizes.vec_len.min(2048); // MpFloat is slow; cap sizes
-    let x: Vec<MpFloat> = rand_f64s(1, n).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
-    let mut y: Vec<MpFloat> =
-        rand_f64s(2, n).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let x: Vec<MpFloat> = rand_f64s(1, n)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, prec))
+        .collect();
+    let mut y: Vec<MpFloat> = rand_f64s(2, n)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, prec))
+        .collect();
     let alpha = MpFloat::from_f64(1.000000321, prec);
     let beta = MpFloat::from_f64(0.999999712, prec);
 
@@ -171,21 +184,32 @@ fn bench_mp(sizes: &Sizes, prec: u32) -> [f64; 4] {
     });
 
     let gn = sizes.gemv_n.min(96);
-    let a: Vec<MpFloat> =
-        rand_f64s(3, gn * gn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
-    let xv: Vec<MpFloat> = rand_f64s(4, gn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
-    let mut yv: Vec<MpFloat> =
-        rand_f64s(5, gn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let a: Vec<MpFloat> = rand_f64s(3, gn * gn)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, prec))
+        .collect();
+    let xv: Vec<MpFloat> = rand_f64s(4, gn)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, prec))
+        .collect();
+    let mut yv: Vec<MpFloat> = rand_f64s(5, gn)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, prec))
+        .collect();
     let gemv = measure_gops((gn * gn) as f64, sizes.min_secs, || {
         mp::gemv(&alpha, &a, gn, gn, &xv, &beta, &mut yv, prec);
         sink(yv[0].to_f64());
     });
 
     let mn = sizes.gemm_n.min(32);
-    let am: Vec<MpFloat> =
-        rand_f64s(6, mn * mn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
-    let bm: Vec<MpFloat> =
-        rand_f64s(7, mn * mn).iter().map(|&v| MpFloat::from_f64(v, prec)).collect();
+    let am: Vec<MpFloat> = rand_f64s(6, mn * mn)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, prec))
+        .collect();
+    let bm: Vec<MpFloat> = rand_f64s(7, mn * mn)
+        .iter()
+        .map(|&v| MpFloat::from_f64(v, prec))
+        .collect();
     let mut cmv: Vec<MpFloat> = (0..mn * mn).map(|_| MpFloat::zero(prec)).collect();
     let gemm = measure_gops((mn * mn * mn) as f64, sizes.min_secs, || {
         mp::gemm(&alpha, &am, &bm, &mut cmv, mn, mn, mn, &beta, prec);
@@ -211,85 +235,130 @@ fn max4(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
 }
 
 fn main() {
+    let started = Instant::now();
     let args: Vec<String> = std::env::args().collect();
-    let mut label = format!(
-        "{} ({} threads)",
-        std::env::var("MF_PLATFORM_LABEL").unwrap_or_else(|_| "x86-64 native".into()),
-        parallel::default_threads()
-    );
+    let mut config = String::from("wide");
+    let mut label: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut manifest_path = String::from("results/manifest_tables.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--config" => {
+                config = cli::flag_value(&args, i, "tables", USAGE).to_string();
+                if config != "wide" && config != "narrow" {
+                    cli::usage_error(
+                        "tables",
+                        USAGE,
+                        &format!("--config must be 'wide' or 'narrow', got '{config}'"),
+                    );
+                }
+                i += 2;
+            }
             "--label" => {
-                label = args[i + 1].clone();
+                label = Some(cli::flag_value(&args, i, "tables", USAGE).to_string());
                 i += 2;
             }
             "--out" => {
-                out_path = Some(args[i + 1].clone());
+                out_path = Some(cli::flag_value(&args, i, "tables", USAGE).to_string());
                 i += 2;
             }
-            other => panic!("unknown argument {other}"),
+            "--manifest" => {
+                manifest_path = cli::flag_value(&args, i, "tables", USAGE).to_string();
+                i += 2;
+            }
+            other => cli::usage_error("tables", USAGE, &format!("unknown argument '{other}'")),
         }
     }
+    let label = label.unwrap_or_else(|| {
+        format!(
+            "{} ({}, {} threads)",
+            std::env::var("MF_PLATFORM_LABEL").unwrap_or_else(|_| "x86-64 native".into()),
+            config,
+            parallel::default_threads()
+        )
+    });
 
     let sizes = Sizes::from_env();
     let threads = parallel::default_threads();
     let mut cells = Vec::new();
 
-    eprintln!("== MultiFloats (ours): max over AoS / SoA{} ==",
-        if threads > 1 { " / threaded" } else { "" });
-    // 53-bit: N = 1 (plain base type through the same kernels).
-    let mf1 = max4(
-        bench_aos::<MultiFloat<f64, 1>>(&sizes, 1),
-        bench_soa::<1>(&sizes),
+    eprintln!(
+        "== MultiFloats (ours): max over AoS / SoA{} ==",
+        if threads > 1 { " / threaded" } else { "" }
     );
-    let mf1 = if threads > 1 {
-        max4(mf1, bench_aos::<MultiFloat<f64, 1>>(&sizes, threads))
-    } else {
-        mf1
-    };
-    push(&mut cells, "MultiFloats (ours)", 53, mf1);
-    eprintln!("  53-bit: {mf1:.3?}");
+    {
+        let _g = SEC_MULTIFLOATS.start();
+        // 53-bit: N = 1 (plain base type through the same kernels).
+        let mf1 = max4(
+            bench_aos::<MultiFloat<f64, 1>>(&sizes, 1),
+            bench_soa::<1>(&sizes),
+        );
+        let mf1 = if threads > 1 {
+            max4(mf1, bench_aos::<MultiFloat<f64, 1>>(&sizes, threads))
+        } else {
+            mf1
+        };
+        push(&mut cells, "MultiFloats (ours)", 53, mf1);
+        eprintln!("  53-bit: {mf1:.3?}");
 
-    let mf2 = max4(bench_aos::<MultiFloat<f64, 2>>(&sizes, 1), bench_soa::<2>(&sizes));
-    push(&mut cells, "MultiFloats (ours)", 103, mf2);
-    eprintln!("  103-bit: {mf2:.3?}");
-    let mf3 = max4(bench_aos::<MultiFloat<f64, 3>>(&sizes, 1), bench_soa::<3>(&sizes));
-    push(&mut cells, "MultiFloats (ours)", 156, mf3);
-    eprintln!("  156-bit: {mf3:.3?}");
-    let mf4 = max4(bench_aos::<MultiFloat<f64, 4>>(&sizes, 1), bench_soa::<4>(&sizes));
-    push(&mut cells, "MultiFloats (ours)", 208, mf4);
-    eprintln!("  208-bit: {mf4:.3?}");
+        let mf2 = max4(
+            bench_aos::<MultiFloat<f64, 2>>(&sizes, 1),
+            bench_soa::<2>(&sizes),
+        );
+        push(&mut cells, "MultiFloats (ours)", 103, mf2);
+        eprintln!("  103-bit: {mf2:.3?}");
+        let mf3 = max4(
+            bench_aos::<MultiFloat<f64, 3>>(&sizes, 1),
+            bench_soa::<3>(&sizes),
+        );
+        push(&mut cells, "MultiFloats (ours)", 156, mf3);
+        eprintln!("  156-bit: {mf3:.3?}");
+        let mf4 = max4(
+            bench_aos::<MultiFloat<f64, 4>>(&sizes, 1),
+            bench_soa::<4>(&sizes),
+        );
+        push(&mut cells, "MultiFloats (ours)", 208, mf4);
+        eprintln!("  208-bit: {mf4:.3?}");
+    }
 
     eprintln!("== GMP/MPFR-class (mf-mpsoft) ==");
-    for &bits in &BITS {
-        let v = bench_mp(&sizes, bits);
-        push(&mut cells, "GMP/MPFR-class", bits, v);
-        eprintln!("  {bits}-bit: {v:.3?}");
+    {
+        let _g = SEC_MPSOFT.start();
+        for &bits in &BITS {
+            let v = bench_mp(&sizes, bits);
+            push(&mut cells, "GMP/MPFR-class", bits, v);
+            eprintln!("  {bits}-bit: {v:.3?}");
+        }
     }
 
     eprintln!("== QD ==");
-    let qd2 = bench_aos::<DoubleDouble>(&sizes, 1);
-    push(&mut cells, "QD", 103, qd2);
-    eprintln!("  103-bit (dd): {qd2:.3?}");
-    let qd4 = bench_aos::<QuadDouble>(&sizes, 1);
-    push(&mut cells, "QD", 208, qd4);
-    eprintln!("  208-bit (qd): {qd4:.3?}");
+    {
+        let _g = SEC_QD.start();
+        let qd2 = bench_aos::<DoubleDouble>(&sizes, 1);
+        push(&mut cells, "QD", 103, qd2);
+        eprintln!("  103-bit (dd): {qd2:.3?}");
+        let qd4 = bench_aos::<QuadDouble>(&sizes, 1);
+        push(&mut cells, "QD", 208, qd4);
+        eprintln!("  208-bit (qd): {qd4:.3?}");
+    }
 
     eprintln!("== CAMPARY (certified) ==");
-    let c1 = bench_aos::<Expansion<1>>(&sizes, 1);
-    push(&mut cells, "CAMPARY", 53, c1);
-    eprintln!("  53-bit: {c1:.3?}");
-    let c2 = bench_aos::<Expansion<2>>(&sizes, 1);
-    push(&mut cells, "CAMPARY", 103, c2);
-    eprintln!("  103-bit: {c2:.3?}");
-    let c3 = bench_aos::<Expansion<3>>(&sizes, 1);
-    push(&mut cells, "CAMPARY", 156, c3);
-    eprintln!("  156-bit: {c3:.3?}");
-    let c4 = bench_aos::<Expansion<4>>(&sizes, 1);
-    push(&mut cells, "CAMPARY", 208, c4);
-    eprintln!("  208-bit: {c4:.3?}");
+    {
+        let _g = SEC_CAMPARY.start();
+        let c1 = bench_aos::<Expansion<1>>(&sizes, 1);
+        push(&mut cells, "CAMPARY", 53, c1);
+        eprintln!("  53-bit: {c1:.3?}");
+        let c2 = bench_aos::<Expansion<2>>(&sizes, 1);
+        push(&mut cells, "CAMPARY", 103, c2);
+        eprintln!("  103-bit: {c2:.3?}");
+        let c3 = bench_aos::<Expansion<3>>(&sizes, 1);
+        push(&mut cells, "CAMPARY", 156, c3);
+        eprintln!("  156-bit: {c3:.3?}");
+        let c4 = bench_aos::<Expansion<4>>(&sizes, 1);
+        push(&mut cells, "CAMPARY", 208, c4);
+        eprintln!("  208-bit: {c4:.3?}");
+    }
 
     let run = TableRun {
         platform: label,
@@ -304,7 +373,12 @@ fn main() {
     println!("\n(libquadmath: N/A — no __float128 in stable Rust; see DESIGN.md T6)");
 
     if let Some(p) = out_path {
-        std::fs::write(&p, serde_json::to_string_pretty(&run).unwrap()).unwrap();
+        std::fs::write(&p, run.to_json().render_pretty())
+            .unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
         eprintln!("wrote {p}");
     }
+
+    let manifest = RunManifest::collect("tables", &config, threads, started)
+        .with_extra("table", run.to_json());
+    cli::write_manifest(&manifest, &manifest_path);
 }

@@ -6,22 +6,54 @@
 //! the exact `mf-mpsoft` oracle, plus dense small-precision sweeps at
 //! p = 12 with an exact integer reference.
 //!
-//! Usage: cargo run --release -p mf-bench --bin verify_networks [-- --trials N]
+//! Usage:
+//!   cargo run --release -p mf-bench --bin verify_networks -- \
+//!       [--trials N] [--manifest <json>]
 
+use mf_bench::{cli, RunManifest};
 use mf_fpan::networks;
 use mf_fpan::verify::{self, Config};
+use mf_telemetry::Section;
+use std::time::Instant;
+
+const USAGE: &str = "[--trials N] [--manifest <json>]";
+
+static SEC_F64: Section = Section::new("verify_networks.f64_suites");
+static SEC_SOFT: Section = Section::new("verify_networks.soft_sweep");
+static SEC_EXHAUSTIVE: Section = Section::new("verify_networks.exhaustive");
 
 fn main() {
+    let started = Instant::now();
     let args: Vec<String> = std::env::args().collect();
-    let mut trials = if mf_bench::quick_mode() { 2_000 } else { 50_000 };
+    let mut trials = if mf_bench::quick_mode() {
+        2_000
+    } else {
+        50_000
+    };
+    let mut manifest_path = String::from("results/manifest_verify_networks.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--trials" => {
-                trials = args[i + 1].parse().unwrap();
+                let v = cli::flag_value(&args, i, "verify_networks", USAGE);
+                trials = v.parse().unwrap_or_else(|_| {
+                    cli::usage_error(
+                        "verify_networks",
+                        USAGE,
+                        &format!("--trials expects a positive integer, got '{v}'"),
+                    )
+                });
                 i += 2;
             }
-            other => panic!("unknown argument {other}"),
+            "--manifest" => {
+                manifest_path = cli::flag_value(&args, i, "verify_networks", USAGE).to_string();
+                i += 2;
+            }
+            other => cli::usage_error(
+                "verify_networks",
+                USAGE,
+                &format!("unknown argument '{other}'"),
+            ),
         }
     }
 
@@ -32,7 +64,10 @@ fn main() {
     );
     println!("{}", "-".repeat(64));
 
+    let mut failures = 0u64;
+
     let p = 53i32;
+    let _g = SEC_F64.start();
     // (label, network, n, paper bound exponent, bound we assert)
     let add_cases = [
         ("add_2", networks::add_2(), 2usize, 2 * p - 1, 2 * p - 2),
@@ -51,6 +86,7 @@ fn main() {
             if rep.pass { "PASS" } else { "FAIL" }
         );
         if !rep.pass {
+            failures += 1;
             println!("   first violation: {:?}", rep.first_violation);
         }
     }
@@ -72,9 +108,11 @@ fn main() {
             if rep.pass { "PASS" } else { "FAIL" }
         );
         if !rep.pass {
+            failures += 1;
             println!("   first violation: {:?}", rep.first_violation);
         }
     }
+    drop(_g);
 
     // Small-precision sweep: the same network objects at p = 12.
     println!("\nSmall-precision sweep (p = 12, exact integer reference):");
@@ -84,6 +122,7 @@ fn main() {
         ("add_3", networks::add_3(), 3, 3 * p - 3),
         ("add_4", networks::add_4(), 4, 4 * p - 4),
     ];
+    let _g = SEC_SOFT.start();
     for (name, net, n, q) in soft_cases {
         let rep = verify::verify_addition_soft::<12>(&net, n, Config::new(trials * 2, q, 0xC0DE));
         println!(
@@ -93,24 +132,31 @@ fn main() {
             rep.worst_error_exp,
             if rep.pass { "PASS" } else { "FAIL" }
         );
+        if !rep.pass {
+            failures += 1;
+        }
     }
+    drop(_g);
 
     // Exhaustive small-space verification (complete enumeration, no
     // sampling): the strongest offline statement for E5.
     println!("\nExhaustive 2-term addition sweep at p = 4 (every input pair,");
     println!("head exponents in [-2, 2], tails to 2 binades below the boundary):");
-    let rep = verify::verify_addition_exhaustive::<4>(
-        &networks::add_2(),
-        2 * 4 - 2,
-        2,
-        2,
-    );
+    let rep = SEC_EXHAUSTIVE
+        .time(|| verify::verify_addition_exhaustive::<4>(&networks::add_2(), 2 * 4 - 2, 2, 2));
     println!(
         "  {} input pairs, worst 2^{:.1}, {}",
         rep.trials,
         rep.worst_error_exp,
-        if rep.pass { "PASS (exhaustive)" } else { "FAIL" }
+        if rep.pass {
+            "PASS (exhaustive)"
+        } else {
+            "FAIL"
+        }
     );
+    if !rep.pass {
+        failures += 1;
+    }
 
     println!("\nGate-count comparison (paper's reported optima vs this reproduction):");
     println!("  paper: add (6,4) (14,8) (26,11); mul (3,3) (12,7) (27,10)");
@@ -129,4 +175,11 @@ fn main() {
         networks::mul_4().size(),
         networks::mul_4().depth(),
     );
+
+    let manifest = RunManifest::collect("verify_networks", &format!("trials={trials}"), 1, started)
+        .with_extra("failures", mf_telemetry::json::Json::u64(failures));
+    cli::write_manifest(&manifest, &manifest_path);
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }

@@ -5,28 +5,38 @@
 //!
 //! * `tables` — Figures 9/10: the CPU performance tables (Gop/s per
 //!   kernel × precision × library). Run with `--config wide` (native SIMD,
-//!   E1) or under a narrowed `RUSTFLAGS` build for the M3 substitution
-//!   (E2, see `scripts/run_experiments.sh`). Emits both human-readable
-//!   tables and JSON for the `summary` binary.
+//!   E1) or `--config narrow` under a narrowed `RUSTFLAGS` build for the M3
+//!   substitution (E2, see `scripts/run_experiments.sh`). Emits both
+//!   human-readable tables and JSON for the `summary` binary.
 //! * `summary` — Figure 8: ratio of MultiFloats' peak over the next-best
 //!   library, computed from `tables` JSON output.
 //! * `gpu_sim` — Figure 11: the `T = float` configuration (f32-base
 //!   expansions, SoA lanes) standing in for the RDNA3 GPU (T3).
 //! * `verify_networks` — Figures 2–7 captions: empirical error bounds and
 //!   nonoverlap verification for the shipped networks (E5/E6).
+//! * `report` — merge the telemetry run manifests under `results/` into a
+//!   single digest (see `mf_telemetry::manifest`).
+//!
+//! Every binary writes a `mf-telemetry` run manifest
+//! (`results/manifest_<tool>.json` by default, `--manifest <path>` to
+//! override): platform and RUSTFLAGS, wall time, per-section timings, and —
+//! when built with `--features telemetry` — the full counter/histogram
+//! snapshot from the instrumented crates.
 //!
 //! Criterion benches (`cargo bench -p mf-bench`): per-operation latency
-//! (`ops`), kernel throughput (`blas`), and the design-choice ablations
-//! (`ablation`).
+//! (`ops`), kernel throughput (`blas`), the design-choice ablations and the
+//! telemetry-overhead ablation (`ablation`).
 
-use serde::{Deserialize, Serialize};
+use mf_telemetry::json::Json;
 use std::hint::black_box;
 use std::time::Instant;
 
 pub mod workloads;
 
+pub use mf_telemetry::manifest::RunManifest;
+
 /// One measured cell of a performance table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     pub kernel: String,
     pub bits: u32,
@@ -37,7 +47,7 @@ pub struct Cell {
 }
 
 /// A full run of the `tables` binary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableRun {
     /// Free-form platform label (e.g. "x86-64 native SIMD (Zen5 substitute)").
     pub platform: String,
@@ -61,23 +71,118 @@ impl TableRun {
         }
         libs
     }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("platform".into(), Json::str(&self.platform)),
+            (
+                "cells".into(),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("kernel".into(), Json::str(&c.kernel)),
+                                ("bits".into(), Json::u64(c.bits as u64)),
+                                ("library".into(), Json::str(&c.library)),
+                                ("gops".into(), Json::Num(c.gops)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Option<Self> {
+        Some(TableRun {
+            platform: j.get("platform")?.as_str()?.to_string(),
+            cells: j
+                .get("cells")?
+                .as_arr()?
+                .iter()
+                .filter_map(|c| {
+                    Some(Cell {
+                        kernel: c.get("kernel")?.as_str()?.to_string(),
+                        bits: c.get("bits")?.as_u64()? as u32,
+                        library: c.get("library")?.as_str()?.to_string(),
+                        gops: c.get("gops")?.as_f64()?,
+                    })
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Full statistics from one throughput measurement (see
+/// [`measure_gops_detailed`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GopsMeasurement {
+    /// Billions of extended operations per second.
+    pub gops: f64,
+    /// Timed iterations (after the warmup call).
+    pub iters: u64,
+    /// Total measured wall time in seconds.
+    pub secs: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_iter_ns: f64,
+    /// Per-iteration standard deviation in nanoseconds.
+    pub stddev_iter_ns: f64,
+    /// `stddev / mean` — the run-to-run noise figure the manifest records.
+    pub rel_stddev: f64,
 }
 
 /// Measure the throughput of `f`, which performs `ops_per_iter` extended
-/// operations per call: returns Gop/s. Runs at least `min_secs` and at
-/// least 3 iterations after one warmup call.
-pub fn measure_gops<F: FnMut()>(ops_per_iter: f64, min_secs: f64, mut f: F) -> f64 {
+/// operations per call, capturing per-iteration variance. Runs at least
+/// `min_secs` and at least 3 iterations after one warmup call. Emits a
+/// `bench.measure` telemetry event with the iteration count and noise
+/// figure (no-op unless the `telemetry` feature is on).
+pub fn measure_gops_detailed<F: FnMut()>(
+    ops_per_iter: f64,
+    min_secs: f64,
+    mut f: F,
+) -> GopsMeasurement {
     f(); // warmup
-    let mut iters = 0u64;
+    let mut iter_ns: Vec<f64> = Vec::with_capacity(64);
     let start = Instant::now();
     loop {
+        let t0 = Instant::now();
         f();
-        iters += 1;
+        iter_ns.push(t0.elapsed().as_nanos() as f64);
         let elapsed = start.elapsed().as_secs_f64();
-        if elapsed >= min_secs && iters >= 3 {
-            return ops_per_iter * iters as f64 / elapsed / 1e9;
+        if elapsed >= min_secs && iter_ns.len() >= 3 {
+            let iters = iter_ns.len() as u64;
+            let mean = iter_ns.iter().sum::<f64>() / iters as f64;
+            let var = iter_ns
+                .iter()
+                .map(|&t| (t - mean) * (t - mean))
+                .sum::<f64>()
+                / iters as f64;
+            let stddev = var.sqrt();
+            let m = GopsMeasurement {
+                gops: ops_per_iter * iters as f64 / elapsed / 1e9,
+                iters,
+                secs: elapsed,
+                mean_iter_ns: mean,
+                stddev_iter_ns: stddev,
+                rel_stddev: if mean > 0.0 { stddev / mean } else { 0.0 },
+            };
+            mf_telemetry::event(
+                "bench.measure",
+                &[
+                    ("gops", m.gops),
+                    ("iters", m.iters as f64),
+                    ("rel_stddev", m.rel_stddev),
+                ],
+            );
+            return m;
         }
     }
+}
+
+/// Throughput-only form of [`measure_gops_detailed`].
+pub fn measure_gops<F: FnMut()>(ops_per_iter: f64, min_secs: f64, f: F) -> f64 {
+    measure_gops_detailed(ops_per_iter, min_secs, f).gops
 }
 
 /// Prevent the optimizer from discarding a computed value.
@@ -113,7 +218,39 @@ pub fn render_table(run: &TableRun, kernel: &str, bits: &[u32]) -> String {
 /// Quick-mode scaling for CI/tests: shrink sizes and times via
 /// `MF_BENCH_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("MF_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MF_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Shared command-line plumbing for the bench binaries: flag typos and
+/// missing values are *user errors* and exit with a usage message and
+/// status 2 — never a panic/backtrace.
+pub mod cli {
+    /// Print `msg` plus the usage line to stderr and exit with status 2.
+    pub fn usage_error(tool: &str, usage: &str, msg: &str) -> ! {
+        eprintln!("{tool}: error: {msg}");
+        eprintln!("usage: {tool} {usage}");
+        std::process::exit(2);
+    }
+
+    /// The value following `args[i]` (a `--flag`), or a usage error if the
+    /// flag is the last argument.
+    pub fn flag_value<'a>(args: &'a [String], i: usize, tool: &str, usage: &str) -> &'a str {
+        match args.get(i + 1) {
+            Some(v) => v,
+            None => usage_error(tool, usage, &format!("{} requires a value", args[i])),
+        }
+    }
+
+    /// Write `manifest` to `path`, warning (not failing) on I/O errors —
+    /// a read-only results directory must not kill a finished benchmark.
+    pub fn write_manifest(manifest: &crate::RunManifest, path: &str) {
+        match manifest.write(std::path::Path::new(path)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write manifest {path}: {e}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,12 +260,16 @@ mod tests {
     #[test]
     fn measure_reports_sane_rates() {
         // A no-op closure claiming 1000 ops per call: the rate must be
-        // positive and finite.
+        // positive and finite, and the statistics self-consistent.
         let mut x = 0u64;
-        let g = measure_gops(1000.0, 0.01, || {
+        let m = measure_gops_detailed(1000.0, 0.01, || {
             x = sink(x.wrapping_add(1));
         });
-        assert!(g.is_finite() && g > 0.0);
+        assert!(m.gops.is_finite() && m.gops > 0.0);
+        assert!(m.iters >= 3);
+        assert!(m.secs >= 0.01);
+        assert!(m.mean_iter_ns >= 0.0 && m.stddev_iter_ns >= 0.0);
+        assert!(m.rel_stddev >= 0.0);
     }
 
     #[test]
@@ -136,9 +277,24 @@ mod tests {
         let run = TableRun {
             platform: "test".into(),
             cells: vec![
-                Cell { kernel: "AXPY".into(), bits: 103, library: "MultiFloats".into(), gops: 1.5 },
-                Cell { kernel: "AXPY".into(), bits: 208, library: "MultiFloats".into(), gops: 0.5 },
-                Cell { kernel: "AXPY".into(), bits: 103, library: "QD".into(), gops: 1.0 },
+                Cell {
+                    kernel: "AXPY".into(),
+                    bits: 103,
+                    library: "MultiFloats".into(),
+                    gops: 1.5,
+                },
+                Cell {
+                    kernel: "AXPY".into(),
+                    bits: 208,
+                    library: "MultiFloats".into(),
+                    gops: 0.5,
+                },
+                Cell {
+                    kernel: "AXPY".into(),
+                    bits: 103,
+                    library: "QD".into(),
+                    gops: 1.0,
+                },
             ],
         };
         assert_eq!(run.lookup("AXPY", 103, "QD"), Some(1.0));
@@ -146,9 +302,10 @@ mod tests {
         let s = render_table(&run, "AXPY", &[103, 208]);
         assert!(s.contains("MultiFloats"));
         assert!(s.contains("N/A"));
-        // Round-trips through JSON.
-        let j = serde_json::to_string(&run).unwrap();
-        let back: TableRun = serde_json::from_str(&j).unwrap();
-        assert_eq!(back.cells.len(), 3);
+        // Round-trips through JSON (both renderings).
+        for text in [run.to_json().render(), run.to_json().render_pretty()] {
+            let back = TableRun::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, run);
+        }
     }
 }

@@ -111,8 +111,12 @@ mod tests {
     fn axpy_linear_in_alpha() {
         let mut rng = SmallRng::seed_from_u64(901);
         let n = 257;
-        let x: Vec<F64x3> = (0..n).map(|_| F64x3::from(rng.gen_range(-1.0..1.0))).collect();
-        let y0: Vec<F64x3> = (0..n).map(|_| F64x3::from(rng.gen_range(-1.0..1.0))).collect();
+        let x: Vec<F64x3> = (0..n)
+            .map(|_| F64x3::from(rng.gen_range(-1.0..1.0)))
+            .collect();
+        let y0: Vec<F64x3> = (0..n)
+            .map(|_| F64x3::from(rng.gen_range(-1.0..1.0)))
+            .collect();
         // axpy(a, x, axpy(b, x, y)) == axpy(a+b, x, y) to working precision.
         let (a, b) = (F64x3::from(0.3), F64x3::from(0.7));
         let mut y1 = y0.clone();
@@ -131,8 +135,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(902);
         let (m, n) = (23, 31);
         let a = Matrix::from_fn(m, n, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
-        let x: Vec<F64x2> = (0..n).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
-        let mut y: Vec<F64x2> = (0..m).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
+        let x: Vec<F64x2> = (0..n)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut y: Vec<F64x2> = (0..m)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
         let y0 = y.clone();
         let alpha = F64x2::from(1.5);
         let beta = F64x2::from(-0.5);

@@ -210,11 +210,7 @@ impl<T: FloatBase, const L: usize> FloatBase for Lanes<T, L> {
     /// lane-0 semantics — lane kernels are validated against scalar runs
     /// in release mode, where the asserts compile out).
     fn exponent(self) -> i32 {
-        self.0
-            .iter()
-            .map(|&v| v.exponent())
-            .max()
-            .unwrap_or(0)
+        self.0.iter().map(|&v| v.exponent()).max().unwrap_or(0)
     }
 
     fn exp2i(e: i32) -> Self {
@@ -443,8 +439,12 @@ mod tests {
     fn axpy_lockstep_matches_scalar_axpy_bitwise() {
         let mut rng = SmallRng::seed_from_u64(1703);
         let n = 203;
-        let xs: Vec<F64x4> = (0..n).map(|_| F64x4::from(rng.gen_range(-1.0..1.0))).collect();
-        let ys: Vec<F64x4> = (0..n).map(|_| F64x4::from(rng.gen_range(-1.0..1.0))).collect();
+        let xs: Vec<F64x4> = (0..n)
+            .map(|_| F64x4::from(rng.gen_range(-1.0..1.0)))
+            .collect();
+        let ys: Vec<F64x4> = (0..n)
+            .map(|_| F64x4::from(rng.gen_range(-1.0..1.0)))
+            .collect();
         let alpha = F64x4::from(1.000001);
         let sx = SoaVec::from_slice(&xs);
         let mut sy = SoaVec::from_slice(&ys);

@@ -29,6 +29,8 @@ pub fn dot(x: &[MpFloat], y: &[MpFloat], prec: u32) -> MpFloat {
 }
 
 /// `y <- alpha*A*x + beta*y`, `ij` order; `a` is row-major `rows x cols`.
+/// (BLAS-shaped signature: the argument list mirrors the `dgemv` interface.)
+#[allow(clippy::too_many_arguments)]
 pub fn gemv(
     alpha: &MpFloat,
     a: &[MpFloat],

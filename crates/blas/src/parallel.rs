@@ -8,10 +8,36 @@
 //! scale on multi-core hosts.
 
 use crate::{kernels, Matrix, Scalar};
+use mf_telemetry::{Counter, Histogram};
+
+static PAR_DISPATCHES: Counter = Counter::new("blas.parallel.dispatches");
+static PAR_TASKS: Counter = Counter::new("blas.parallel.tasks");
+static PAR_ROWS: Counter = Counter::new("blas.parallel.rows");
+/// Per-dispatch work imbalance: largest minus smallest chunk (rows for
+/// GEMV/GEMM, elements for AXPY/DOT). Nonzero buckets mean some threads
+/// idle while others finish their remainder rows.
+static PAR_CHUNK_IMBALANCE: Histogram = Histogram::new("blas.parallel.chunk_imbalance");
+
+/// Record one parallel dispatch over `ranges` (one task per chunk).
+#[inline]
+fn record_dispatch(ranges: &[(usize, usize)]) {
+    if !mf_telemetry::ENABLED {
+        return;
+    }
+    PAR_DISPATCHES.incr();
+    PAR_TASKS.add(ranges.len() as u64);
+    let sizes = ranges.iter().map(|&(lo, hi)| hi - lo);
+    PAR_ROWS.add(sizes.clone().sum::<usize>() as u64);
+    let max = sizes.clone().max().unwrap_or(0);
+    let min = sizes.min().unwrap_or(0);
+    PAR_CHUNK_IMBALANCE.record((max - min) as u64);
+}
 
 /// Available worker count (1 on this container).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
@@ -35,6 +61,7 @@ pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S], threads: usize) {
         return kernels::axpy(alpha, x, y);
     }
     let ranges = chunk_ranges(y.len(), threads);
+    record_dispatch(&ranges);
     std::thread::scope(|s| {
         let mut rest = &mut y[..];
         let mut offset = 0;
@@ -55,6 +82,7 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S], threads: usize) -> S {
         return kernels::dot(x, y);
     }
     let ranges = chunk_ranges(x.len(), threads);
+    record_dispatch(&ranges);
     let partials: Vec<S> = std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
@@ -70,19 +98,13 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S], threads: usize) -> S {
 }
 
 /// Parallel GEMV: rows are divided among threads.
-pub fn gemv<S: Scalar>(
-    alpha: S,
-    a: &Matrix<S>,
-    x: &[S],
-    beta: S,
-    y: &mut [S],
-    threads: usize,
-) {
+pub fn gemv<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, y: &mut [S], threads: usize) {
     assert_eq!(a.rows, y.len());
     if threads <= 1 {
         return kernels::gemv(alpha, a, x, beta, y);
     }
     let ranges = chunk_ranges(a.rows, threads);
+    record_dispatch(&ranges);
     std::thread::scope(|s| {
         let mut rest = &mut y[..];
         let mut offset = 0;
@@ -115,6 +137,7 @@ pub fn gemm<S: Scalar>(
     let n = b.cols;
     let kdim = a.cols;
     let ranges = chunk_ranges(a.rows, threads);
+    record_dispatch(&ranges);
     std::thread::scope(|s| {
         let mut rest = &mut c.data[..];
         let mut offset = 0;
@@ -154,8 +177,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(930);
         let n = 127;
         let alpha = F64x2::from(1.5);
-        let x: Vec<F64x2> = (0..n).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
-        let y0: Vec<F64x2> = (0..n).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
+        let x: Vec<F64x2> = (0..n)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
+        let y0: Vec<F64x2> = (0..n)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
 
         for threads in [1usize, 2, 3, 8] {
             let mut y_par = y0.clone();
@@ -163,7 +190,11 @@ mod tests {
             let mut y_ser = y0.clone();
             kernels::axpy(alpha, &x, &mut y_ser);
             for i in 0..n {
-                assert_eq!(y_par[i].components(), y_ser[i].components(), "t={threads} i={i}");
+                assert_eq!(
+                    y_par[i].components(),
+                    y_ser[i].components(),
+                    "t={threads} i={i}"
+                );
             }
 
             // dot: partial sums reorder the reduction; compare numerically.
@@ -192,8 +223,12 @@ mod tests {
             }
         }
         // gemv
-        let x: Vec<F64x2> = (0..k).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
-        let y0: Vec<F64x2> = (0..m).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
+        let x: Vec<F64x2> = (0..k)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
+        let y0: Vec<F64x2> = (0..m)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
         let mut y_ser = y0.clone();
         kernels::gemv(alpha, &a, &x, beta, &mut y_ser);
         let mut y_par = y0.clone();

@@ -195,10 +195,7 @@ pub fn axpy_autovec<T: FloatBase, const N: usize>(
 }
 
 /// Dot product with [`lanes_for`]`(N)` independent accumulators (SIMD reduction).
-pub fn dot<T: FloatBase, const N: usize>(
-    x: &SoaVec<T, N>,
-    y: &SoaVec<T, N>,
-) -> MultiFloat<T, N> {
+pub fn dot<T: FloatBase, const N: usize>(x: &SoaVec<T, N>, y: &SoaVec<T, N>) -> MultiFloat<T, N> {
     assert_eq!(x.len(), y.len());
     dot_raw::<T, N>(&x.comps, 0, &y.comps, 0, x.len())
 }
@@ -413,10 +410,18 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(913);
         let (m, k, n) = (17, 13, 19);
         let a_el: Vec<Vec<F64x2>> = (0..m)
-            .map(|_| (0..k).map(|_| F64x2::from(rng.gen_range(-1.0..1.0f64))).collect())
+            .map(|_| {
+                (0..k)
+                    .map(|_| F64x2::from(rng.gen_range(-1.0..1.0f64)))
+                    .collect()
+            })
             .collect();
         let b_el: Vec<Vec<F64x2>> = (0..k)
-            .map(|_| (0..n).map(|_| F64x2::from(rng.gen_range(-1.0..1.0f64))).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| F64x2::from(rng.gen_range(-1.0..1.0f64)))
+                    .collect()
+            })
             .collect();
         let alpha = F64x2::from(1.25);
         let beta = F64x2::from(0.5);
@@ -443,7 +448,9 @@ mod tests {
         }
 
         // GEMV: accuracy-level agreement (SoA uses the laned reduction).
-        let x: Vec<F64x2> = (0..k).map(|_| F64x2::from(rng.gen_range(-1.0..1.0))).collect();
+        let x: Vec<F64x2> = (0..k)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
         let mut y_aos: Vec<F64x2> = (0..m).map(|_| F64x2::from(0.5)).collect();
         kernels::gemv(alpha, &a_aos, &x, beta, &mut y_aos);
         let x_soa = SoaVec::from_slice(&x);

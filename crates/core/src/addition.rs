@@ -31,10 +31,7 @@ pub fn add<T: FloatBase, const N: usize>(x: &[T; N], y: &[T; N]) -> [T; N] {
         }
         2 => from2(add2([x[0], x[1]], [y[0], y[1]])),
         3 => from3(add3([x[0], x[1], x[2]], [y[0], y[1], y[2]])),
-        4 => from4(add4(
-            [x[0], x[1], x[2], x[3]],
-            [y[0], y[1], y[2], y[3]],
-        )),
+        4 => from4(add4([x[0], x[1], x[2], x[3]], [y[0], y[1], y[2], y[3]])),
         _ => unreachable!("N is checked at construction"),
     }
 }
@@ -253,11 +250,7 @@ pub(crate) mod tests {
         MpFloat::exact_sum(v)
     }
 
-    fn check_add<const N: usize>(
-        rng: &mut SmallRng,
-        bound_exp: i32,
-        iters: usize,
-    ) -> f64 {
+    fn check_add<const N: usize>(rng: &mut SmallRng, bound_exp: i32, iters: usize) -> f64 {
         let mut worst: f64 = 0.0;
         for _ in 0..iters {
             let e0 = rng.gen_range(-40..40);
@@ -334,13 +327,25 @@ pub(crate) mod tests {
     fn addition_is_commutative() {
         let mut rng = SmallRng::seed_from_u64(203);
         for _ in 0..20_000 {
-            let x = { let e0 = rng.gen_range(-30..30); rand_expansion::<3>(&mut rng, e0) };
-            let y = { let e0 = rng.gen_range(-30..30); rand_expansion::<3>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<3>(&mut rng, e0)
+            };
+            let y = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<3>(&mut rng, e0)
+            };
             assert_eq!(add(&x, &y), add(&y, &x), "x={x:?} y={y:?}");
         }
         for _ in 0..20_000 {
-            let x = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
-            let y = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
+            let y = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
             assert_eq!(add(&x, &y), add(&y, &x), "x={x:?} y={y:?}");
         }
     }
@@ -352,11 +357,20 @@ pub(crate) mod tests {
         let zero3 = [0.0f64; 3];
         let zero4 = [0.0f64; 4];
         for _ in 0..5_000 {
-            let x2 = { let e0 = rng.gen_range(-30..30); rand_expansion::<2>(&mut rng, e0) };
+            let x2 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<2>(&mut rng, e0)
+            };
             assert_eq!(add(&x2, &zero2), x2, "x={x2:?}");
-            let x3 = { let e0 = rng.gen_range(-30..30); rand_expansion::<3>(&mut rng, e0) };
+            let x3 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<3>(&mut rng, e0)
+            };
             assert_eq!(add(&x3, &zero3), x3, "x={x3:?}");
-            let x4 = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
+            let x4 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
             assert_eq!(add(&x4, &zero4), x4, "x={x4:?}");
         }
     }
@@ -365,7 +379,10 @@ pub(crate) mod tests {
     fn x_minus_x_is_zero() {
         let mut rng = SmallRng::seed_from_u64(205);
         for _ in 0..10_000 {
-            let x = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
             let z = sub(&x, &x);
             assert_eq!(z, [0.0; 4], "x={x:?}");
         }
@@ -375,7 +392,10 @@ pub(crate) mod tests {
     fn add_scalar_matches_full_add() {
         let mut rng = SmallRng::seed_from_u64(206);
         for _ in 0..20_000 {
-            let x = { let e0 = rng.gen_range(-20..20); rand_expansion::<2>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-20..20);
+                rand_expansion::<2>(&mut rng, e0)
+            };
             let y: f64 = rng.gen_range(-1.0..1.0) * 2.0f64.powi(rng.gen_range(-20..20));
             let got = add_scalar(&x, y);
             // Compare against the exact sum.
@@ -399,12 +419,32 @@ pub(crate) mod tests {
         // its *accuracy* is compared, below in add_generic_accuracy).
         let mut rng = SmallRng::seed_from_u64(250);
         for _ in 0..20_000 {
-            let x3 = { let e0 = rng.gen_range(-30..30); rand_expansion::<3>(&mut rng, e0) };
-            let y3 = { let e0 = rng.gen_range(-30..30); rand_expansion::<3>(&mut rng, e0) };
-            assert_eq!(add(&x3, &y3), add_generic(&x3, &y3), "N=3 x={x3:?} y={y3:?}");
-            let x4 = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
-            let y4 = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
-            assert_eq!(add(&x4, &y4), add_generic(&x4, &y4), "N=4 x={x4:?} y={y4:?}");
+            let x3 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<3>(&mut rng, e0)
+            };
+            let y3 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<3>(&mut rng, e0)
+            };
+            assert_eq!(
+                add(&x3, &y3),
+                add_generic(&x3, &y3),
+                "N=3 x={x3:?} y={y3:?}"
+            );
+            let x4 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
+            let y4 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
+            assert_eq!(
+                add(&x4, &y4),
+                add_generic(&x4, &y4),
+                "N=4 x={x4:?} y={y4:?}"
+            );
         }
     }
 
@@ -412,8 +452,14 @@ pub(crate) mod tests {
     fn add_generic_accuracy_n2() {
         let mut rng = SmallRng::seed_from_u64(251);
         for _ in 0..20_000 {
-            let x = { let e0 = rng.gen_range(-30..30); rand_expansion::<2>(&mut rng, e0) };
-            let y = { let e0 = rng.gen_range(-30..30); rand_expansion::<2>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<2>(&mut rng, e0)
+            };
+            let y = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<2>(&mut rng, e0)
+            };
             let z = add_generic(&x, &y);
             assert!(
                 MultiFloat::<f64, 2> { c: z }.is_nonoverlapping(),
@@ -427,7 +473,10 @@ pub(crate) mod tests {
                 assert!(got.is_zero());
                 continue;
             }
-            assert!(got.rel_error_vs(&exact_sum) <= 2.0f64.powi(-104), "x={x:?} y={y:?}");
+            assert!(
+                got.rel_error_vs(&exact_sum) <= 2.0f64.powi(-104),
+                "x={x:?} y={y:?}"
+            );
         }
     }
 

@@ -183,6 +183,8 @@ impl<T: FloatBase, const N: usize> Mul for Complex<T, N> {
 
 impl<T: FloatBase, const N: usize> Div for Complex<T, N> {
     type Output = Self;
+    // Standard complex division: multiply by the conjugate, scale by |o|^2.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Self) -> Self {
         let d = o.norm_sqr();
         let num = self * o.conj();

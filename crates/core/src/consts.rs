@@ -13,9 +13,8 @@
 
 use crate::{FloatBase, MultiFloat};
 use core::any::TypeId;
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 pub const PI_STR: &str =
     "3.1415926535897932384626433832795028841971693993751058209749445923078164062862089986280348253421170679";
@@ -38,30 +37,34 @@ pub const SQRT_2_STR: &str =
 pub const FRAC_1_SQRT_2_STR: &str =
     "0.70710678118654752440084436210484903928483593768847403658833986899536623923105351942519376716382078636";
 
-/// Process-wide cache of parsed constants, keyed by base type, width, and
-/// the literal's address (each named constant has a distinct `&'static str`).
-fn cache() -> &'static RwLock<HashMap<(TypeId, usize, usize), [f64; 4]>> {
-    static CACHE: OnceLock<RwLock<HashMap<(TypeId, usize, usize), [f64; 4]>>> = OnceLock::new();
+/// Cache key: base type, width, and the literal's address (each named
+/// constant has a distinct `&'static str`).
+type ConstKey = (TypeId, usize, usize);
+type ConstCache = RwLock<HashMap<ConstKey, [f64; 4]>>;
+
+/// Process-wide cache of parsed constants.
+fn cache() -> &'static ConstCache {
+    static CACHE: OnceLock<ConstCache> = OnceLock::new();
     CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 /// Parse (or fetch from cache) a decimal constant as an expansion.
 pub fn parse_cached<T: FloatBase, const N: usize>(lit: &'static str) -> MultiFloat<T, N> {
     let key = (TypeId::of::<T>(), N, lit.as_ptr() as usize);
-    if let Some(c64) = cache().read().get(&key) {
+    if let Some(c64) = cache().read().unwrap().get(&key) {
         let mut c = [T::ZERO; N];
         for i in 0..N {
             c[i] = T::from_f64(c64[i]);
         }
         return MultiFloat::from_components(c);
     }
-    let parsed: MultiFloat<T, N> = MultiFloat::parse_decimal(lit)
-        .unwrap_or_else(|e| panic!("invalid constant literal: {e}"));
+    let parsed: MultiFloat<T, N> =
+        MultiFloat::parse_decimal(lit).unwrap_or_else(|e| panic!("invalid constant literal: {e}"));
     let mut c64 = [0.0f64; 4];
     for i in 0..N {
         c64[i] = parsed.components()[i].to_f64();
     }
-    cache().write().insert(key, c64);
+    cache().write().unwrap().insert(key, c64);
     parsed
 }
 

@@ -92,7 +92,9 @@ impl<T: FloatBase, const N: usize> From<f64> for MultiFloat<T, N> {
                     break;
                 }
             }
-            MultiFloat { c: crate::renorm::renorm(c) }
+            MultiFloat {
+                c: crate::renorm::renorm(c),
+            }
         }
     }
 }
@@ -185,8 +187,8 @@ mod tests {
         assert_eq!(c[0], core::f64::consts::PI);
         assert!(c[1] != 0.0, "second component must capture the residual");
         // Error vs the oracle below 2^-105.
-        let exact = MpFloat::from_decimal_str("3.14159265358979323846264338327950288", 400)
-            .unwrap();
+        let exact =
+            MpFloat::from_decimal_str("3.14159265358979323846264338327950288", 400).unwrap();
         assert!(pi.to_mp(400).rel_error_vs(&exact) < 2.0f64.powi(-105));
     }
 
@@ -234,8 +236,8 @@ mod tests {
     fn from_mp_respects_rounding() {
         // A value needing more bits than the format: the expansion must be
         // the correctly rounded N-term representation.
-        let mp = MpFloat::from_decimal_str("0.333333333333333333333333333333333333333", 500)
-            .unwrap();
+        let mp =
+            MpFloat::from_decimal_str("0.333333333333333333333333333333333333333", 500).unwrap();
         let x = F64x2::from_mp(&mp);
         let err = x.to_mp(500).rel_error_vs(&mp);
         assert!(err <= 2.0f64.powi(-106), "err 2^{:.1}", err.log2());

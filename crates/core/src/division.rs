@@ -143,8 +143,14 @@ pub(crate) mod tests {
     ) -> f64 {
         let mut worst: f64 = 0.0;
         for _ in 0..iters {
-            let b = { let e0 = rng.gen_range(-30..30); rand_expansion::<N>(rng, e0) };
-            let a = { let e0 = rng.gen_range(-30..30); rand_expansion::<N>(rng, e0) };
+            let b = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<N>(rng, e0)
+            };
+            let a = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<N>(rng, e0)
+            };
             if a[0] == 0.0 {
                 continue;
             }
@@ -205,7 +211,10 @@ pub(crate) mod tests {
     fn recip_of_recip_roundtrip() {
         let mut rng = SmallRng::seed_from_u64(403);
         for _ in 0..5_000 {
-            let a = { let e0 = rng.gen_range(-20..20); rand_expansion::<3>(&mut rng, e0) };
+            let a = {
+                let e0 = rng.gen_range(-20..20);
+                rand_expansion::<3>(&mut rng, e0)
+            };
             if a[0] == 0.0 {
                 continue;
             }
@@ -247,7 +256,10 @@ pub(crate) mod tests {
     fn div_scalar_accuracy() {
         let mut rng = SmallRng::seed_from_u64(404);
         for _ in 0..10_000 {
-            let x = { let e0 = rng.gen_range(-20..20); rand_expansion::<3>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-20..20);
+                rand_expansion::<3>(&mut rng, e0)
+            };
             let s: f64 = rng.gen_range(0.5..2.0) * 2.0f64.powi(rng.gen_range(-10..10));
             let q = div_scalar(&x, s);
             let exact = exact_quotient(&x, &[s], 1000);

@@ -47,13 +47,13 @@
 
 pub mod addition;
 pub mod cmp;
+pub mod complex;
 pub mod consts;
 pub mod convert;
 pub mod division;
 pub mod math;
 pub mod multiplication;
 pub mod ops;
-pub mod complex;
 pub mod renorm;
 pub mod rounding;
 pub mod sqrt;

@@ -220,7 +220,11 @@ mod tests {
             let lhs = a.add(b).exp();
             let rhs = a.exp().mul(b.exp());
             let err = rel_err(&lhs.to_mp(400), &rhs.to_mp(400));
-            assert!(err <= 2.0f64.powi(-194), "a={a} b={b} err=2^{:.1}", err.log2());
+            assert!(
+                err <= 2.0f64.powi(-194),
+                "a={a} b={b} err=2^{:.1}",
+                err.log2()
+            );
         }
     }
 

@@ -29,10 +29,7 @@ pub fn mul<T: FloatBase, const N: usize>(x: &[T; N], y: &[T; N]) -> [T; N] {
         }
         2 => copy_into(&mul2([x[0], x[1]], [y[0], y[1]])),
         3 => copy_into(&mul3([x[0], x[1], x[2]], [y[0], y[1], y[2]])),
-        4 => copy_into(&mul4(
-            [x[0], x[1], x[2], x[3]],
-            [y[0], y[1], y[2], y[3]],
-        )),
+        4 => copy_into(&mul4([x[0], x[1], x[2], x[3]], [y[0], y[1], y[2], y[3]])),
         _ => unreachable!("N is checked at construction"),
     }
 }
@@ -216,8 +213,14 @@ pub(crate) mod tests {
     fn check_mul<const N: usize>(rng: &mut SmallRng, bound_exp: i32, iters: usize) -> f64 {
         let mut worst: f64 = 0.0;
         for _ in 0..iters {
-            let x = { let e0 = rng.gen_range(-30..30); rand_expansion::<N>(rng, e0) };
-            let y = { let e0 = rng.gen_range(-30..30); rand_expansion::<N>(rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<N>(rng, e0)
+            };
+            let y = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<N>(rng, e0)
+            };
             let z = mul(&x, &y);
             let mfz = MultiFloat::<f64, N> { c: z };
             assert!(
@@ -271,14 +274,32 @@ pub(crate) mod tests {
         // under operand swap, at every N.
         let mut rng = SmallRng::seed_from_u64(303);
         for _ in 0..20_000 {
-            let x2 = { let e0 = rng.gen_range(-30..30); rand_expansion::<2>(&mut rng, e0) };
-            let y2 = { let e0 = rng.gen_range(-30..30); rand_expansion::<2>(&mut rng, e0) };
+            let x2 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<2>(&mut rng, e0)
+            };
+            let y2 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<2>(&mut rng, e0)
+            };
             assert_eq!(mul(&x2, &y2), mul(&y2, &x2), "x={x2:?} y={y2:?}");
-            let x3 = { let e0 = rng.gen_range(-30..30); rand_expansion::<3>(&mut rng, e0) };
-            let y3 = { let e0 = rng.gen_range(-30..30); rand_expansion::<3>(&mut rng, e0) };
+            let x3 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<3>(&mut rng, e0)
+            };
+            let y3 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<3>(&mut rng, e0)
+            };
             assert_eq!(mul(&x3, &y3), mul(&y3, &x3), "x={x3:?} y={y3:?}");
-            let x4 = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
-            let y4 = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
+            let x4 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
+            let y4 = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
             assert_eq!(mul(&x4, &y4), mul(&y4, &x4), "x={x4:?} y={y4:?}");
         }
     }
@@ -289,7 +310,10 @@ pub(crate) mod tests {
         let mut one4 = [0.0f64; 4];
         one4[0] = 1.0;
         for _ in 0..5_000 {
-            let x = { let e0 = rng.gen_range(-30..30); rand_expansion::<4>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<4>(&mut rng, e0)
+            };
             assert_eq!(mul(&x, &one4), x, "x * 1 != x for x={x:?}");
             assert_eq!(mul(&x, &[0.0; 4]), [0.0; 4]);
         }
@@ -299,7 +323,10 @@ pub(crate) mod tests {
     fn mul_powers_of_two_exact() {
         let mut rng = SmallRng::seed_from_u64(305);
         for _ in 0..5_000 {
-            let x = { let e0 = rng.gen_range(-30..30); rand_expansion::<3>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<3>(&mut rng, e0)
+            };
             let two = {
                 let mut t = [0.0f64; 3];
                 t[0] = 2.0;
@@ -316,7 +343,10 @@ pub(crate) mod tests {
     fn sqr_matches_mul_value() {
         let mut rng = SmallRng::seed_from_u64(306);
         for _ in 0..20_000 {
-            let x = { let e0 = rng.gen_range(-20..20); rand_expansion::<4>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-20..20);
+                rand_expansion::<4>(&mut rng, e0)
+            };
             let s = sqr(&x);
             let exact = exact_product(&x, &x);
             let got = MpFloat::exact_sum(&s);
@@ -331,7 +361,10 @@ pub(crate) mod tests {
             assert!(MultiFloat::<f64, 4> { c: s }.is_nonoverlapping(), "x={x:?}");
         }
         for _ in 0..20_000 {
-            let x = { let e0 = rng.gen_range(-20..20); rand_expansion::<2>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-20..20);
+                rand_expansion::<2>(&mut rng, e0)
+            };
             let s = sqr(&x);
             let exact = exact_product(&x, &x);
             let got = MpFloat::exact_sum(&s);
@@ -347,7 +380,10 @@ pub(crate) mod tests {
     fn mul_scalar_matches_full_mul() {
         let mut rng = SmallRng::seed_from_u64(307);
         for _ in 0..20_000 {
-            let x = { let e0 = rng.gen_range(-20..20); rand_expansion::<3>(&mut rng, e0) };
+            let x = {
+                let e0 = rng.gen_range(-20..20);
+                rand_expansion::<3>(&mut rng, e0)
+            };
             let y: f64 = rng.gen_range(-2.0..2.0);
             if y == 0.0 {
                 continue;
@@ -373,8 +409,14 @@ pub(crate) mod tests {
         // commutative kernel.
         let mut rng = SmallRng::seed_from_u64(308);
         for _ in 0..10_000 {
-            let a = { let e0 = rng.gen_range(-10..10); rand_expansion::<2>(&mut rng, e0) };
-            let b = { let e0 = rng.gen_range(-10..10); rand_expansion::<2>(&mut rng, e0) };
+            let a = {
+                let e0 = rng.gen_range(-10..10);
+                rand_expansion::<2>(&mut rng, e0)
+            };
+            let b = {
+                let e0 = rng.gen_range(-10..10);
+                rand_expansion::<2>(&mut rng, e0)
+            };
             let nb = [-b[0], -b[1]];
             // Im((a+bi)(a+(-b)i)) = a*(-b) + b*a
             let t1 = mul(&a, &nb);

@@ -201,7 +201,7 @@ mod tests {
         c -= a;
         c /= b;
         assert_eq!(c.to_f64(), (((2.0 + 3.0) * 3.0) - 2.0) / 3.0);
-        assert_eq!((&a + &b).to_f64(), 5.0);
+        assert_eq!((a + b).to_f64(), 5.0);
     }
 
     #[test]

@@ -18,6 +18,37 @@
 //! `MultiFloat::from_components_renorm`.
 
 use mf_eft::{two_sum, FloatBase};
+use mf_telemetry::{Counter, Histogram};
+
+static RENORM_CALLS: Counter = Counter::new("core.renorm.calls");
+static RENORM_SWEEPS: Counter = Counter::new("core.renorm.sweeps");
+static RENORM_TERMS_ZEROED: Counter = Counter::new("core.renorm.terms_zeroed");
+/// How many leading bits cancelled: exponent of the largest input minus the
+/// exponent of the renormalized head, clamped at zero. Bucket k therefore
+/// covers severities in `[2^(k-1), 2^k)` — a spike in high buckets flags
+/// workloads where the branch-free schedule is doing real work.
+static RENORM_CANCELLATION_BITS: Histogram = Histogram::new("core.renorm.cancellation_bits");
+
+/// Largest component exponent; only evaluated when telemetry is compiled in.
+#[inline]
+fn max_exponent<T: FloatBase>(v: &[T]) -> i32 {
+    v.iter().map(|t| t.exponent()).max().unwrap_or(i32::MIN)
+}
+
+/// Record one renormalization. `in_exp` is [`max_exponent`] of the input,
+/// captured before the sweeps ran.
+#[inline]
+fn record_renorm<T: FloatBase>(in_exp: i32, out: &[T], sweeps: usize) {
+    if !mf_telemetry::ENABLED {
+        return;
+    }
+    RENORM_CALLS.incr();
+    RENORM_SWEEPS.add(sweeps as u64);
+    let zeroed = out.iter().filter(|t| t.is_zero()).count();
+    RENORM_TERMS_ZEROED.add(zeroed as u64);
+    let head_exp = out.first().map(|t| t.exponent()).unwrap_or(i32::MIN);
+    RENORM_CANCELLATION_BITS.record_clamped(in_exp as i64 - head_exp as i64);
+}
 
 /// One bottom-up `TwoSum` sweep: after the sweep `v[0]` holds the rounded
 /// sum of the whole vector and the exact total is preserved.
@@ -60,6 +91,11 @@ pub fn sweep_down<T: FloatBase, const M: usize>(v: &mut [T; M]) {
 ///   trials at every width (see EXPERIMENTS.md E5).
 #[inline(always)]
 pub fn renorm_m_to_n<T: FloatBase, const M: usize, const N: usize>(mut v: [T; M]) -> [T; N] {
+    let in_exp = if mf_telemetry::ENABLED {
+        max_exponent(&v)
+    } else {
+        0
+    };
     sweep_up(&mut v);
     sweep_up(&mut v);
     let downs = if M > 4 { M - 2 } else { 2 };
@@ -68,6 +104,7 @@ pub fn renorm_m_to_n<T: FloatBase, const M: usize, const N: usize>(mut v: [T; M]
     }
     let mut out = [T::ZERO; N];
     out[..N].copy_from_slice(&v[..N]);
+    record_renorm(in_exp, &out, 2 + downs);
     out
 }
 
@@ -82,12 +119,18 @@ pub fn renorm_m_to_n<T: FloatBase, const M: usize, const N: usize>(mut v: [T; M]
 /// two down sweeps (see `tests/fpan_system.rs::hand_built_sum_network_verifies`).
 #[inline(always)]
 pub fn renorm<T: FloatBase, const N: usize>(mut v: [T; N]) -> [T; N] {
+    let in_exp = if mf_telemetry::ENABLED {
+        max_exponent(&v)
+    } else {
+        0
+    };
     sweep_up(&mut v);
     sweep_up(&mut v);
     let downs = if N > 4 { N - 1 } else { 3 };
     for _ in 0..downs {
         sweep_down(&mut v);
     }
+    record_renorm(in_exp, &v, 2 + downs);
     v
 }
 
@@ -112,12 +155,18 @@ pub fn sweep_down_slice<T: FloatBase>(v: &mut [T]) {
 
 /// Slice renormalization with the same schedule as [`renorm_m_to_n`].
 pub fn renorm_slice<T: FloatBase>(v: &mut [T]) {
+    let in_exp = if mf_telemetry::ENABLED {
+        max_exponent(v)
+    } else {
+        0
+    };
     sweep_up_slice(v);
     sweep_up_slice(v);
     let downs = if v.len() > 4 { v.len() - 2 } else { 2 };
     for _ in 0..downs {
         sweep_down_slice(v);
     }
+    record_renorm(in_exp, v, 2 + downs);
 }
 
 /// Renormalization used by the arithmetic kernels. Even though their

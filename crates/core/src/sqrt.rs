@@ -111,7 +111,10 @@ pub(crate) mod tests {
     fn check_sqrt<const N: usize>(rng: &mut SmallRng, bound_exp: i32, iters: usize) -> f64 {
         let mut worst: f64 = 0.0;
         for _ in 0..iters {
-            let mut a = { let e0 = rng.gen_range(-30..30); rand_expansion::<N>(rng, e0) };
+            let mut a = {
+                let e0 = rng.gen_range(-30..30);
+                rand_expansion::<N>(rng, e0)
+            };
             if a[0] == 0.0 {
                 continue;
             }
@@ -164,7 +167,10 @@ pub(crate) mod tests {
     fn rsqrt_times_sqrt_is_one() {
         let mut rng = SmallRng::seed_from_u64(503);
         for _ in 0..4_000 {
-            let mut a = { let e0 = rng.gen_range(-20..20); rand_expansion::<3>(&mut rng, e0) };
+            let mut a = {
+                let e0 = rng.gen_range(-20..20);
+                rand_expansion::<3>(&mut rng, e0)
+            };
             if a[0] == 0.0 {
                 continue;
             }

@@ -277,7 +277,11 @@ mod tests {
         // tan(pi/4) = 1
         assert_close(&pi.div_scalar(4.0).tan(), &F64x4::ONE, 193, "tan(pi/4)");
         // sin(pi) ~ 0 far below the format.
-        assert!(pi.sin().abs().to_f64() < 1e-60, "sin(pi) = {:e}", pi.sin().to_f64());
+        assert!(
+            pi.sin().abs().to_f64() < 1e-60,
+            "sin(pi) = {:e}",
+            pi.sin().to_f64()
+        );
     }
 
     #[test]

@@ -213,7 +213,7 @@ macro_rules! impl_float_base {
                     e
                 );
                 if e >= $min_exp {
-                    <$t>::from_bits((((e + $bias) as $bits) << $mant_bits))
+                    <$t>::from_bits(((e + $bias) as $bits) << $mant_bits)
                 } else {
                     <$t>::from_bits((1 as $bits) << (e - $min_sub))
                 }

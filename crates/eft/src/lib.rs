@@ -23,8 +23,8 @@ pub mod ops;
 
 pub use base::FloatBase;
 pub use ops::{
-    fast_two_sum, split, three_sum, three_sum2, two_diff, two_prod, two_prod_dekker, two_sum,
-    two_square,
+    fast_two_sum, split, three_sum, three_sum2, two_diff, two_prod, two_prod_dekker, two_square,
+    two_sum,
 };
 
 #[cfg(test)]

@@ -77,7 +77,7 @@ pub fn two_square<T: FloatBase>(x: T) -> (T, T) {
 #[inline(always)]
 pub fn split<T: FloatBase>(x: T) -> (T, T) {
     // Splitting constant 2^ceil(p/2) + 1 (Veltkamp 1968). For f64: 2^27 + 1.
-    let shift = (T::PRECISION + 1) / 2;
+    let shift = T::PRECISION.div_ceil(2);
     let c = T::exp2i(shift as i32) + T::ONE;
     let t = c * x;
     let hi = t - (t - x);

@@ -218,9 +218,12 @@ fn two_sum_huge_cancellation() {
     let y = 1.0f64;
     let (s, e) = two_sum(x, y);
     assert_eq!(s + e, 1.0e16 + 1.0); // rounded equality
-    assert_eq!(s as f64, x + y);
+    assert_eq!(s, x + y);
     // The error term recovers exactly what rounding lost.
-    assert_eq!(to_scaled(s, -60) + to_scaled(e, -60), to_scaled(x, -60) + to_scaled(y, -60));
+    assert_eq!(
+        to_scaled(s, -60) + to_scaled(e, -60),
+        to_scaled(x, -60) + to_scaled(y, -60)
+    );
 }
 
 #[test]

@@ -30,6 +30,26 @@ pub mod search;
 pub mod verify;
 
 use mf_eft::{fast_two_sum, two_sum, FloatBase};
+use mf_telemetry::Counter;
+
+static EXEC_RUNS: Counter = Counter::new("fpan.exec.runs");
+static EXEC_ADD: Counter = Counter::new("fpan.exec.add_gates");
+static EXEC_TWO_SUM: Counter = Counter::new("fpan.exec.two_sum_gates");
+static EXEC_FAST_TWO_SUM: Counter = Counter::new("fpan.exec.fast_two_sum_gates");
+
+/// Count one interpreter execution of `net` (per-gate-kind totals come from
+/// the static structure, so the hot gate loop itself carries no probes).
+#[inline]
+fn record_run(net: &Fpan) {
+    if !mf_telemetry::ENABLED {
+        return;
+    }
+    let (adds, two_sums, fast_two_sums) = net.gate_counts();
+    EXEC_RUNS.incr();
+    EXEC_ADD.add(adds as u64);
+    EXEC_TWO_SUM.add(two_sums as u64);
+    EXEC_FAST_TWO_SUM.add(fast_two_sums as u64);
+}
 
 /// The three gate kinds of an FPAN diagram (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +125,7 @@ impl Fpan {
     /// output values in `outputs` order.
     pub fn run<T: FloatBase>(&self, inputs: &[T]) -> Vec<T> {
         assert_eq!(inputs.len(), self.n_inputs, "wrong input count");
+        record_run(self);
         let mut w = vec![T::ZERO; self.n_wires];
         w[..inputs.len()].copy_from_slice(inputs);
         for g in &self.gates {
@@ -134,6 +155,7 @@ impl Fpan {
     /// release-mode verification and search).
     pub fn run_checked<T: FloatBase>(&self, inputs: &[T]) -> (Vec<T>, bool) {
         assert_eq!(inputs.len(), self.n_inputs, "wrong input count");
+        record_run(self);
         let mut w = vec![T::ZERO; self.n_wires];
         w[..inputs.len()].copy_from_slice(inputs);
         let mut precond_ok = true;

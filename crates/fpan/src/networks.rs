@@ -94,7 +94,7 @@ pub fn mul_3() -> Fpan {
         .add(3, 8) // + r11
         .add(4, 1) // b2 + c2
         .add(3, 4); // t2
-    // renorm_weak over [0, 2, 3]: up, up, down, down.
+                    // renorm_weak over [0, 2, 3]: up, up, down, down.
     b.two_sum(2, 3).two_sum(0, 2);
     b.two_sum(2, 3).two_sum(0, 2);
     b.two_sum(0, 2).two_sum(2, 3);
@@ -118,7 +118,7 @@ pub fn mul_4() -> Fpan {
         .two_sum(6, 3) // (t2, d3b) = TwoSum(t2, cq1)
         .two_sum(6, 4) // (t2, d3c) = TwoSum(t2, b2)
         .two_sum(6, 1); // (t2, d3d) = TwoSum(t2, c2)
-    // t3 = ((q11 + cq2) + (r3a + r3b)) + (((b3 + cq1e) + (d3a + d3b)) + (d3c + d3d))
+                        // t3 = ((q11 + cq2) + (r3a + r3b)) + (((b3 + cq1e) + (d3a + d3b)) + (d3c + d3d))
     b.add(11, 7) // q11 + cq2
         .add(12, 14) // r3a + r3b
         .add(11, 12)
@@ -128,7 +128,7 @@ pub fn mul_4() -> Fpan {
         .add(4, 1) // d3c + d3d
         .add(8, 4)
         .add(11, 8); // t3
-    // renorm_weak over [0, 2, 6, 11]: up, up, down, down.
+                     // renorm_weak over [0, 2, 6, 11]: up, up, down, down.
     b.two_sum(6, 11).two_sum(2, 6).two_sum(0, 2);
     b.two_sum(6, 11).two_sum(2, 6).two_sum(0, 2);
     b.two_sum(0, 2).two_sum(2, 6).two_sum(6, 11);
@@ -192,7 +192,18 @@ pub fn mul_expansion_step_generic<T: mf_eft::FloatBase>(x: &[T], y: &[T]) -> Vec
             let (p20, q20) = two_prod(x[2], y[0]);
             let (p11, q11) = two_prod(x[1], y[1]);
             vec![
-                p00, q00, p01, q01, p10, q10, p02, q02, p20, q20, p11, q11,
+                p00,
+                q00,
+                p01,
+                q01,
+                p10,
+                q10,
+                p02,
+                q02,
+                p20,
+                q20,
+                p11,
+                q11,
                 x[0] * y[3],
                 x[3] * y[0],
                 x[1] * y[2],
@@ -211,19 +222,59 @@ pub fn mul_expansion_step_generic<T: mf_eft::FloatBase>(x: &[T], y: &[T]) -> Vec
 pub fn commutativity_layer(n: usize) -> Vec<crate::Gate> {
     use crate::{Gate, GateKind};
     match n {
-        2 => vec![Gate { kind: GateKind::Add, hi: 2, lo: 3 }], // p01 + p10
+        2 => vec![Gate {
+            kind: GateKind::Add,
+            hi: 2,
+            lo: 3,
+        }], // p01 + p10
         3 => vec![
-            Gate { kind: GateKind::TwoSum, hi: 2, lo: 4 }, // (p01, p10)
-            Gate { kind: GateKind::Add, hi: 3, lo: 5 },    // q01 + q10
-            Gate { kind: GateKind::Add, hi: 6, lo: 7 },    // r02 + r20
+            Gate {
+                kind: GateKind::TwoSum,
+                hi: 2,
+                lo: 4,
+            }, // (p01, p10)
+            Gate {
+                kind: GateKind::Add,
+                hi: 3,
+                lo: 5,
+            }, // q01 + q10
+            Gate {
+                kind: GateKind::Add,
+                hi: 6,
+                lo: 7,
+            }, // r02 + r20
         ],
         4 => vec![
-            Gate { kind: GateKind::TwoSum, hi: 2, lo: 4 },  // (p01, p10)
-            Gate { kind: GateKind::TwoSum, hi: 6, lo: 8 },  // (p02, p20)
-            Gate { kind: GateKind::TwoSum, hi: 3, lo: 5 },  // (q01, q10)
-            Gate { kind: GateKind::Add, hi: 7, lo: 9 },     // q02 + q20
-            Gate { kind: GateKind::Add, hi: 12, lo: 13 },   // r03 + r30
-            Gate { kind: GateKind::Add, hi: 14, lo: 15 },   // r12 + r21
+            Gate {
+                kind: GateKind::TwoSum,
+                hi: 2,
+                lo: 4,
+            }, // (p01, p10)
+            Gate {
+                kind: GateKind::TwoSum,
+                hi: 6,
+                lo: 8,
+            }, // (p02, p20)
+            Gate {
+                kind: GateKind::TwoSum,
+                hi: 3,
+                lo: 5,
+            }, // (q01, q10)
+            Gate {
+                kind: GateKind::Add,
+                hi: 7,
+                lo: 9,
+            }, // q02 + q20
+            Gate {
+                kind: GateKind::Add,
+                hi: 12,
+                lo: 13,
+            }, // r03 + r30
+            Gate {
+                kind: GateKind::Add,
+                hi: 14,
+                lo: 15,
+            }, // r12 + r21
         ],
         _ => panic!("no commutativity layer for n = {n}"),
     }

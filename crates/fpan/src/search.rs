@@ -15,8 +15,30 @@
 
 use crate::verify::{self, Config as VerifyConfig};
 use crate::{Fpan, Gate, GateKind};
+use mf_telemetry::Counter;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+static SEARCH_ITERS: Counter = Counter::new("fpan.search.iters");
+static SEARCH_ACCEPTED: Counter = Counter::new("fpan.search.accepted");
+static SEARCH_IMPROVEMENTS: Counter = Counter::new("fpan.search.improvements");
+
+/// Emit a `search.progress` telemetry event for a new best candidate.
+/// (Run with `MF_TELEMETRY_LOG=1` to stream these to stderr live; they
+/// also land in the run manifest's event list.)
+fn report_progress(phase: &str, iter: usize, best: &Fpan, temperature: f64) {
+    SEARCH_IMPROVEMENTS.incr();
+    mf_telemetry::event(
+        "search.progress",
+        &[
+            ("phase", if phase == "grow" { 0.0 } else { 1.0 }),
+            ("iter", iter as f64),
+            ("best_size", best.size() as f64),
+            ("best_depth", best.depth() as f64),
+            ("temperature", temperature),
+        ],
+    );
+}
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy)]
@@ -33,15 +55,6 @@ pub struct SearchConfig {
     pub trials: usize,
     /// RNG seed.
     pub seed: u64,
-}
-
-/// Progress snapshot emitted by [`search_addition`]'s callback.
-#[derive(Debug, Clone, Copy)]
-pub struct Progress {
-    pub iter: usize,
-    pub best_size: usize,
-    pub best_depth: usize,
-    pub temperature: f64,
 }
 
 /// Energy of a candidate: correct networks are scored by cost; incorrect
@@ -113,10 +126,10 @@ fn mutate(net: &Fpan, rng: &mut SmallRng) -> Fpan {
 /// `[x0, y0, …]`; outputs are fixed to wires `[0, 2, …, 2(n-1)]`. Returns
 /// the smallest discovered network that survives the strict (25x trials)
 /// final verification, and whether any candidate did.
-pub fn search_addition<F>(cfg: SearchConfig, mut progress: F) -> (Fpan, bool)
-where
-    F: FnMut(Progress),
-{
+///
+/// Progress is observable through `mf-telemetry`: each new best candidate
+/// emits a `search.progress` event and bumps the `fpan.search.*` counters.
+pub fn search_addition(cfg: SearchConfig) -> (Fpan, bool) {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let outputs: Vec<usize> = (0..cfg.n).map(|i| 2 * i).collect();
     let mut current = Fpan::new(2 * cfg.n, outputs);
@@ -132,6 +145,7 @@ where
         if cur_energy < 900.0 {
             break; // passes verification
         }
+        SEARCH_ITERS.incr();
         let mut cand = current.clone();
         let hi = rng.gen_range(0..cand.n_wires);
         let mut lo = rng.gen_range(0..cand.n_wires);
@@ -159,12 +173,8 @@ where
         if e <= cur_energy + 1e-9 {
             current = cand;
             cur_energy = e;
-            progress(Progress {
-                iter,
-                best_size: current.size(),
-                best_depth: current.depth(),
-                temperature: f64::INFINITY,
-            });
+            SEARCH_ACCEPTED.incr();
+            report_progress("grow", iter, &current, f64::INFINITY);
         }
     }
 
@@ -179,6 +189,7 @@ where
     // Phase 2: anneal — random add/remove/rewire with the removal pressure
     // of `mutate`, accepting uphill moves by temperature.
     for iter in 0..cfg.iters {
+        SEARCH_ITERS.incr();
         // Exponential cooling from 4.0 down to 0.05.
         let t = 4.0 * (0.05f64 / 4.0).powf(iter as f64 / cfg.iters.max(1) as f64);
         let cand = mutate(&current, &mut rng);
@@ -193,16 +204,12 @@ where
         if accept {
             current = cand;
             cur_energy = e;
+            SEARCH_ACCEPTED.incr();
             if e < best_energy {
                 best = current.clone();
                 best_energy = e;
                 history.push(best.clone());
-                progress(Progress {
-                    iter,
-                    best_size: best.size(),
-                    best_depth: best.depth(),
-                    temperature: t,
-                });
+                report_progress("anneal", iter, &best, t);
             }
         }
     }
@@ -248,10 +255,10 @@ fn mul_energy(net: &Fpan, n: usize, q: i32, trials: usize, seed: u64) -> f64 {
 /// occur in multiplication FPANs, and we must deliberately impose" it.
 /// Outputs are wires `[0, 2, 6, 11][..n]` for n = 4 and `[0, 2, 3][..n]`
 /// for n = 3 (the head-product wires).
-pub fn search_multiplication<F>(cfg: SearchConfig, mut progress: F) -> (Fpan, bool)
-where
-    F: FnMut(Progress),
-{
+///
+/// Progress is observable through `mf-telemetry`, exactly as in
+/// [`search_addition`].
+pub fn search_multiplication(cfg: SearchConfig) -> (Fpan, bool) {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = cfg.n;
     let prefix = crate::networks::commutativity_layer(n);
@@ -270,6 +277,7 @@ where
 
     let max_gates = frozen + 40;
     for iter in 0..cfg.iters {
+        SEARCH_ITERS.incr();
         let t = 4.0 * (0.05f64 / 4.0).powf(iter as f64 / cfg.iters.max(1) as f64);
         // Mutate only beyond the frozen prefix.
         let mut cand = current.clone();
@@ -303,16 +311,12 @@ where
         if accept {
             current = cand;
             cur_energy = e;
+            SEARCH_ACCEPTED.incr();
             if e < best_energy {
                 best = current.clone();
                 best_energy = e;
                 history.push(best.clone());
-                progress(Progress {
-                    iter,
-                    best_size: best.size(),
-                    best_depth: best.depth(),
-                    temperature: t,
-                });
+                report_progress("anneal", iter, &best, t);
             }
         }
     }
@@ -338,12 +342,16 @@ mod tests {
 
     #[test]
     fn energy_prefers_correct_and_small() {
+        // q = 2p-2: the bound this repo asserts for the shipped add_2
+        // (see the `verify_networks` binary) — its conservative sweeps
+        // are not the paper's Figure-2 optimum, so 2p-1 can be exceeded
+        // on ~2.25u^2 worst-case inputs if the sampler finds one.
         let good = networks::add_2();
-        let e_good = energy(&good, 2, 23, 400, 7);
+        let e_good = energy(&good, 2, 22, 400, 7);
         assert!(e_good < 100.0, "shipped network must score as correct");
         // Empty network: outputs are just x0, x1 — wrong.
         let empty = Fpan::new(4, vec![0, 2]);
-        let e_empty = energy(&empty, 2, 23, 400, 7);
+        let e_empty = energy(&empty, 2, 22, 400, 7);
         assert!(e_empty > 900.0, "empty network must score as incorrect");
         assert!(e_good < e_empty);
     }
@@ -363,22 +371,22 @@ mod tests {
             trials: 160,
             seed: 12345,
         };
-        let (net, ok) = search_addition(cfg, |_| {});
+        let (net, ok) = search_addition(cfg);
         assert!(ok, "search failed to find a correct network");
         // It must also hold up at f64 against the oracle with the scaled
         // bound (2p-1 at p=53), at least at a modest trial count.
-        let rep = verify::verify_addition_f64(
-            &net,
-            2,
-            VerifyConfig::new(800, 2 * 53 - 2, 999),
-        );
+        let rep = verify::verify_addition_f64(&net, 2, VerifyConfig::new(800, 2 * 53 - 2, 999));
         assert!(
             rep.pass,
             "discovered network fails at f64: {:?} worst 2^{:.1}",
             rep.first_violation, rep.worst_error_exp
         );
         // And it should not be wildly larger than the known optimum (6).
-        assert!(net.size() <= 20, "network unexpectedly large: {}", net.size());
+        assert!(
+            net.size() <= 20,
+            "network unexpectedly large: {}",
+            net.size()
+        );
     }
 
     #[test]
@@ -392,13 +400,17 @@ mod tests {
             trials: 160,
             seed: 777,
         };
-        let (net, ok) = search_multiplication(cfg, |_| {});
+        let (net, ok) = search_multiplication(cfg);
         assert!(ok, "multiplication search failed");
         // The frozen commutativity prefix must still be there.
         let prefix = crate::networks::commutativity_layer(2);
         assert_eq!(&net.gates[..prefix.len()], prefix.as_slice());
         // Shipped optimum is size 3; allow some slack.
-        assert!(net.size() <= 15, "network unexpectedly large: {}", net.size());
+        assert!(
+            net.size() <= 15,
+            "network unexpectedly large: {}",
+            net.size()
+        );
     }
 
     #[test]

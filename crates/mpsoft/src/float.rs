@@ -108,8 +108,7 @@ impl MpFloat {
         // anything strictly below the guard, plus `extra_sticky`.
         let drop = bits - target;
         let guard = limb::get_bit(&limbs, drop - 1);
-        let sticky_below =
-            extra_sticky || (drop >= 2 && limb::shr_sticky(&limbs, drop - 1).1);
+        let sticky_below = extra_sticky || (drop >= 2 && limb::shr_sticky(&limbs, drop - 1).1);
         let (mut kept, _) = limb::shr_sticky(&limbs, drop);
         let lsb = limb::get_bit(&kept, 0);
         let round_up = guard && (sticky_below || lsb);
@@ -527,7 +526,8 @@ impl MpFloat {
         // then compute the first `digits` decimal digits by scaling.
         let k = self.lsb_exp();
         // log10(|v|) = log10(M) + k*log10(2)
-        let approx_log10 = (limb::bit_len(&self.mant) as f64 + k as f64) * std::f64::consts::LOG10_2;
+        let approx_log10 =
+            (limb::bit_len(&self.mant) as f64 + k as f64) * std::f64::consts::LOG10_2;
         let mut d10 = approx_log10.floor() as i32;
         // We want I = round(|v| * 10^(digits - 1 - d10)) with 10^(digits-1)
         // <= I < 10^digits. The estimate of d10 can be off by one; fix up.
@@ -581,7 +581,10 @@ impl MpFloat {
         let k = self.lsb_exp();
         // |v| * 10^scale10 = M * 2^k * 10^scale10
         let (num, den) = if scale10 >= 0 {
-            (limb::mul(&self.mant, &limb::pow10(scale10 as u32)), Vec::new())
+            (
+                limb::mul(&self.mant, &limb::pow10(scale10 as u32)),
+                Vec::new(),
+            )
         } else {
             (self.mant.clone(), limb::pow10((-scale10) as u32))
         };

@@ -125,7 +125,11 @@ pub fn ln(x: &MpFloat, prec: u32) -> MpFloat {
         sum = sum.add(&add, wp);
         let done = add
             .exp2()
-            .map(|ae| sum.exp2().map(|se| ae < se - wp as i64 - 4).unwrap_or(false))
+            .map(|ae| {
+                sum.exp2()
+                    .map(|se| ae < se - wp as i64 - 4)
+                    .unwrap_or(false)
+            })
             .unwrap_or(true);
         if done {
             break;

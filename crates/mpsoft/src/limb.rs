@@ -329,8 +329,7 @@ mod tests {
 
     fn to_u128(a: &[u64]) -> u128 {
         assert!(a.len() <= 2);
-        a.first().copied().unwrap_or(0) as u128
-            | (a.get(1).copied().unwrap_or(0) as u128) << 64
+        a.first().copied().unwrap_or(0) as u128 | (a.get(1).copied().unwrap_or(0) as u128) << 64
     }
 
     #[test]
@@ -351,7 +350,12 @@ mod tests {
 
     #[test]
     fn mul_matches_u128() {
-        let cases = [(0u128, 5u128), (3, 7), (u64::MAX as u128, u64::MAX as u128), (1 << 63, 1 << 63)];
+        let cases = [
+            (0u128, 5u128),
+            (3, 7),
+            (u64::MAX as u128, u64::MAX as u128),
+            (1 << 63, 1 << 63),
+        ];
         for &(x, y) in &cases {
             assert_eq!(to_u128(&mul(&from_u128(x), &from_u128(y))), x * y);
         }

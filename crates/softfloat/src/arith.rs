@@ -50,11 +50,16 @@ pub(crate) fn add<const P: u32>(a: SoftFloat<P>, b: SoftFloat<P>) -> SoftFloat<P
             let gap = hi.exp - lo.exp;
             if gap > P as i32 + 2 {
                 // `lo` lies entirely below the guard position: fold it into
-                // a sticky bit. Keep two explicit guard bits on `hi`.
+                // a sticky bit. Keep three explicit guard bits on `hi` —
+                // with only two, `(mh << 2) - 1` loses a bit whenever `mh`
+                // is a power of two, leaving P + 1 significant bits where
+                // `round_from_u128`'s sticky contract requires P + 2.
+                // (`gap > P + 2` bounds `lo` below `2^(kh - 3)`, so the
+                // borrow-and-sticky encoding stays exact.)
                 let (mh, kh) = hi.parts();
-                let m = (mh as u128) << 2;
+                let m = (mh as u128) << 3;
                 let m = if hi.neg == lo.neg { m } else { m - 1 };
-                return SoftFloat::round_from_u128(hi.neg, m, kh - 2, true);
+                return SoftFloat::round_from_u128(hi.neg, m, kh - 3, true);
             }
             // Exact alignment in 128 bits: shifts are bounded by
             // gap + P <= 2P + 2 <= 122.
@@ -126,7 +131,7 @@ pub(crate) fn div<const P: u32>(a: SoftFloat<P>, b: SoftFloat<P>) -> SoftFloat<P
             let shift = P + 3;
             let num = (ma as u128) << shift;
             let q = num / mb as u128;
-            let sticky = num % mb as u128 != 0;
+            let sticky = !num.is_multiple_of(mb as u128);
             SoftFloat::round_from_u128(neg, q, ka - kb - shift as i32, sticky)
         }
     }
@@ -266,7 +271,11 @@ pub(crate) fn floor<const P: u32>(a: SoftFloat<P>) -> SoftFloat<P> {
             let frac_bits = (P as i32 - 1 - a.exp) as u32;
             let int_part = a.mant >> frac_bits;
             let has_frac = a.mant & ((1u64 << frac_bits) - 1) != 0;
-            let int_part = if a.neg && has_frac { int_part + 1 } else { int_part };
+            let int_part = if a.neg && has_frac {
+                int_part + 1
+            } else {
+                int_part
+            };
             SoftFloat::round_from_u128(a.neg, int_part as u128, 0, false)
         }
         _ => a,
@@ -294,7 +303,11 @@ pub(crate) fn round_half_away<const P: u32>(a: SoftFloat<P>) -> SoftFloat<P> {
             let frac_bits = (P as i32 - 1 - a.exp) as u32;
             let int_part = a.mant >> frac_bits;
             let half = 1u64 << (frac_bits - 1);
-            let int_part = if a.mant & half != 0 { int_part + 1 } else { int_part };
+            let int_part = if a.mant & half != 0 {
+                int_part + 1
+            } else {
+                int_part
+            };
             SoftFloat::round_from_u128(a.neg, int_part as u128, 0, false)
         }
         _ => a,

@@ -72,7 +72,12 @@ impl<const P: u32> SoftFloat<P> {
     pub(crate) const fn raw(kind: Kind, neg: bool, exp: i32, mant: u64) -> Self {
         #[allow(clippy::let_unit_value)]
         let _ = Self::CHECK;
-        SoftFloat { kind, neg, exp, mant }
+        SoftFloat {
+            kind,
+            neg,
+            exp,
+            mant,
+        }
     }
 
     pub const fn zero() -> Self {
@@ -140,7 +145,11 @@ impl<const P: u32> SoftFloat<P> {
     fn finite_checked(neg: bool, exp: i32, mant: u64) -> Self {
         debug_assert!(mant >= 1 << (P - 1) && mant >> P == 0);
         if exp > EXP_LIMIT {
-            return if neg { Self::neg_infinity() } else { Self::infinity() };
+            return if neg {
+                Self::neg_infinity()
+            } else {
+                Self::infinity()
+            };
         }
         if exp < -EXP_LIMIT {
             return Self::raw(Kind::Zero, neg, 0, 0);

@@ -31,8 +31,16 @@ fn p53_add_sub_matches_hardware() {
         let x = rand_f64(&mut rng, -80..80);
         let y = rand_f64(&mut rng, -80..80);
         let (a, b) = (F53::from_f64(x), F53::from_f64(y));
-        assert_eq!((a + b).to_f64().to_bits(), (x + y).to_bits(), "add iter {i}: {x:e} {y:e}");
-        assert_eq!((a - b).to_f64().to_bits(), (x - y).to_bits(), "sub iter {i}: {x:e} {y:e}");
+        assert_eq!(
+            (a + b).to_f64().to_bits(),
+            (x + y).to_bits(),
+            "add iter {i}: {x:e} {y:e}"
+        );
+        assert_eq!(
+            (a - b).to_f64().to_bits(),
+            (x - y).to_bits(),
+            "sub iter {i}: {x:e} {y:e}"
+        );
     }
 }
 
@@ -43,8 +51,16 @@ fn p53_mul_div_matches_hardware() {
         let x = rand_f64(&mut rng, -60..60);
         let y = rand_f64(&mut rng, -60..60);
         let (a, b) = (F53::from_f64(x), F53::from_f64(y));
-        assert_eq!((a * b).to_f64().to_bits(), (x * y).to_bits(), "mul iter {i}: {x:e} {y:e}");
-        assert_eq!((a / b).to_f64().to_bits(), (x / y).to_bits(), "div iter {i}: {x:e} {y:e}");
+        assert_eq!(
+            (a * b).to_f64().to_bits(),
+            (x * y).to_bits(),
+            "mul iter {i}: {x:e} {y:e}"
+        );
+        assert_eq!(
+            (a / b).to_f64().to_bits(),
+            (x / y).to_bits(),
+            "div iter {i}: {x:e} {y:e}"
+        );
     }
 }
 
@@ -208,7 +224,10 @@ fn special_values() {
     assert!((F53::zero() / F53::zero()).is_nan());
     assert!((one / F53::zero()).is_infinite());
     assert!((F53::from_f64(-1.0)).sqrt().is_nan());
-    assert_eq!((F53::zero() + F53::neg_zero()).to_f64().to_bits(), 0.0f64.to_bits());
+    assert_eq!(
+        (F53::zero() + F53::neg_zero()).to_f64().to_bits(),
+        0.0f64.to_bits()
+    );
     assert!((F53::nan() + one).is_nan());
     assert!(F53::nan().partial_cmp(&one).is_none());
     // -0 == +0 per IEEE.

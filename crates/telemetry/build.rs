@@ -1,0 +1,16 @@
+use std::process::Command;
+
+fn main() {
+    // Record the compiler version in the run manifest. RUSTC points at the
+    // compiler cargo is driving; fall back to "rustc" on the PATH.
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=MF_RUSTC_VERSION={version}");
+    println!("cargo:rerun-if-env-changed=RUSTC");
+}

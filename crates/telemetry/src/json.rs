@@ -1,0 +1,543 @@
+//! Dependency-free JSON: a value model, a renderer (compact and pretty),
+//! and a recursive-descent parser.
+//!
+//! The workspace cannot vendor `serde`/`serde_json` (offline container), so
+//! run manifests, bench tables, and the `report` merger all go through this
+//! module. It covers the JSON this workspace writes: objects preserve
+//! insertion order, numbers are `f64` (rendered without a fractional part
+//! when they are exact integers), strings escape control characters and
+//! `"`/`\\`. Non-finite numbers render as `null` (JSON has no NaN/Inf).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A JSON value. Object fields keep insertion order (stable manifests
+/// diff cleanly across runs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn num(v: impl Into<f64>) -> Json {
+        Json::Num(v.into())
+    }
+
+    /// u64 counters: exact below 2^53, saturating into f64 above (telemetry
+    /// counters never plausibly reach 9e15 increments in one process).
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compact rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with 2-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_str(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (the full input must be one value plus
+    /// whitespace).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut pending_surrogate: Option<u16> = None;
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => {
+                    if pending_surrogate.is_some() {
+                        return Err("unpaired surrogate".into());
+                    }
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    let simple = match esc {
+                        b'"' => Some('"'),
+                        b'\\' => Some('\\'),
+                        b'/' => Some('/'),
+                        b'b' => Some('\u{8}'),
+                        b'f' => Some('\u{c}'),
+                        b'n' => Some('\n'),
+                        b'r' => Some('\r'),
+                        b't' => Some('\t'),
+                        b'u' => None,
+                        other => {
+                            return Err(format!("bad escape '\\{}'", other as char));
+                        }
+                    };
+                    if let Some(c) = simple {
+                        if pending_surrogate.is_some() {
+                            return Err("unpaired surrogate".into());
+                        }
+                        out.push(c);
+                        continue;
+                    }
+                    // \uXXXX
+                    if self.pos + 4 > self.bytes.len() {
+                        return Err("truncated \\u escape".into());
+                    }
+                    let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                        .map_err(|_| "bad \\u escape".to_string())?;
+                    let unit =
+                        u16::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                    self.pos += 4;
+                    match pending_surrogate.take() {
+                        Some(hi) => {
+                            if (0xDC00..=0xDFFF).contains(&unit) {
+                                let c =
+                                    0x10000 + ((hi as u32 - 0xD800) << 10) + (unit as u32 - 0xDC00);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| "bad surrogate pair".to_string())?,
+                                );
+                            } else {
+                                return Err("unpaired surrogate".into());
+                            }
+                        }
+                        None => {
+                            if (0xD800..=0xDBFF).contains(&unit) {
+                                pending_surrogate = Some(unit);
+                            } else if (0xDC00..=0xDFFF).contains(&unit) {
+                                return Err("unpaired surrogate".into());
+                            } else {
+                                out.push(
+                                    char::from_u32(unit as u32)
+                                        .ok_or_else(|| "bad \\u escape".to_string())?,
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if pending_surrogate.is_some() {
+                        return Err("unpaired surrogate".into());
+                    }
+                    // Re-read the full UTF-8 char from the byte position.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "bad number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+/// Breadth-first iterator over `(path, value)` pairs — handy for digests.
+pub fn walk(root: &Json) -> Vec<(String, &Json)> {
+    let mut out = Vec::new();
+    let mut queue: VecDeque<(String, &Json)> = VecDeque::new();
+    queue.push_back((String::new(), root));
+    while let Some((path, v)) = queue.pop_front() {
+        match v {
+            Json::Obj(fields) => {
+                for (k, child) in fields {
+                    let p = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    queue.push_back((p, child));
+                }
+            }
+            Json::Arr(items) => {
+                for (i, child) in items.iter().enumerate() {
+                    queue.push_back((format!("{path}[{i}]"), child));
+                }
+            }
+            _ => out.push((path, v)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::str("tables")),
+            ("count".into(), Json::u64(12345678901234)),
+            ("ratio".into(), Json::Num(0.25)),
+            ("ok".into(), Json::Bool(true)),
+            ("nothing".into(), Json::Null),
+            (
+                "items".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::str("two"), Json::Bool(false)]),
+            ),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            ("empty_arr".into(), Json::Arr(vec![])),
+        ]);
+        for text in [v.render(), v.render_pretty()] {
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back, v, "through {text}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "quote \" backslash \\ newline \n tab \t unicode é 鱼 control \u{1}";
+        let v = Json::Str(s.into());
+        let back = Json::parse(&v.render()).unwrap();
+        assert_eq!(back.as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn parses_foreign_json() {
+        let v =
+            Json::parse(r#"{ "a": [1, 2.5, -3e-2], "b": {"c": "\u0041\ud83d\ude00"}, "d": null }"#)
+                .unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-0.03)
+        );
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("A\u{1F600}")
+        );
+        assert_eq!(v.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "12x", "\"\\q\"", "{} {}", ""] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn integers_render_exactly() {
+        let v = Json::u64((1u64 << 53) - 1);
+        assert_eq!(v.render(), format!("{}", (1u64 << 53) - 1));
+        assert_eq!(
+            Json::parse(&v.render()).unwrap().as_u64(),
+            Some((1 << 53) - 1)
+        );
+    }
+
+    #[test]
+    fn walk_produces_paths() {
+        let v = Json::parse(r#"{"a": {"b": 1}, "c": [2, 3]}"#).unwrap();
+        let flat = walk(&v);
+        let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"a.b"));
+        assert!(paths.contains(&"c[0]"));
+    }
+}

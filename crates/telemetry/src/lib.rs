@@ -1,0 +1,580 @@
+//! `mf-telemetry`: zero-overhead numerical & performance telemetry.
+//!
+//! The paper's evaluation rests on claims about hot-path behavior — gate
+//! counts per FPAN, renormalization work, thread scaling, Gop/s — but the
+//! hot paths themselves are branch-free straight-line code that must not be
+//! perturbed by observation. This crate resolves that tension with a
+//! *compile-time* switch:
+//!
+//! * with the `telemetry` cargo feature **disabled** (the default),
+//!   [`ENABLED`] is `const false` and every probe below compiles to a true
+//!   no-op — no atomic, no branch, no registration, nothing for the
+//!   optimizer to keep (the ablation bench in `mf-bench` pins the residual
+//!   overhead at ≤1–2% on AXPY/DOT, i.e. measurement noise);
+//! * with the feature **enabled**, probes are lock-free atomics with
+//!   relaxed ordering and lazy self-registration in a process-wide
+//!   registry, cheap enough to leave on during full benchmark runs.
+//!
+//! Building blocks:
+//!
+//! * [`Counter`] — a named `AtomicU64`, declared `static` at the call site;
+//! * [`Histogram`] — 65 log2-bucketed counts (`bucket 0` = zero values,
+//!   bucket `k` = values in `[2^(k-1), 2^k)`), plus exact count/sum;
+//! * [`Section`] — a named accumulating timer; [`Section::start`] returns a
+//!   drop guard, [`Section::time`] wraps a closure;
+//! * [`event`] — a bounded structured event stream (e.g. annealing search
+//!   progress), mirrored to stderr when `MF_TELEMETRY_LOG=1`;
+//! * [`snapshot`] — a point-in-time copy of every registered probe;
+//! * [`manifest::RunManifest`] — the JSON "run manifest" every bench binary
+//!   emits (platform, build, thread count, wall time, per-section timings,
+//!   counter/histogram snapshot, events), with a parser so the `report`
+//!   binary can merge manifests from `results/`.
+//!
+//! The JSON layer ([`json::Json`]) is dependency-free and always available,
+//! independent of the feature flag (the bench harness uses it for its table
+//! output too).
+
+pub mod json;
+pub mod manifest;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Compile-time master switch; `true` iff the `telemetry` feature is on.
+pub const ENABLED: bool = cfg!(feature = "telemetry");
+
+/// Runtime-callable form of [`ENABLED`] (still const-folded).
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED
+}
+
+/// Maximum retained events; later events are counted but dropped.
+pub const MAX_EVENTS: usize = 8192;
+
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+    sections: Mutex<Vec<&'static Section>>,
+    events: Mutex<Vec<Event>>,
+    dropped_events: AtomicUsize,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+        sections: Mutex::new(Vec::new()),
+        events: Mutex::new(Vec::new()),
+        dropped_events: AtomicUsize::new(0),
+    })
+}
+
+/// A named monotonically increasing counter.
+///
+/// Declare as `static` next to the code it instruments:
+///
+/// ```
+/// use mf_telemetry::Counter;
+/// static RENORM_SWEEPS: Counter = Counter::new("core.renorm.sweeps");
+/// RENORM_SWEEPS.add(4);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    #[inline(always)]
+    pub fn add(&'static self, n: u64) {
+        if !ENABLED {
+            return;
+        }
+        self.value.fetch_add(n, Relaxed);
+        if !self.registered.load(Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    #[inline(always)]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Relaxed, Relaxed)
+            .is_ok()
+        {
+            registry().counters.lock().unwrap().push(self);
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts zero samples; bucket `k` (1..=64) counts samples in
+/// `[2^(k-1), 2^k)`. Count and sum are tracked exactly, so mean is exact
+/// and quantiles are within a factor of 2.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; 65],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Bucket index of a sample.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    #[inline(always)]
+    pub fn record(&'static self, v: u64) {
+        if !ENABLED {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        if !self.registered.load(Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    /// Clamp a (possibly negative) quantity to `u64` and record it.
+    #[inline(always)]
+    pub fn record_clamped(&'static self, v: i64) {
+        self.record(v.max(0) as u64);
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Relaxed, Relaxed)
+            .is_ok()
+        {
+            registry().histograms.lock().unwrap().push(self);
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn snapshot_data(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            buckets: core::array::from_fn(|i| self.buckets[i].load(Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: [u64; 65],
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the approximate `q`-quantile (q in [0, 1]).
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A named accumulating wall-clock timer ("span" source).
+pub struct Section {
+    name: &'static str,
+    total_ns: AtomicU64,
+    count: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Section {
+    pub const fn new(name: &'static str) -> Self {
+        Section {
+            name,
+            total_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Start a span; the elapsed time is accumulated when the guard drops.
+    #[inline(always)]
+    pub fn start(&'static self) -> SpanGuard {
+        SpanGuard {
+            inner: if ENABLED {
+                Some((self, Instant::now()))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Time a closure.
+    #[inline(always)]
+    pub fn time<R>(&'static self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.start();
+        f()
+    }
+
+    /// Record an externally measured duration (e.g. from `measure_gops`).
+    #[inline(always)]
+    pub fn add_ns(&'static self, ns: u64) {
+        if !ENABLED {
+            return;
+        }
+        self.total_ns.fetch_add(ns, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        if !self.registered.load(Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Relaxed, Relaxed)
+            .is_ok()
+        {
+            registry().sections.lock().unwrap().push(self);
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Relaxed)
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+}
+
+/// Drop guard returned by [`Section::start`].
+pub struct SpanGuard {
+    inner: Option<(&'static Section, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((section, start)) = self.inner.take() {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            section.add_ns(ns);
+        }
+    }
+}
+
+/// One structured event: a name plus numeric fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub name: String,
+    pub fields: Vec<(String, f64)>,
+}
+
+/// Record a structured event (e.g. annealing search progress). Bounded to
+/// [`MAX_EVENTS`] retained events per process; the overflow count appears
+/// in the manifest. Set `MF_TELEMETRY_LOG=1` to mirror events to stderr.
+#[inline]
+pub fn event(name: &str, fields: &[(&str, f64)]) {
+    if !ENABLED {
+        return;
+    }
+    event_slow(name, fields);
+}
+
+#[cold]
+fn event_slow(name: &str, fields: &[(&str, f64)]) {
+    static LOG_TO_STDERR: OnceLock<bool> = OnceLock::new();
+    let log = *LOG_TO_STDERR.get_or_init(|| {
+        std::env::var("MF_TELEMETRY_LOG")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    });
+    if log {
+        let mut line = format!("[mf-telemetry] {name}");
+        for (k, v) in fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("{line}");
+    }
+    let mut events = registry().events.lock().unwrap();
+    if events.len() >= MAX_EVENTS {
+        registry().dropped_events.fetch_add(1, Relaxed);
+        return;
+    }
+    events.push(Event {
+        name: name.to_string(),
+        fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    });
+}
+
+/// Point-in-time copy of every registered probe.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+    pub sections: Vec<SectionSnapshot>,
+    pub events: Vec<Event>,
+    pub dropped_events: u64,
+}
+
+/// Point-in-time copy of a [`Section`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionSnapshot {
+    pub name: String,
+    pub total_ns: u64,
+    pub count: u64,
+}
+
+/// Snapshot every registered probe. Sorted by name for stable output.
+pub fn snapshot() -> Snapshot {
+    if !ENABLED {
+        return Snapshot::default();
+    }
+    let reg = registry();
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| (c.name.to_string(), c.get()))
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<HistogramSnapshot> = reg
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|h| h.snapshot_data())
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut sections: Vec<SectionSnapshot> = reg
+        .sections
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| SectionSnapshot {
+            name: s.name.to_string(),
+            total_ns: s.total_ns(),
+            count: s.count(),
+        })
+        .collect();
+    sections.sort_by(|a, b| a.name.cmp(&b.name));
+    Snapshot {
+        counters,
+        histograms,
+        sections,
+        events: reg.events.lock().unwrap().clone(),
+        dropped_events: reg.dropped_events.load(Relaxed) as u64,
+    }
+}
+
+/// Drain retained events (they stay out of later snapshots); counters,
+/// histograms, and sections are process-cumulative by design.
+pub fn drain_events() -> Vec<Event> {
+    if !ENABLED {
+        return Vec::new();
+    }
+    std::mem::take(&mut *registry().events.lock().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    // Counters/histograms register globally, so tests share state; each
+    // test uses its own probes.
+
+    #[cfg(feature = "telemetry")]
+    mod enabled {
+        use super::super::*;
+
+        #[test]
+        fn counter_concurrent_increments() {
+            static C: Counter = Counter::new("test.concurrent.counter");
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..10_000 {
+                            C.incr();
+                        }
+                    });
+                }
+            });
+            assert_eq!(C.get(), 80_000);
+            let snap = snapshot();
+            assert_eq!(
+                snap.counters
+                    .iter()
+                    .find(|(n, _)| n == "test.concurrent.counter")
+                    .map(|(_, v)| *v),
+                Some(80_000)
+            );
+        }
+
+        #[test]
+        fn histogram_buckets_and_moments() {
+            static H: Histogram = Histogram::new("test.histogram.buckets");
+            // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 1024 -> bucket 11.
+            for v in [0u64, 1, 2, 3, 1024] {
+                H.record(v);
+            }
+            let snap = H.snapshot_data();
+            assert_eq!(snap.count, 5);
+            assert_eq!(snap.sum, 1030);
+            assert_eq!(snap.buckets[0], 1);
+            assert_eq!(snap.buckets[1], 1);
+            assert_eq!(snap.buckets[2], 2);
+            assert_eq!(snap.buckets[11], 1);
+            assert!((snap.mean() - 206.0).abs() < 1e-9);
+            assert_eq!(snap.quantile_upper_bound(0.5), 3);
+        }
+
+        #[test]
+        fn histogram_concurrent_totals() {
+            static H: Histogram = Histogram::new("test.histogram.concurrent");
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    s.spawn(move || {
+                        for i in 0..5_000u64 {
+                            H.record(t * 1000 + (i % 7));
+                        }
+                    });
+                }
+            });
+            assert_eq!(H.snapshot_data().count, 20_000);
+        }
+
+        #[test]
+        fn sections_accumulate() {
+            static S: Section = Section::new("test.section.accumulate");
+            for _ in 0..3 {
+                let _g = S.start();
+                std::hint::black_box(1 + 1);
+            }
+            S.time(|| std::hint::black_box(2 + 2));
+            assert_eq!(S.count(), 4);
+            S.add_ns(1_000_000);
+            assert!(S.total_ns() >= 1_000_000);
+        }
+
+        #[test]
+        fn events_are_bounded_and_snapshotted() {
+            event("test.event", &[("iter", 1.0), ("size", 6.0)]);
+            let snap = snapshot();
+            assert!(snap
+                .events
+                .iter()
+                .any(|e| e.name == "test.event" && e.fields.contains(&("size".into(), 6.0))));
+        }
+
+        #[test]
+        fn bucket_of_is_log2() {
+            assert_eq!(Histogram::bucket_of(0), 0);
+            assert_eq!(Histogram::bucket_of(1), 1);
+            assert_eq!(Histogram::bucket_of(2), 2);
+            assert_eq!(Histogram::bucket_of(255), 8);
+            assert_eq!(Histogram::bucket_of(256), 9);
+            assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    mod disabled {
+        use super::super::*;
+
+        /// With the feature off, probes must have **zero observable side
+        /// effects**: no value accumulation, no registration, empty
+        /// snapshots. (The compile-time guarantee is `ENABLED == false`,
+        /// which const-folds every probe body away.)
+        #[test]
+        fn probes_are_noops() {
+            const { assert!(!ENABLED) };
+            assert!(!enabled());
+            static C: Counter = Counter::new("test.disabled.counter");
+            static H: Histogram = Histogram::new("test.disabled.histogram");
+            static S: Section = Section::new("test.disabled.section");
+            C.add(41);
+            C.incr();
+            H.record(99);
+            S.time(|| ());
+            S.add_ns(123);
+            drop(S.start());
+            event("test.disabled.event", &[("x", 1.0)]);
+            assert_eq!(C.get(), 0);
+            assert_eq!(H.snapshot_data().count, 0);
+            assert_eq!(S.total_ns(), 0);
+            assert_eq!(S.count(), 0);
+            let snap = snapshot();
+            assert!(snap.counters.is_empty());
+            assert!(snap.histograms.is_empty());
+            assert!(snap.sections.is_empty());
+            assert!(snap.events.is_empty());
+            assert!(drain_events().is_empty());
+        }
+    }
+}

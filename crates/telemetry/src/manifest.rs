@@ -1,0 +1,435 @@
+//! Structured JSON "run manifest" emitted by every bench binary.
+//!
+//! A manifest captures everything needed to interpret (and re-run) a
+//! measurement: the tool and configuration, the platform and build flags,
+//! thread count, wall time, per-section timings, and a full snapshot of
+//! every telemetry counter/histogram plus retained events. The `report`
+//! binary in `mf-bench` merges the manifests under `results/` into a
+//! digest; [`RunManifest::from_json`] is the parser it uses.
+
+use crate::json::Json;
+use crate::{Event, HistogramSnapshot, SectionSnapshot, Snapshot};
+use std::io::Write;
+use std::path::Path;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Build/host description recorded in every manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    pub os: String,
+    pub arch: String,
+    pub family: String,
+    /// `rustc --version` of the compiler that built this crate.
+    pub rustc: String,
+    /// `MF_PLATFORM_LABEL` if set (the experiment scripts use it to tag
+    /// machines), empty otherwise.
+    pub label: String,
+    /// `RUSTFLAGS` at run time — *not* necessarily the flags the binary was
+    /// compiled with, but the experiment scripts always export them for the
+    /// whole build+run pipeline.
+    pub rustflags: String,
+    pub available_parallelism: u64,
+}
+
+impl Platform {
+    pub fn detect() -> Self {
+        Platform {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            family: std::env::consts::FAMILY.to_string(),
+            rustc: env!("MF_RUSTC_VERSION").to_string(),
+            label: std::env::var("MF_PLATFORM_LABEL").unwrap_or_default(),
+            rustflags: std::env::var("RUSTFLAGS").unwrap_or_default(),
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("os".into(), Json::str(&self.os)),
+            ("arch".into(), Json::str(&self.arch)),
+            ("family".into(), Json::str(&self.family)),
+            ("rustc".into(), Json::str(&self.rustc)),
+            ("label".into(), Json::str(&self.label)),
+            ("rustflags".into(), Json::str(&self.rustflags)),
+            (
+                "available_parallelism".into(),
+                Json::u64(self.available_parallelism),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Self> {
+        Some(Platform {
+            os: j.get("os")?.as_str()?.to_string(),
+            arch: j.get("arch")?.as_str()?.to_string(),
+            family: j.get("family")?.as_str()?.to_string(),
+            rustc: j.get("rustc")?.as_str()?.to_string(),
+            label: j.get("label")?.as_str()?.to_string(),
+            rustflags: j.get("rustflags")?.as_str()?.to_string(),
+            available_parallelism: j.get("available_parallelism")?.as_u64()?,
+        })
+    }
+}
+
+/// A completed run: identification, environment, timing, and the telemetry
+/// snapshot taken at the end of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Binary that produced the run (`tables`, `gpu_sim`, ...).
+    pub tool: String,
+    /// Tool-specific configuration string (`wide`, `narrow`, ...).
+    pub config: String,
+    /// Whether the binary was compiled with the `telemetry` feature.
+    pub telemetry_enabled: bool,
+    pub platform: Platform,
+    /// Worker thread count used by the run (0 = unspecified/serial).
+    pub threads: u64,
+    /// Seconds since the Unix epoch when the manifest was collected.
+    pub unix_time: u64,
+    pub wall_ms: f64,
+    pub snapshot: Snapshot,
+    /// Free-form extra fields (per-tool results, notes).
+    pub extra: Vec<(String, Json)>,
+}
+
+impl RunManifest {
+    /// Collect a manifest for `tool` run with `config`, where `started` was
+    /// taken at process start.
+    pub fn collect(tool: &str, config: &str, threads: usize, started: Instant) -> Self {
+        RunManifest {
+            tool: tool.to_string(),
+            config: config.to_string(),
+            telemetry_enabled: crate::ENABLED,
+            platform: Platform::detect(),
+            threads: threads as u64,
+            unix_time: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            snapshot: crate::snapshot(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attach a tool-specific extra field.
+    pub fn with_extra(mut self, key: &str, value: Json) -> Self {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.snapshot
+                .counters
+                .iter()
+                .map(|(name, v)| (name.clone(), Json::u64(*v)))
+                .collect(),
+        );
+        let histograms = Json::Arr(
+            self.snapshot
+                .histograms
+                .iter()
+                .map(|h| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(&h.name)),
+                        ("count".into(), Json::u64(h.count)),
+                        ("sum".into(), Json::u64(h.sum)),
+                        (
+                            "buckets".into(),
+                            Json::Arr(h.buckets.iter().map(|&b| Json::u64(b)).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let sections = Json::Arr(
+            self.snapshot
+                .sections
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(&s.name)),
+                        ("total_ns".into(), Json::u64(s.total_ns)),
+                        ("count".into(), Json::u64(s.count)),
+                    ])
+                })
+                .collect(),
+        );
+        let events = Json::Arr(
+            self.snapshot
+                .events
+                .iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(&e.name)),
+                        (
+                            "fields".into(),
+                            Json::Obj(
+                                e.fields
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let mut obj = vec![
+            ("schema".into(), Json::str("mf-telemetry/manifest/v1")),
+            ("tool".into(), Json::str(&self.tool)),
+            ("config".into(), Json::str(&self.config)),
+            (
+                "telemetry_enabled".into(),
+                Json::Bool(self.telemetry_enabled),
+            ),
+            ("platform".into(), self.platform.to_json()),
+            ("threads".into(), Json::u64(self.threads)),
+            ("unix_time".into(), Json::u64(self.unix_time)),
+            ("wall_ms".into(), Json::Num(self.wall_ms)),
+            ("counters".into(), counters),
+            ("histograms".into(), histograms),
+            ("sections".into(), sections),
+            ("events".into(), events),
+            (
+                "dropped_events".into(),
+                Json::u64(self.snapshot.dropped_events),
+            ),
+        ];
+        for (k, v) in &self.extra {
+            obj.push((k.clone(), v.clone()));
+        }
+        Json::Obj(obj)
+    }
+
+    pub fn from_json(j: &Json) -> Option<Self> {
+        let schema = j.get("schema")?.as_str()?;
+        if schema != "mf-telemetry/manifest/v1" {
+            return None;
+        }
+        let counters = j
+            .get("counters")?
+            .as_obj()?
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+            .collect();
+        let histograms = j
+            .get("histograms")?
+            .as_arr()?
+            .iter()
+            .filter_map(|h| {
+                let raw = h.get("buckets")?.as_arr()?;
+                let mut buckets = [0u64; 65];
+                for (i, b) in raw.iter().take(65).enumerate() {
+                    buckets[i] = b.as_u64()?;
+                }
+                Some(HistogramSnapshot {
+                    name: h.get("name")?.as_str()?.to_string(),
+                    count: h.get("count")?.as_u64()?,
+                    sum: h.get("sum")?.as_u64()?,
+                    buckets,
+                })
+            })
+            .collect();
+        let sections = j
+            .get("sections")?
+            .as_arr()?
+            .iter()
+            .filter_map(|s| {
+                Some(SectionSnapshot {
+                    name: s.get("name")?.as_str()?.to_string(),
+                    total_ns: s.get("total_ns")?.as_u64()?,
+                    count: s.get("count")?.as_u64()?,
+                })
+            })
+            .collect();
+        let events = j
+            .get("events")?
+            .as_arr()?
+            .iter()
+            .filter_map(|e| {
+                Some(Event {
+                    name: e.get("name")?.as_str()?.to_string(),
+                    fields: e
+                        .get("fields")?
+                        .as_obj()?
+                        .iter()
+                        .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                        .collect(),
+                })
+            })
+            .collect();
+        let known = [
+            "schema",
+            "tool",
+            "config",
+            "telemetry_enabled",
+            "platform",
+            "threads",
+            "unix_time",
+            "wall_ms",
+            "counters",
+            "histograms",
+            "sections",
+            "events",
+            "dropped_events",
+        ];
+        let extra = j
+            .as_obj()?
+            .iter()
+            .filter(|(k, _)| !known.contains(&k.as_str()))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Some(RunManifest {
+            tool: j.get("tool")?.as_str()?.to_string(),
+            config: j.get("config")?.as_str()?.to_string(),
+            telemetry_enabled: j.get("telemetry_enabled")?.as_bool()?,
+            platform: Platform::from_json(j.get("platform")?)?,
+            threads: j.get("threads")?.as_u64()?,
+            unix_time: j.get("unix_time")?.as_u64()?,
+            wall_ms: j.get("wall_ms")?.as_f64()?,
+            snapshot: Snapshot {
+                counters,
+                histograms,
+                sections,
+                events,
+                dropped_events: j.get("dropped_events")?.as_u64()?,
+            },
+            extra,
+        })
+    }
+
+    /// Write the manifest (pretty-printed) to `path`, creating parent
+    /// directories as needed.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().render_pretty().as_bytes())?;
+        f.write_all(b"\n")
+    }
+
+    /// Read and parse a manifest file.
+    pub fn read(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let j = Json::parse(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        Self::from_json(&j).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}: not a mf-telemetry/manifest/v1 document",
+                    path.display()
+                ),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            tool: "tables".into(),
+            config: "wide".into(),
+            telemetry_enabled: true,
+            platform: Platform {
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                family: "unix".into(),
+                rustc: "rustc 1.95.0".into(),
+                label: "m1".into(),
+                rustflags: "-Ctarget-cpu=native".into(),
+                available_parallelism: 16,
+            },
+            threads: 8,
+            unix_time: 1_770_000_000,
+            wall_ms: 1234.5,
+            snapshot: Snapshot {
+                counters: vec![
+                    ("core.renorm.calls".into(), 42),
+                    ("fpan.exec.two_sum".into(), 1000),
+                ],
+                histograms: vec![HistogramSnapshot {
+                    name: "core.renorm.cancellation_bits".into(),
+                    count: 3,
+                    sum: 17,
+                    buckets: {
+                        let mut b = [0u64; 65];
+                        b[3] = 2;
+                        b[4] = 1;
+                        b
+                    },
+                }],
+                sections: vec![SectionSnapshot {
+                    name: "bench.axpy".into(),
+                    total_ns: 5_000_000,
+                    count: 2,
+                }],
+                events: vec![Event {
+                    name: "search.progress".into(),
+                    fields: vec![("iter".into(), 100.0), ("best_size".into(), 6.0)],
+                }],
+                dropped_events: 0,
+            },
+            extra: vec![("note".into(), Json::str("hand-built"))],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let m = sample();
+        let text = m.to_json().render_pretty();
+        let parsed = RunManifest::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn compact_render_round_trips_too() {
+        let m = sample();
+        let parsed = RunManifest::from_json(&Json::parse(&m.to_json().render()).unwrap()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let j = Json::parse(r#"{"schema":"something/else","tool":"x"}"#).unwrap();
+        assert!(RunManifest::from_json(&j).is_none());
+    }
+
+    #[test]
+    fn collect_fills_platform_and_timing() {
+        let start = Instant::now();
+        let m = RunManifest::collect("unit-test", "default", 4, start);
+        assert_eq!(m.tool, "unit-test");
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.telemetry_enabled, crate::ENABLED);
+        assert!(!m.platform.os.is_empty());
+        assert!(m.platform.available_parallelism >= 1);
+        assert!(m.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn write_and_read_file() {
+        let dir = std::env::temp_dir().join("mf-telemetry-test");
+        let path = dir.join("manifest_test.json");
+        let m = sample();
+        m.write(&path).unwrap();
+        let back = RunManifest::read(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example complex_commutativity`
 
-use multifloats::eft::{fast_two_sum, two_prod};
 use multifloats::core_crate::complex::C64x2;
+use multifloats::eft::{fast_two_sum, two_prod};
 use multifloats::{F64x2, MultiFloat};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -32,10 +32,8 @@ fn main() {
     let mut fpan_nonzero = 0u64;
 
     for _ in 0..trials {
-        let a = F64x2::from(rng.gen_range(-10.0..10.0))
-            .add_scalar(rng.gen_range(-1e-18..1e-18));
-        let b = F64x2::from(rng.gen_range(-10.0..10.0))
-            .add_scalar(rng.gen_range(-1e-18..1e-18));
+        let a = F64x2::from(rng.gen_range(-10.0..10.0)).add_scalar(rng.gen_range(-1e-18..1e-18));
+        let b = F64x2::from(rng.gen_range(-10.0..10.0)).add_scalar(rng.gen_range(-1e-18..1e-18));
 
         // Im((a+bi)(a-bi)) = b*a - a*b (as computed; zero in exact math).
         // Non-commutative product:
@@ -63,9 +61,7 @@ fn main() {
          ({:.1}%), worst |Im|/|z|^2 = {nc_worst:.2e}",
         100.0 * nc_nonzero as f64 / trials as f64
     );
-    println!(
-        "FPAN (commutative) multiply: Im(z * conj z) != 0 in {fpan_nonzero} cases"
-    );
+    println!("FPAN (commutative) multiply: Im(z * conj z) != 0 in {fpan_nonzero} cases");
     assert_eq!(fpan_nonzero, 0);
     println!(
         "\nThe FPAN product is bitwise invariant under operand swap (paper \

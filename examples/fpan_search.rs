@@ -10,9 +10,9 @@
 //!
 //! Run with: `cargo run --release --example fpan_search`
 
+use multifloats::fpan::networks;
 use multifloats::fpan::search::{search_addition, search_multiplication, SearchConfig};
 use multifloats::fpan::verify::{self, Config};
-use multifloats::fpan::networks;
 
 fn main() {
     println!("Searching for a 2-term addition FPAN (paper §4.1)...\n");
@@ -30,12 +30,10 @@ fn main() {
             seed,
         };
         println!("-- annealing run, seed {seed} --");
-        let (n2, ok2) = search_addition(cfg, |p| {
-            println!(
-                "  iter {:>5}  best size {:>2}  depth {:>2}  T = {:.3}",
-                p.iter, p.best_size, p.best_depth, p.temperature
-            );
-        });
+        // Search progress streams through mf-telemetry (`search.progress`
+        // events): build with `--features telemetry` and set
+        // MF_TELEMETRY_LOG=1 to watch each new best candidate live.
+        let (n2, ok2) = search_addition(cfg);
         net = n2;
         ok = ok2;
         if ok {
@@ -45,7 +43,11 @@ fn main() {
     }
 
     println!("\nSearch finished: verified = {ok}");
-    println!("Discovered network: size {} depth {}", net.size(), net.depth());
+    println!(
+        "Discovered network: size {} depth {}",
+        net.size(),
+        net.depth()
+    );
     let (adds, ts, fts) = net.gate_counts();
     println!("Gates: {adds} add, {ts} TwoSum, {fts} FastTwoSum");
     for (i, g) in net.gates.iter().enumerate() {
@@ -88,13 +90,12 @@ fn main() {
         trials: 200,
         seed: 4242,
     };
-    let (mnet, mok) = search_multiplication(mcfg, |p| {
-        println!(
-            "  iter {:>5}  best size {:>2}  depth {:>2}",
-            p.iter, p.best_size, p.best_depth
-        );
-    });
-    println!("Multiplication search: verified = {mok}, size {} depth {}", mnet.size(), mnet.depth());
+    let (mnet, mok) = search_multiplication(mcfg);
+    println!(
+        "Multiplication search: verified = {mok}, size {} depth {}",
+        mnet.size(),
+        mnet.depth()
+    );
     println!(
         "(The frozen commutativity prefix has {} gate(s); the shipped optimal \
          network — the paper's Figure 5 — has size 3, depth 3.)",

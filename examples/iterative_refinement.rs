@@ -73,8 +73,7 @@ where
     let xe: Vec<MultiFloat<T, N>> = x.iter().map(|&v| Scalar::s_from_f64(v)).collect();
     let mut r = Vec::with_capacity(n);
     for i in 0..n {
-        let row: Vec<MultiFloat<T, N>> =
-            a[i].iter().map(|&v| Scalar::s_from_f64(v)).collect();
+        let row: Vec<MultiFloat<T, N>> = a[i].iter().map(|&v| Scalar::s_from_f64(v)).collect();
         let ax = kernels::dot(&row, &xe);
         let ri = MultiFloat::<T, N>::from(b[i]).sub(ax);
         r.push(ri.to_f64());
@@ -102,7 +101,7 @@ fn norm_inf(v: &[f64]) -> f64 {
 
 fn main() {
     let n = 12; // Hilbert condition number ~ 10^16 at n = 12
-    // H[i][j] = 1 / (i + j + 1)
+                // H[i][j] = 1 / (i + j + 1)
     let a: Vec<Vec<f64>> = (0..n)
         .map(|i| (0..n).map(|j| 1.0 / ((i + j + 1) as f64)).collect())
         .collect();
@@ -120,9 +119,15 @@ fn main() {
     let (lu, perm) = lu_factor(&a);
     let x0 = lu_solve(&lu, &perm, &b);
     println!("Hilbert system, n = {n} (condition number ~1e16)\n");
-    println!("plain f64 LU solve:         error_inf = {:.3e}", norm_inf(
-        &x0.iter().zip(&x_true).map(|(a, b)| a - b).collect::<Vec<_>>()
-    ));
+    println!(
+        "plain f64 LU solve:         error_inf = {:.3e}",
+        norm_inf(
+            &x0.iter()
+                .zip(&x_true)
+                .map(|(a, b)| a - b)
+                .collect::<Vec<_>>()
+        )
+    );
 
     for (label, mode) in [("f64", 0usize), ("F64x2", 2), ("F64x4", 4)] {
         let mut x = x0.clone();
@@ -137,7 +142,12 @@ fn main() {
                 x[i] += d[i];
             }
         }
-        let err = norm_inf(&x.iter().zip(&x_true).map(|(a, b)| a - b).collect::<Vec<_>>());
+        let err = norm_inf(
+            &x.iter()
+                .zip(&x_true)
+                .map(|(a, b)| a - b)
+                .collect::<Vec<_>>(),
+        );
         println!("refined ({label:>5} residual): error_inf = {err:.3e}");
     }
 

@@ -76,7 +76,7 @@ fn main() {
         xf -= horner_f64(&coeffs_f64, xf) / horner_f64(&dcoeffs_f64, xf);
         let num = horner_mf(&coeffs_mf, xm);
         let den = horner_mf(&dcoeffs_mf, xm);
-        xm = xm - num / den;
+        xm -= num / den;
         if it % 3 == 0 {
             println!(
                 "  iter {it:>2}: f64 -> {xf:<22.16} F64x4 -> {}",

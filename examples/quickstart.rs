@@ -24,7 +24,9 @@ fn main() {
     let one_plus = F64x2::from(1.0) + F64x2::from(1e-16);
     let diff = one_plus - F64x2::from(1.0);
     println!("\n(1 + 1e-16) - 1:");
-    println!("   f64      = {:e}", (1.0f64 + 1e-16) - 1.0);
+    #[allow(clippy::eq_op)] // the point of the demo: f64 collapses to 1.0 - 1.0
+    let f64_diff = (1.0f64 + 1e-16) - 1.0;
+    println!("   f64      = {f64_diff:e}");
     println!("   F64x2    = {:e}", diff.to_f64());
 
     // 4. Octuple precision (~64 digits) with N = 4 components.
@@ -49,7 +51,10 @@ fn main() {
     println!("\n|pi - oracle| / pi = {err:.3e}   (~2^{:.0})", err.log2());
 
     // 7. Effective precision by width:
-    for (label, digits) in [("F64x2", F64x2::decimal_digits()), ("F64x4", F64x4::decimal_digits())] {
+    for (label, digits) in [
+        ("F64x2", F64x2::decimal_digits()),
+        ("F64x4", F64x4::decimal_digits()),
+    ] {
         println!("{label}: ~{digits} decimal digits");
     }
 }

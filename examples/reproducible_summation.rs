@@ -80,8 +80,8 @@ fn main() {
 
     let describe = |name: &str, set: &std::collections::BTreeSet<u64>| {
         let any = f64::from_bits(*set.iter().next().unwrap());
-        let err = (MpFloat::from_f64(any, 53).sub(&exact, 300)).abs().to_f64()
-            / exact.abs().to_f64();
+        let err =
+            (MpFloat::from_f64(any, 53).sub(&exact, 300)).abs().to_f64() / exact.abs().to_f64();
         println!(
             "{name:<18} {} distinct result(s) over {} order/chunking configs; rel err of one: {err:.2e}",
             set.len(),

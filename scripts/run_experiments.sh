@@ -11,7 +11,8 @@ cargo run --release -p mf-bench --bin verify_networks | tee results/verify_netwo
 echo
 echo "=== E1: CPU tables, native SIMD (Figure 9) ==="
 MF_PLATFORM_LABEL="x86-64 native SIMD (Zen5-substitute)" \
-  cargo run --release -p mf-bench --bin tables -- --out results/tables_wide.json \
+  cargo run --release -p mf-bench --bin tables -- --config wide \
+  --out results/tables_wide.json --manifest results/manifest_tables_wide.json \
   | tee results/tables_wide.txt
 
 echo
@@ -20,7 +21,8 @@ echo "=== E2: CPU tables, narrow SIMD (Figure 10 substitution, DESIGN.md T2) ===
 # while the vector width drops from 512 to 256 bits — the narrow-SIMD
 # variable the paper isolates with its M3 runs.
 RUSTFLAGS="-C target-cpu=x86-64 -C target-feature=+avx,+fma" MF_PLATFORM_LABEL="x86-64 narrow SIMD (M3-substitute)" \
-  cargo run --release -p mf-bench --bin tables -- --out results/tables_narrow.json \
+  cargo run --release -p mf-bench --bin tables -- --config narrow \
+  --out results/tables_narrow.json --manifest results/manifest_tables_narrow.json \
   | tee results/tables_narrow.txt
 
 echo
@@ -36,6 +38,11 @@ cargo run --release -p mf-bench --bin gpu_sim -- --out results/gpu_sim.json \
 echo
 echo "=== E8: simulated-annealing FPAN search (paper 4.1) ==="
 cargo run --release --example fpan_search | tee results/fpan_search.txt
+
+echo
+echo "=== Run digest: merge telemetry manifests ==="
+cargo run --release -p mf-bench --bin report -- --dir results \
+  --out results/report.json | tee results/report.txt
 
 echo
 echo "All experiment outputs are in results/."

@@ -1,0 +1,264 @@
+//! Offline workspace shim for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness with criterion's API shape
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `Throughput`, `criterion_group!` / `criterion_main!`) so the workspace
+//! benches compile and run without crates.io. It reports mean ns/iter and,
+//! when a throughput is set, element rates; it does not do criterion's
+//! statistical analysis, plots, or baseline comparisons.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (total_ns, iters) of the measurement phase.
+    result: Option<(u128, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        // Measurement: batched timing to amortize clock reads.
+        let target_ns = self.measurement.as_nanos();
+        let batch = (target_ns / 50 / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+        let mut total_ns: u128 = 0;
+        let mut iters: u64 = 0;
+        while total_ns < target_ns {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t.elapsed().as_nanos();
+            iters += batch;
+        }
+        self.result = Some((total_ns, iters));
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((total_ns, iters)) if iters > 0 => {
+                let per = total_ns as f64 / iters as f64;
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  ({:.1} Melem/s)", n as f64 / per * 1e3)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!(
+                            "  ({:.1} MiB/s)",
+                            n as f64 / per * 1e9 / (1024.0 * 1024.0) / 1e6
+                        )
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "{}/{:<40} {:>12.1} ns/iter  [{} iters]{}",
+                    self.name, id.id, per, iters, rate
+                );
+            }
+            _ => println!("{}/{}  <no measurement>", self.name, id.id),
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Harness configuration (subset of criterion's builder API).
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    pub fn final_summary(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_measures() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::new("noop", "x"), |b| {
+            b.iter(|| black_box(1u64 + 1))
+        });
+        g.bench_function("plain-name", |b| b.iter(|| black_box(2u64 * 3)));
+        g.finish();
+    }
+
+    fn target(c: &mut Criterion) {
+        c.benchmark_group("m").bench_function("t", |b| b.iter(|| 1));
+    }
+
+    criterion_group!(
+        name = group_a;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = target
+    );
+
+    #[test]
+    fn group_macro_compiles() {
+        group_a();
+    }
+}

@@ -1,0 +1,341 @@
+//! Offline workspace shim for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API that this workspace's
+//! property tests use — the `proptest!` macro (with `#![proptest_config]`),
+//! range and tuple strategies, `prop_map` / `prop_filter`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros — on top of
+//! the workspace `rand` shim.
+//!
+//! Differences from crates.io proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs
+//!   in the message instead of a minimized counterexample;
+//! * **fixed deterministic seeding** — each test function derives its RNG
+//!   seed from its module path and name (FNV-1a), so failures reproduce
+//!   across runs without a persistence file;
+//! * rejected samples (`prop_assume!` / `prop_filter`) retry up to
+//!   `cases * 100` attempts before erroring out.
+
+use core::ops::Range;
+pub use rand::rngs::SmallRng as TestRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Test-runner configuration (subset: number of cases).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not complete normally.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` / filter rejection — the case is skipped, not failed.
+    Reject,
+    /// `prop_assert!` failure — the test fails with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// A value generator. `None` means the draw was rejected (filtered); the
+/// runner retries the whole case with fresh draws.
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, _whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.gen_value(rng).filter(|v| (self.f)(v))
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.gen_value(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// FNV-1a over a string — per-test deterministic seeds.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runner used by the [`proptest!`] expansion. Public for macro access.
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    seed: u64,
+    mut case: impl FnMut(&mut TestRng) -> Result<bool, TestCaseError>,
+) {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut done: u32 = 0;
+    let mut attempts: u64 = 0;
+    let max_attempts = (cfg.cases as u64).saturating_mul(100).max(1000);
+    while done < cfg.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest shim: too many rejected samples ({attempts} attempts for {} cases)",
+            cfg.cases
+        );
+        match case(&mut rng) {
+            Ok(true) => done += 1,
+            Ok(false) => continue, // strategy rejection
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed (after {done} passing cases): {msg}")
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            $crate::run_cases(&cfg, seed, |__rng| {
+                $(
+                    let $arg = match $crate::Strategy::gen_value(&($strat), __rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => return ::core::result::Result::Ok(false),
+                    };
+                )+
+                let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                __result.map(|()| true)
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // Bind to a bool before negating: `!(a <= b)` on user comparisons
+        // would otherwise trip clippy::neg_cmp_op_on_partial_ord at every
+        // call site.
+        let cond: bool = $cond;
+        if !cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let cond: bool = $cond;
+        if !cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n at {}:{}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}\n at {}:{}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn small() -> impl Strategy<Value = f64> {
+        (-10.0f64..10.0).prop_filter("nonzero", |v| v.abs() > 1e-3)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in -5i32..5, (a, b) in (0.0f64..1.0, 1.0f64..2.0)) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((1.0..2.0).contains(&b));
+        }
+
+        #[test]
+        fn map_and_filter(v in small().prop_map(|x| x * 2.0)) {
+            prop_assert!(v.abs() > 2e-3, "filtered + mapped value {v}");
+            prop_assume!(v != 0.0);
+            prop_assert_ne!(v, 0.0);
+        }
+
+        #[test]
+        fn eq_macro(x in 0u64..1000) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic() {
+        proptest! {
+            fn inner(x in 0i32..10) {
+                prop_assert!(x < 0, "x = {x}");
+            }
+        }
+        inner();
+    }
+}

@@ -69,8 +69,7 @@ fn chained_ops_all_types() {
             "F64x4"
         );
         check!(
-            (DoubleDouble::from_f64(a) + DoubleDouble::from_f64(b))
-                * DoubleDouble::from_f64(a)
+            (DoubleDouble::from_f64(a) + DoubleDouble::from_f64(b)) * DoubleDouble::from_f64(a)
                 - DoubleDouble::from_f64(b),
             |x: DoubleDouble| MpFloat::exact_sum(&[x.hi, x.lo]),
             -98,
@@ -112,7 +111,11 @@ fn f32_base_accuracy() {
         let y = F32x2::from(b as f32);
         let got = ((x + y) * x - y).to_mp(200);
         let err = got.rel_error_vs(&exact);
-        assert!(err <= 2.0f64.powi(-42), "err 2^{:.1} a={a} b={b}", err.log2());
+        assert!(
+            err <= 2.0f64.powi(-42),
+            "err 2^{:.1} a={a} b={b}",
+            err.log2()
+        );
     }
 }
 
@@ -128,7 +131,10 @@ fn division_and_sqrt_cross_type_agreement() {
         let prec = 600;
         let exact_div = MpFloat::from_f64(a, prec).div(&MpFloat::from_f64(b, prec), prec);
         let mf = (F64x4::from(a) / F64x4::from(b)).to_mp(400);
-        assert!(mf.rel_error_vs(&exact_div) <= 2.0f64.powi(-200), "a={a:e} b={b:e}");
+        assert!(
+            mf.rel_error_vs(&exact_div) <= 2.0f64.powi(-200),
+            "a={a:e} b={b:e}"
+        );
         let qd = QuadDouble::from_f64(a) / QuadDouble::from_f64(b);
         assert!(
             MpFloat::exact_sum(&qd.0).rel_error_vs(&exact_div) <= 2.0f64.powi(-180),
@@ -165,9 +171,8 @@ fn softfloat_and_multifloat_compose() {
         let a = (rng.gen_range(-100.0..100.0f64) as f32) as f64;
         let b = (rng.gen_range(-100.0..100.0f64) as f32) as f64;
         let xf: MultiFloat<f32, 2> = MultiFloat::from(a) * MultiFloat::from(b);
-        let xs: MultiFloat<SoftFloat<24>, 2> =
-            MultiFloat::from_scalar(SoftFloat::from_f64(a))
-                .mul(MultiFloat::from_scalar(SoftFloat::from_f64(b)));
+        let xs: MultiFloat<SoftFloat<24>, 2> = MultiFloat::from_scalar(SoftFloat::from_f64(a))
+            .mul(MultiFloat::from_scalar(SoftFloat::from_f64(b)));
         let cf = xf.components();
         let cs = xs.components();
         for k in 0..2 {

@@ -48,9 +48,8 @@ fn gemm_block_identity() {
     // a three-matrix associativity test that f64 fails at ~1e-13.
     let mut rng = SmallRng::seed_from_u64(1201);
     let n = 12;
-    let mk = |rng: &mut SmallRng| {
-        Matrix::from_fn(n, n, |_, _| F64x4::from(rng.gen_range(-1.0..1.0f64)))
-    };
+    let mk =
+        |rng: &mut SmallRng| Matrix::from_fn(n, n, |_, _| F64x4::from(rng.gen_range(-1.0..1.0f64)));
     let a = mk(&mut rng);
     let b = mk(&mut rng);
     let c = mk(&mut rng);

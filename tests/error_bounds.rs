@@ -20,8 +20,7 @@ fn addition_bounds_figures_2_to_4() {
         assert!(
             rep.pass,
             "add_{n} violates 2^-{q}: {:?} (worst 2^{:.1})",
-            rep.first_violation,
-            rep.worst_error_exp
+            rep.first_violation, rep.worst_error_exp
         );
     }
 }
@@ -35,8 +34,7 @@ fn multiplication_bounds_figures_5_to_7() {
         assert!(
             rep.pass,
             "mul_{n} violates 2^-{q}: {:?} (worst 2^{:.1})",
-            rep.first_violation,
-            rep.worst_error_exp
+            rep.first_violation, rep.worst_error_exp
         );
     }
 }

@@ -98,8 +98,7 @@ fn rsqrt_converges_from_scalar_seed() {
     let prec = 700;
     for _ in 0..500 {
         let a = rng.gen_range(0.25..4.0f64) * 2.0f64.powi(2 * rng.gen_range(-20..20));
-        let exact = MpFloat::from_f64(1.0, prec)
-            .div(&MpFloat::from_f64(a, prec).sqrt(prec), prec);
+        let exact = MpFloat::from_f64(1.0, prec).div(&MpFloat::from_f64(a, prec).sqrt(prec), prec);
         let got = F64x3::from(a).rsqrt().to_mp(400);
         let err = got.rel_error_vs(&exact);
         assert!(err <= 2.0f64.powi(-150), "a={a:e} err 2^{:.1}", err.log2());
@@ -115,9 +114,15 @@ fn term_count_scaling_of_accuracy() {
         let b = rng.gen_range(0.5..2.0f64);
         let a = rng.gen_range(0.5..2.0f64);
         let exact = MpFloat::from_f64(b, prec).div(&MpFloat::from_f64(a, prec), prec);
-        let e2 = (F64x2::from(b) / F64x2::from(a)).to_mp(400).rel_error_vs(&exact);
-        let e3 = (F64x3::from(b) / F64x3::from(a)).to_mp(400).rel_error_vs(&exact);
-        let e4 = (F64x4::from(b) / F64x4::from(a)).to_mp(400).rel_error_vs(&exact);
+        let e2 = (F64x2::from(b) / F64x2::from(a))
+            .to_mp(400)
+            .rel_error_vs(&exact);
+        let e3 = (F64x3::from(b) / F64x3::from(a))
+            .to_mp(400)
+            .rel_error_vs(&exact);
+        let e4 = (F64x4::from(b) / F64x4::from(a))
+            .to_mp(400)
+            .rel_error_vs(&exact);
         assert!(e2 <= 2.0f64.powi(-101), "N=2 err 2^{:.1}", e2.log2());
         assert!(e3 <= 2.0f64.powi(-152), "N=3 err 2^{:.1}", e3.log2());
         assert!(e4 <= 2.0f64.powi(-203), "N=4 err 2^{:.1}", e4.log2());
