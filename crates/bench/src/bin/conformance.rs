@@ -1,0 +1,157 @@
+//! Differential conformance sweep: drive every public op class through
+//! `MultiFloat`, the `MpFloat` oracle, the DD/QD/CAMPARY baselines, and
+//! `SoftFloat` in lockstep on adversarial inputs (see `mf-conformance`).
+//!
+//! Any divergence is shrunk to a minimal reproducer and appended to the
+//! JSON corpus under `--corpus`; the committed corpus is replayed by
+//! `cargo test -p mf-conformance`. Exit status 1 means divergences were
+//! found, 0 means the sweep was clean.
+//!
+//! Usage:
+//!   cargo run --release -p mf-bench --bin conformance -- \
+//!       [--ops arith,cmp,convert,io,blas,soft] [--cases N] [--seed S] \
+//!       [--corpus <dir>] [--manifest <json>]
+
+use mf_bench::{cli, RunManifest};
+use mf_conformance::{corpus, run_class, OpClass};
+use mf_telemetry::json::Json;
+use std::time::Instant;
+
+const USAGE: &str =
+    "[--ops <class,..>] [--cases N] [--seed S] [--corpus <dir>] [--manifest <json>]";
+
+fn main() {
+    let started = Instant::now();
+    let args: Vec<String> = std::env::args().collect();
+    let mut classes: Vec<OpClass> = OpClass::ALL.to_vec();
+    let mut cases: usize = if mf_bench::quick_mode() {
+        2_000
+    } else {
+        100_000
+    };
+    let mut seed: u64 = 0x5EED_CAFE;
+    let mut corpus_dir = String::from("results/conformance");
+    let mut manifest_path = String::from("results/manifest_conformance.json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                let v = cli::flag_value(&args, i, "conformance", USAGE);
+                classes = v
+                    .split(',')
+                    .map(|s| {
+                        OpClass::parse(s.trim()).unwrap_or_else(|| {
+                            cli::usage_error(
+                                "conformance",
+                                USAGE,
+                                &format!("unknown op class '{s}' (expected one of arith, cmp, convert, io, blas, soft)"),
+                            )
+                        })
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--cases" => {
+                let v = cli::flag_value(&args, i, "conformance", USAGE);
+                cases = v.parse().unwrap_or_else(|_| {
+                    cli::usage_error(
+                        "conformance",
+                        USAGE,
+                        &format!("--cases expects a positive integer, got '{v}'"),
+                    )
+                });
+                i += 2;
+            }
+            "--seed" => {
+                let v = cli::flag_value(&args, i, "conformance", USAGE);
+                // Accept both decimal and the 0x-prefixed hex form the
+                // sweep itself prints, so seeds can be pasted back in.
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16).ok(),
+                    None => v.parse().ok(),
+                };
+                seed = parsed.unwrap_or_else(|| {
+                    cli::usage_error(
+                        "conformance",
+                        USAGE,
+                        &format!("--seed expects an integer (decimal or 0x hex), got '{v}'"),
+                    )
+                });
+                i += 2;
+            }
+            "--corpus" => {
+                corpus_dir = cli::flag_value(&args, i, "conformance", USAGE).to_string();
+                i += 2;
+            }
+            "--manifest" => {
+                manifest_path = cli::flag_value(&args, i, "conformance", USAGE).to_string();
+                i += 2;
+            }
+            other => cli::usage_error("conformance", USAGE, &format!("unknown argument '{other}'")),
+        }
+    }
+
+    println!("Differential conformance sweep: {cases} cases/class, seed {seed:#x}");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10}",
+        "class", "cases", "divergences", "secs"
+    );
+    println!("{}", "-".repeat(46));
+
+    let mut all = Vec::new();
+    let mut counts = Vec::new();
+    for &class in &classes {
+        let t = Instant::now();
+        let divs = run_class(class, cases, seed);
+        println!(
+            "{:<10} {:>10} {:>12} {:>10.1}",
+            class.name(),
+            cases,
+            divs.len(),
+            t.elapsed().as_secs_f64()
+        );
+        counts.push((class.name().to_string(), Json::u64(divs.len() as u64)));
+        all.extend(divs);
+    }
+
+    if !all.is_empty() {
+        println!("\n{} divergence(s); minimal reproducers:", all.len());
+        for d in &all {
+            println!(
+                "  [{}] {} n={} operands={:?} text={:?} — {}",
+                d.impl_name,
+                d.case.op,
+                d.case.n,
+                d.case
+                    .operands
+                    .iter()
+                    .map(|o| o
+                        .iter()
+                        .map(|v| format!("{:#018x}", v.to_bits()))
+                        .collect::<Vec<_>>())
+                    .collect::<Vec<_>>(),
+                d.case.text,
+                d.detail
+            );
+        }
+        let path = format!("{corpus_dir}/divergences-{seed:016x}.json");
+        if let Err(e) = std::fs::create_dir_all(&corpus_dir)
+            .and_then(|()| std::fs::write(&path, corpus::render(&all)))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path} — triage, fix, then move entries into the committed corpus");
+        }
+    }
+
+    let manifest = RunManifest::collect("conformance", "sweep", 0, started)
+        .with_extra("cases_per_class", Json::u64(cases as u64))
+        .with_extra("seed", Json::u64(seed))
+        .with_extra("divergences", Json::Obj(counts));
+    cli::write_manifest(&manifest, &manifest_path);
+
+    if !all.is_empty() {
+        std::process::exit(1);
+    }
+    println!("\nclean: no divergences beyond the documented contract");
+}

@@ -99,7 +99,22 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S], threads: usize) -> S {
 
 /// Parallel GEMV: rows are divided among threads.
 pub fn gemv<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, y: &mut [S], threads: usize) {
-    assert_eq!(a.rows, y.len());
+    assert_eq!(
+        a.cols,
+        x.len(),
+        "gemv: A is {}x{} but x has {} elements",
+        a.rows,
+        a.cols,
+        x.len()
+    );
+    assert_eq!(
+        a.rows,
+        y.len(),
+        "gemv: A is {}x{} but y has {} elements",
+        a.rows,
+        a.cols,
+        y.len()
+    );
     if threads <= 1 {
         return kernels::gemv(alpha, a, x, beta, y);
     }
@@ -131,6 +146,24 @@ pub fn gemm<S: Scalar>(
     c: &mut Matrix<S>,
     threads: usize,
 ) {
+    // Validate shapes before any chunking: a mismatched `b.rows` would read
+    // wrong strides, and a short `c.data` would panic mid-`split_at_mut`
+    // with slices already handed to spawned threads.
+    assert_eq!(
+        a.cols, b.rows,
+        "gemm: A is {}x{} but B is {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    assert_eq!(
+        c.rows, a.rows,
+        "gemm: C is {}x{} but A*B is {}x{}",
+        c.rows, c.cols, a.rows, b.cols
+    );
+    assert_eq!(
+        c.cols, b.cols,
+        "gemm: C is {}x{} but A*B is {}x{}",
+        c.rows, c.cols, a.rows, b.cols
+    );
     if threads <= 1 {
         return kernels::gemm(alpha, a, b, beta, c);
     }
@@ -236,6 +269,33 @@ mod tests {
         for i in 0..m {
             assert_eq!(y_par[i].components(), y_ser[i].components());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: A is")]
+    fn gemm_rejects_inner_dim_mismatch() {
+        let a = Matrix::from_fn(3, 4, |_, _| F64x2::from(1.0));
+        let b = Matrix::from_fn(5, 2, |_, _| F64x2::from(1.0));
+        let mut c = Matrix::from_fn(3, 2, |_, _| F64x2::from(0.0));
+        gemm(F64x2::from(1.0), &a, &b, F64x2::from(0.0), &mut c, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: C is")]
+    fn gemm_rejects_output_shape_mismatch() {
+        let a = Matrix::from_fn(3, 4, |_, _| F64x2::from(1.0));
+        let b = Matrix::from_fn(4, 2, |_, _| F64x2::from(1.0));
+        let mut c = Matrix::from_fn(2, 2, |_, _| F64x2::from(0.0));
+        gemm(F64x2::from(1.0), &a, &b, F64x2::from(0.0), &mut c, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemv: A is")]
+    fn gemv_rejects_x_length_mismatch() {
+        let a = Matrix::from_fn(3, 4, |_, _| F64x2::from(1.0));
+        let x = vec![F64x2::from(1.0); 3]; // needs 4
+        let mut y = vec![F64x2::from(0.0); 3];
+        gemv(F64x2::from(1.0), &a, &x, F64x2::from(0.0), &mut y, 2);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Regression-corpus serialization.
+//!
+//! Every divergence the harness has ever caught is committed as a JSON
+//! entry under `results/conformance/` and replayed by `cargo test`.
+//! Components are stored as `"0x%016x"` bit-pattern strings — the JSON
+//! number grammar cannot spell NaN/inf (and [`Json`] renders them as
+//! `null`), and bit patterns keep the repro exact down to the payload.
+
+use crate::{Case, Divergence};
+use mf_telemetry::json::Json;
+
+pub const SCHEMA: &str = "mf-conformance/corpus/v1";
+
+fn f64_to_hex(v: f64) -> Json {
+    Json::str(format!("{:#018x}", v.to_bits()))
+}
+
+fn f64_from_hex(j: &Json) -> Result<f64, String> {
+    let s = j.as_str().ok_or("component is not a string")?;
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("component {s:?} lacks 0x prefix"))?;
+    let bits = u64::from_str_radix(hex, 16).map_err(|e| format!("bad component {s:?}: {e}"))?;
+    Ok(f64::from_bits(bits))
+}
+
+/// One corpus entry: the minimized case plus which implementation it broke
+/// and the divergence detail observed when it was recorded.
+pub fn entry_to_json(d: &Divergence) -> Json {
+    let mut obj = vec![
+        ("op".to_string(), Json::str(d.case.op.clone())),
+        ("n".to_string(), Json::u64(d.case.n as u64)),
+        (
+            "operands".to_string(),
+            Json::Arr(
+                d.case
+                    .operands
+                    .iter()
+                    .map(|v| Json::Arr(v.iter().map(|&c| f64_to_hex(c)).collect()))
+                    .collect(),
+            ),
+        ),
+        ("impl".to_string(), Json::str(d.impl_name.clone())),
+        ("detail".to_string(), Json::str(d.detail.clone())),
+    ];
+    if let Some(t) = &d.case.text {
+        obj.push(("text".to_string(), Json::str(t.clone())));
+    }
+    Json::Obj(obj)
+}
+
+pub fn entry_from_json(j: &Json) -> Result<Divergence, String> {
+    let op = j
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or("entry missing op")?
+        .to_string();
+    let n = j
+        .get("n")
+        .and_then(|v| v.as_u64())
+        .ok_or("entry missing n")? as usize;
+    let mut operands = Vec::new();
+    if let Some(arr) = j.get("operands").and_then(|v| v.as_arr()) {
+        for o in arr {
+            let comps = o.as_arr().ok_or("operand is not an array")?;
+            operands.push(comps.iter().map(f64_from_hex).collect::<Result<_, _>>()?);
+        }
+    }
+    let text = j.get("text").and_then(|v| v.as_str()).map(str::to_string);
+    Ok(Divergence {
+        case: Case {
+            op,
+            n,
+            operands,
+            text,
+        },
+        impl_name: j
+            .get("impl")
+            .and_then(|v| v.as_str())
+            .unwrap_or("mf-core")
+            .to_string(),
+        detail: j
+            .get("detail")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string(),
+    })
+}
+
+/// Render a full corpus document.
+pub fn render(entries: &[Divergence]) -> String {
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str(SCHEMA)),
+        (
+            "entries".to_string(),
+            Json::Arr(entries.iter().map(entry_to_json).collect()),
+        ),
+    ])
+    .render_pretty()
+}
+
+/// Parse a corpus document.
+pub fn parse(text: &str) -> Result<Vec<Divergence>, String> {
+    let j = Json::parse(text)?;
+    match j.get("schema").and_then(|v| v.as_str()) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("unknown corpus schema {other:?}")),
+    }
+    j.get("entries")
+        .and_then(|v| v.as_arr())
+        .ok_or("corpus missing entries")?
+        .iter()
+        .map(entry_from_json)
+        .collect()
+}
+
+/// Replay every corpus entry; return the entries that *still* diverge.
+/// A clean run returns an empty vec — all recorded bugs stay fixed.
+pub fn replay(entries: &[Divergence]) -> Vec<Divergence> {
+    entries
+        .iter()
+        .filter(|e| {
+            crate::check::run_case(&e.case)
+                .iter()
+                .any(|d| d.impl_name == e.impl_name)
+        })
+        .cloned()
+        .collect()
+}

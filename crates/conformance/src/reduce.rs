@@ -1,0 +1,126 @@
+//! Greedy case shrinking: given a diverging [`Case`], repeatedly apply
+//! simplifying transforms and keep each one only if the *same*
+//! implementation still diverges. The result is the minimal reproducer
+//! that lands in the corpus.
+
+use crate::{check, Case};
+
+/// Does `case` still break `impl_name`?
+fn still_fails(case: &Case, impl_name: &str) -> bool {
+    check::run_case(case)
+        .iter()
+        .any(|d| d.impl_name == impl_name)
+}
+
+/// Shrink `case` to a (locally) minimal reproducer for `impl_name`.
+pub fn reduce(case: &Case, impl_name: &str) -> Case {
+    let mut cur = case.clone();
+    if !still_fails(&cur, impl_name) {
+        return cur; // flaky under re-run (shouldn't happen: checks are deterministic)
+    }
+    // Fixpoint: each pass tries every transform once; stop when none stick.
+    for _ in 0..8 {
+        let mut changed = false;
+        changed |= shrink_vectors(&mut cur, impl_name);
+        changed |= zero_components(&mut cur, impl_name);
+        changed |= simplify_components(&mut cur, impl_name);
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+/// Halve BLAS vector lengths (keeping the leading elements) while the
+/// divergence persists.
+fn shrink_vectors(cur: &mut Case, impl_name: &str) -> bool {
+    if !matches!(cur.op.as_str(), "dot" | "axpy") {
+        return false;
+    }
+    let n = cur.n;
+    let start = if cur.op == "dot" { 0 } else { 1 };
+    let mut changed = false;
+    loop {
+        let len = cur.operands[start].len() / n;
+        if len <= 1 {
+            return changed;
+        }
+        let keep = len.div_ceil(2) * n;
+        let mut cand = cur.clone();
+        for v in &mut cand.operands[start..] {
+            v.truncate(keep);
+        }
+        if still_fails(&cand, impl_name) {
+            *cur = cand;
+            changed = true;
+        } else {
+            return changed;
+        }
+    }
+}
+
+/// Try zeroing each component (whole operands first, then tails).
+fn zero_components(cur: &mut Case, impl_name: &str) -> bool {
+    let mut changed = false;
+    for oi in 0..cur.operands.len() {
+        for ci in (0..cur.operands[oi].len()).rev() {
+            if cur.operands[oi][ci] == 0.0 {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand.operands[oi][ci] = 0.0;
+            if still_fails(&cand, impl_name) {
+                *cur = cand;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Replace surviving components with simpler bit patterns: ±1, then the
+/// same exponent with a one-bit mantissa, then low mantissa bits cleared.
+fn simplify_components(cur: &mut Case, impl_name: &str) -> bool {
+    let mut changed = false;
+    for oi in 0..cur.operands.len() {
+        for ci in 0..cur.operands[oi].len() {
+            let v = cur.operands[oi][ci];
+            if v == 0.0 || v == 1.0 || v == -1.0 {
+                continue;
+            }
+            for cand_v in candidates(v) {
+                if cand_v == v {
+                    continue;
+                }
+                let mut cand = cur.clone();
+                cand.operands[oi][ci] = cand_v;
+                if still_fails(&cand, impl_name) {
+                    *cur = cand;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn candidates(v: f64) -> [f64; 4] {
+    if !v.is_finite() {
+        // Keep the class; there is nothing simpler than inf/NaN itself.
+        return [v; 4];
+    }
+    let sign = if v < 0.0 { -1.0 } else { 1.0 };
+    let one_bit = if v == 0.0 {
+        0.0
+    } else {
+        // Same binade, mantissa reduced to the implicit bit.
+        f64::from_bits(v.to_bits() & 0xfff0_0000_0000_0000)
+    };
+    [
+        sign, // ±1
+        one_bit,
+        f64::from_bits(v.to_bits() & 0xffff_ffff_0000_0000), // clear low 32
+        f64::from_bits(v.to_bits() & 0xffff_f000_0000_0000), // keep top 8 mantissa bits
+    ]
+}

@@ -1,0 +1,68 @@
+//! Replay the committed regression corpus: every entry is a minimized
+//! reproducer of a bug the differential harness once caught (or a witness
+//! pinning a documented-contract decision). A clean replay means every
+//! recorded bug is still fixed.
+
+use mf_conformance::corpus;
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/conformance/corpus.json"
+    );
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let entries = corpus::parse(&text).unwrap_or_else(|e| panic!("parse corpus: {e}"));
+    assert!(!entries.is_empty(), "corpus is empty");
+    let regressed = corpus::replay(&entries);
+    assert!(
+        regressed.is_empty(),
+        "{} corpus entr{} regressed:\n{}",
+        regressed.len(),
+        if regressed.len() == 1 { "y" } else { "ies" },
+        regressed
+            .iter()
+            .map(|d| format!(
+                "  [{}] {} n={} operands={:?} text={:?}\n    originally: {}",
+                d.impl_name,
+                d.case.op,
+                d.case.n,
+                d.case
+                    .operands
+                    .iter()
+                    .map(|o| o
+                        .iter()
+                        .map(|v| format!("{:#018x}", v.to_bits()))
+                        .collect::<Vec<_>>())
+                    .collect::<Vec<_>>(),
+                d.case.text,
+                d.detail
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn corpus_serialization_roundtrips() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/conformance/corpus.json"
+    );
+    let text = std::fs::read_to_string(path).expect("read corpus");
+    let entries = corpus::parse(&text).expect("parse corpus");
+    let reparsed = corpus::parse(&corpus::render(&entries)).expect("reparse rendered corpus");
+    assert_eq!(entries.len(), reparsed.len());
+    for (a, b) in entries.iter().zip(&reparsed) {
+        assert_eq!(a.case.op, b.case.op);
+        assert_eq!(a.case.n, b.case.n);
+        assert_eq!(a.case.text, b.case.text);
+        assert_eq!(a.impl_name, b.impl_name);
+        let bits = |ops: &[Vec<f64>]| {
+            ops.iter()
+                .map(|o| o.iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&a.case.operands), bits(&b.case.operands));
+    }
+}

@@ -1,0 +1,62 @@
+//! Seeded smoke run: a small, fixed-seed slice of the full harness per op
+//! class. CI runs this on every push; the big 10^5-case sweeps run from
+//! the `conformance` binary.
+
+use mf_conformance::{run_class, OpClass};
+
+const SMOKE_SEED: u64 = 0xC0FF_EE00_2025_0807;
+const SMOKE_CASES: usize = 400;
+
+fn assert_clean(class: OpClass) {
+    let divs = run_class(class, SMOKE_CASES, SMOKE_SEED);
+    assert!(
+        divs.is_empty(),
+        "{} divergence(s) in class {:?}; first: impl={} op={} n={} operands={:?} text={:?} — {}",
+        divs.len(),
+        class,
+        divs[0].impl_name,
+        divs[0].case.op,
+        divs[0].case.n,
+        divs[0]
+            .case
+            .operands
+            .iter()
+            .map(|o| o
+                .iter()
+                .map(|v| format!("{:#018x}", v.to_bits()))
+                .collect::<Vec<_>>())
+            .collect::<Vec<_>>(),
+        divs[0].case.text,
+        divs[0].detail,
+    );
+}
+
+#[test]
+fn smoke_arith() {
+    assert_clean(OpClass::Arith);
+}
+
+#[test]
+fn smoke_cmp() {
+    assert_clean(OpClass::Cmp);
+}
+
+#[test]
+fn smoke_convert() {
+    assert_clean(OpClass::Convert);
+}
+
+#[test]
+fn smoke_io() {
+    assert_clean(OpClass::Io);
+}
+
+#[test]
+fn smoke_blas() {
+    assert_clean(OpClass::Blas);
+}
+
+#[test]
+fn smoke_soft() {
+    assert_clean(OpClass::Soft);
+}

@@ -6,14 +6,36 @@
 //! exactly-cancelling difference `x - y` — the subtraction FPAN's discarded
 //! error is relative to the difference itself, so a nonzero difference can
 //! never collapse to zero.
+//!
+//! Non-finite operands never enter the subtraction path: `inf - inf` is NaN,
+//! which would break the `PartialOrd`/`PartialEq` contract (`inf == inf` via
+//! the component fast path while `partial_cmp` saw a NaN difference). They
+//! are compared as the scalar their components sum to, which gives IEEE
+//! semantics: `+inf == +inf`, `-inf < x < +inf`, NaN unordered.
 
 use crate::{FloatBase, MultiFloat};
 use core::cmp::Ordering;
+
+impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
+    /// The scalar a non-finite expansion collapses to (`±inf`, or NaN for
+    /// component combinations like `[inf, -inf]` that carry no value).
+    #[inline]
+    fn collapse_scalar(&self) -> T {
+        let mut acc = T::ZERO;
+        for i in (0..N).rev() {
+            acc = acc + self.c[i];
+        }
+        acc
+    }
+}
 
 impl<T: FloatBase, const N: usize> PartialEq for MultiFloat<T, N> {
     fn eq(&self, other: &Self) -> bool {
         if self.is_nan() || other.is_nan() {
             return false;
+        }
+        if !self.is_finite() || !other.is_finite() {
+            return self.collapse_scalar() == other.collapse_scalar();
         }
         // Fast path: identical components.
         if self.c == other.c {
@@ -28,7 +50,16 @@ impl<T: FloatBase, const N: usize> PartialOrd for MultiFloat<T, N> {
         if self.is_nan() || other.is_nan() {
             return None;
         }
+        if !self.is_finite() || !other.is_finite() {
+            return self.collapse_scalar().partial_cmp(&other.collapse_scalar());
+        }
         let d = self.sub(*other);
+        if !d.is_finite() {
+            // The exact difference overflowed (e.g. MAX - (-MAX) -> inf,
+            // whose TwoSum error term is NaN): at that separation the heads
+            // alone are decisive.
+            return self.hi().partial_cmp(&other.hi());
+        }
         let head = d.hi();
         Some(if head.is_zero() {
             Ordering::Equal
@@ -118,5 +149,85 @@ mod tests {
         assert_eq!(x.cmp_scalar(1.0), Some(core::cmp::Ordering::Greater));
         assert_eq!(x.cmp_scalar(1.5), Some(core::cmp::Ordering::Equal));
         assert_eq!(x.cmp_scalar(2.0), Some(core::cmp::Ordering::Less));
+    }
+
+    /// The full special-value grid: every pair of heads from
+    /// {±0, ±1, ±inf, NaN, ±MAX} must order exactly as the f64 scalars do,
+    /// and `eq` must agree with `partial_cmp == Some(Equal)` (the
+    /// `PartialOrd` contract that the old subtraction-only path violated for
+    /// `inf` vs `inf`).
+    #[test]
+    fn special_value_grid_matches_scalar_semantics() {
+        let grid = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MAX,
+            -f64::MAX,
+        ];
+        for &a in &grid {
+            for &b in &grid {
+                let xa = F64x2::from(a);
+                let xb = F64x2::from(b);
+                assert_eq!(
+                    xa.partial_cmp(&xb),
+                    a.partial_cmp(&b),
+                    "partial_cmp({a}, {b})"
+                );
+                assert_eq!(xa == xb, a == b, "eq({a}, {b})");
+                // The PartialOrd contract itself.
+                assert_eq!(
+                    xa == xb,
+                    xa.partial_cmp(&xb) == Some(core::cmp::Ordering::Equal),
+                    "contract({a}, {b})"
+                );
+                assert_eq!(xa.cmp_scalar(b), a.partial_cmp(&b), "cmp_scalar({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn infinities_order_correctly() {
+        let inf = F64x2::from(f64::INFINITY);
+        let ninf = F64x2::from(f64::NEG_INFINITY);
+        let one = F64x2::from(1.0);
+        assert!(inf == inf);
+        assert_eq!(inf.partial_cmp(&inf), Some(core::cmp::Ordering::Equal));
+        assert!(ninf < one && one < inf && ninf < inf);
+        assert!(inf > one);
+        assert!(inf.partial_cmp(&inf) != Some(core::cmp::Ordering::Less));
+        assert!(inf.partial_cmp(&inf) != Some(core::cmp::Ordering::Greater));
+        // Garbage components that sum to NaN are unordered, matching `eq`.
+        let garbage = F64x2::from_components([f64::INFINITY, f64::NEG_INFINITY]);
+        assert!(garbage.partial_cmp(&garbage).is_none());
+        assert!(garbage != garbage);
+    }
+
+    #[test]
+    fn min_max_over_special_grid() {
+        let inf = F64x3::from(f64::INFINITY);
+        let ninf = F64x3::from(f64::NEG_INFINITY);
+        let nan = F64x3::from(f64::NAN);
+        let one = F64x3::from(1.0);
+        assert_eq!(inf.min(one).to_f64(), 1.0);
+        assert_eq!(inf.max(one).to_f64(), f64::INFINITY);
+        assert_eq!(ninf.min(one).to_f64(), f64::NEG_INFINITY);
+        assert_eq!(ninf.max(one).to_f64(), 1.0);
+        assert_eq!(inf.max(ninf).to_f64(), f64::INFINITY);
+        // NaN loses on both sides.
+        assert_eq!(nan.min(one).to_f64(), 1.0);
+        assert_eq!(nan.max(one).to_f64(), 1.0);
+        assert_eq!(one.min(nan).to_f64(), 1.0);
+        assert_eq!(one.max(nan).to_f64(), 1.0);
+        assert!(nan.min(nan).is_nan());
+        // Zeros compare equal regardless of sign.
+        let pz = F64x3::from(0.0);
+        let nz = F64x3::from(-0.0);
+        assert!(pz == nz);
+        assert_eq!(pz.partial_cmp(&nz), Some(core::cmp::Ordering::Equal));
     }
 }

@@ -29,9 +29,28 @@ impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
     }
 
     /// Correctly rounded conversion from an [`MpFloat`]: peels off one
-    /// base-precision component at a time (paper Eq. 6).
+    /// base-precision component at a time (paper Eq. 6). Values beyond the
+    /// base type's range overflow to `±inf` (without this check the peeling
+    /// loop would emit an overlapping `[MAX, MAX, ..]` expansion, because
+    /// `MpFloat::to_f64` saturates at `MAX`).
     pub fn from_mp(mp: &MpFloat) -> Self {
-        let prec = Self::io_prec();
+        if let Some(e) = mp.exp2() {
+            let max_e = T::MAX_EXP as i64 + 1; // MAX lives in [2^MAX_EXP, 2^(MAX_EXP+1))
+            let overflows = e > max_e
+                || (e == max_e && mp.round(T::PRECISION).exp2().unwrap_or(i64::MIN) > max_e);
+            if overflows {
+                return Self::from_scalar(if mp.is_negative() {
+                    T::NEG_INFINITY
+                } else {
+                    T::INFINITY
+                });
+            }
+        }
+        // Work at the input's own precision when it exceeds io_prec:
+        // rounding up front would truncate sparse expansions (e.g.
+        // [1.0, 2^-216, 2^-286]) whose component span is wider than any
+        // fixed working precision.
+        let prec = Self::io_prec().max(mp.precision());
         let mut c = [T::ZERO; N];
         let mut rem = mp.round(prec);
         for slot in c.iter_mut() {
@@ -47,8 +66,35 @@ impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
     }
 
     /// Parse a decimal string, correctly rounded to this format.
+    ///
+    /// Accepts the non-finite spellings `Display`/[`Self::to_decimal_string`]
+    /// emit — `inf`, `infinity`, `nan` in any case, with an optional sign —
+    /// so parse/print roundtrips through special values.
     pub fn parse_decimal(s: &str) -> Result<Self, String> {
-        let mp = MpFloat::from_decimal_str(s, Self::io_prec())?;
+        let t = s.trim();
+        let (neg, rest) = match t.as_bytes().first() {
+            Some(b'-') => (true, &t[1..]),
+            Some(b'+') => (false, &t[1..]),
+            _ => (false, t),
+        };
+        if rest.eq_ignore_ascii_case("inf") || rest.eq_ignore_ascii_case("infinity") {
+            return Ok(Self::from_scalar(if neg {
+                T::NEG_INFINITY
+            } else {
+                T::INFINITY
+            }));
+        }
+        if rest.eq_ignore_ascii_case("nan") {
+            return Ok(Self::from_scalar(T::NAN));
+        }
+        // Scale the working precision with the input length: a decimal
+        // spelling exact in binary (e.g. one printed by to_decimal_string)
+        // carries ~3.33 bits per digit, far more than io_prec for long
+        // strings, and rounding it early would break print/parse
+        // roundtrips of sparse expansions.
+        let digits = t.bytes().filter(u8::is_ascii_digit).count() as u32;
+        let prec = Self::io_prec().max(digits * 10 / 3 + 64);
+        let mp = MpFloat::from_decimal_str(t, prec)?;
         Ok(Self::from_mp(&mp))
     }
 
@@ -230,6 +276,69 @@ mod tests {
     fn decimal_digit_capacity() {
         assert_eq!(F64x2::decimal_digits(), 32);
         assert_eq!(F64x4::decimal_digits(), 64);
+    }
+
+    #[test]
+    fn non_finite_roundtrip() {
+        for s in [
+            "inf",
+            "+inf",
+            "-inf",
+            "Infinity",
+            "-INFINITY",
+            "NaN",
+            "nan",
+            "-nan",
+        ] {
+            let x: F64x2 = s.parse().unwrap();
+            let printed = format!("{x}");
+            let back: F64x2 = printed.parse().unwrap();
+            if x.is_nan() {
+                assert!(back.is_nan(), "roundtrip {s}");
+            } else {
+                assert_eq!(x.to_f64(), back.to_f64(), "roundtrip {s}");
+            }
+        }
+        assert_eq!("inf".parse::<F64x3>().unwrap().to_f64(), f64::INFINITY);
+        assert_eq!("-inf".parse::<F64x3>().unwrap().to_f64(), f64::NEG_INFINITY);
+        assert!("nan".parse::<F64x3>().unwrap().is_nan());
+        // Still rejects non-numeric garbage.
+        assert!("infx".parse::<F64x2>().is_err());
+        assert!("".parse::<F64x2>().is_err());
+    }
+
+    #[test]
+    fn parse_overflow_saturates_to_infinity() {
+        // Out-of-range magnitudes must overflow to ±inf, not produce an
+        // invalid [MAX, MAX, ..] expansion from the saturating peel loop.
+        assert_eq!("1e999".parse::<F64x2>().unwrap().to_f64(), f64::INFINITY);
+        assert_eq!(
+            "-1e999".parse::<F64x4>().unwrap().to_f64(),
+            f64::NEG_INFINITY
+        );
+        // Just inside the range stays finite.
+        let big: F64x2 = "1.7e308".parse().unwrap();
+        assert!(big.is_finite() && big.to_f64() > 1e308);
+        // MAX itself parses back to MAX.
+        let max_s = format!("{:e}", f64::MAX);
+        let max: F64x2 = max_s.parse().unwrap();
+        assert!(max.is_finite());
+        assert_eq!(max.to_f64(), f64::MAX);
+    }
+
+    #[test]
+    fn mp_roundtrip_preserves_sparse_expansions() {
+        // The component span here (2^0 down to 2^-286) is wider than
+        // io_prec; a fixed working precision would silently drop the last
+        // component on the way back. Found by the conformance harness.
+        let x = F64x4::from_components([
+            -1.0,
+            9.495567745759799e-66,              // 2^-216 region
+            f64::from_bits(0x2e10000000000000), // 2^-286
+            0.0,
+        ]);
+        let back = F64x4::from_mp(&x.to_mp(512));
+        assert_eq!(back.components(), x.components());
     }
 
     #[test]

@@ -89,6 +89,10 @@ impl<T: FloatBase, const N: usize> MultiFloat<T, N> {
         if hi == 0.0 {
             return Self::from_scalar(T::NEG_INFINITY);
         }
+        if hi.is_infinite() {
+            // Without this the Newton step computes `inf * exp(-inf)` = NaN.
+            return Self::from_scalar(T::INFINITY);
+        }
         let mut y = Self::from(hi.ln());
         for _ in 0..ln_iters(N) {
             // y += x * exp(-y) - 1

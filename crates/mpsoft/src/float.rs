@@ -344,10 +344,22 @@ impl MpFloat {
         let gap = self.exp - other.exp;
         if gap > (prec.max(self.prec)) as i64 + 2 {
             // Subtracting a tiny value: nudge down by one ulp-of-guard and
-            // mark sticky so RNE resolves correctly.
-            let shifted = limb::shl(&self.mant, 2);
+            // mark sticky so RNE resolves correctly. The guard position must
+            // sit below the RESULT's rounding point, not just below our own
+            // lsb — when `prec` exceeds `self.prec`, a nudge at `lsb - 2`
+            // lands above the rounding point and is stored exactly as a
+            // (huge) real error instead of a rounding hint.
+            let bits = limb::bit_len(&self.mant) as i64;
+            let extra = ((prec as i64 + 2) - bits).max(2) as usize;
+            let shifted = limb::shl(&self.mant, extra);
             let nudged = limb::sub(&shifted, &[1]);
-            return MpFloat::from_int_scaled(sign, nudged, self.lsb_exp() - 2, prec, true);
+            return MpFloat::from_int_scaled(
+                sign,
+                nudged,
+                self.lsb_exp() - extra as i64,
+                prec,
+                true,
+            );
         }
         let ka = self.lsb_exp();
         let kb = other.lsb_exp();
@@ -425,24 +437,58 @@ impl MpFloat {
         if self.is_zero() {
             return 0.0;
         }
-        let r = self.round(53);
-        if r.exp > 1024 {
-            return self.sign.to_f64() * f64::MAX;
+        if self.exp >= -1021 {
+            let r = self.round(53);
+            if r.exp > 1024 {
+                return self.sign.to_f64() * f64::MAX;
+            }
+            // r.mant has exactly 53 bits; value = m * 2^(exp - 53).
+            let m = r.mant[0];
+            let e = (r.exp - 53) as i32;
+            let v = if e >= -1021 {
+                (m as f64) * 2.0f64.powi(e)
+            } else {
+                // powi saturates below 2^-1074; scale in two exact steps.
+                (m as f64) * 2.0f64.powi(-500) * 2.0f64.powi(e + 500)
+            };
+            return self.sign.to_f64() * v;
         }
-        if r.exp < -1066 {
-            return self.sign.to_f64() * 0.0;
+        // Subnormal-range result: fewer than 53 significand bits are
+        // available on the 2^-1074 grid, so round ONCE at exactly that
+        // precision. Rounding to 53 bits first and letting the scale
+        // multiply round again would double-round, and a coarse cutoff
+        // would flush representable values near 2^-1074 to zero.
+        let bits = self.exp + 1074;
+        if bits <= 0 {
+            // v in [2^(exp-1), 2^exp) with exp <= -1074. Only exp == -1074
+            // can reach the smallest subnormal: v > 2^-1075 rounds up,
+            // the exact midpoint 2^-1075 ties to even (zero).
+            let up = bits == 0 && !self.is_pow2();
+            let mag = if up { f64::from_bits(1) } else { 0.0 };
+            return self.sign.to_f64() * mag;
         }
-        // r.mant has exactly 53 bits; value = m * 2^(exp - 53).
+        if bits == 1 {
+            // v in [2^-1074, 2^-1073): candidates are those two endpoints,
+            // midpoint 1.5 * 2^-1074. `round` needs >= 2 bits, so decide
+            // from the second mantissa bit directly (a set bit means
+            // v >= midpoint; the exact tie rounds to even, which is up).
+            let second = (self.prec as usize) - 2;
+            let up = self.mant[second / 64] >> (second % 64) & 1 == 1;
+            let mag = f64::from_bits(if up { 2 } else { 1 });
+            return self.sign.to_f64() * mag;
+        }
+        let r = self.round(bits as u32);
+        // value = m * 2^(exp - bits); the scale is exact in two steps
+        // because the product is representable (a multiple of 2^-1074).
         let m = r.mant[0];
-        let e = (r.exp - 53) as i32;
-        let v = if e >= -1021 {
-            // In range for an exact two-step scale.
-            (m as f64) * 2.0f64.powi(e)
-        } else {
-            // Subnormal territory: scale in two exact steps.
-            (m as f64) * 2.0f64.powi(-500) * 2.0f64.powi(e + 500)
-        };
-        self.sign.to_f64() * v
+        let e = (r.exp - bits) as i32;
+        self.sign.to_f64() * (m as f64) * 2.0f64.powi(-500) * 2.0f64.powi(e + 500)
+    }
+
+    /// True when the mantissa is a power of two (only the top bit set),
+    /// i.e. the value is exactly `±2^(exp-1)`.
+    fn is_pow2(&self) -> bool {
+        self.mant.iter().map(|l| l.count_ones()).sum::<u32>() == 1
     }
 
     // ------------------------------------------------------------------

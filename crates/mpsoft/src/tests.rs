@@ -363,3 +363,68 @@ fn limb_pow10_consistency_with_float_parse() {
     let built = MpFloat::from_int_scaled(crate::Sign::Pos, limb::pow10(30), 0, 150, false);
     assert!(parsed == built);
 }
+
+#[test]
+fn to_f64_subnormal_range_correctly_rounded() {
+    // Round-trip of every kind of subnormal, including the deep end the old
+    // cutoff flushed to zero.
+    for x in [
+        5e-324, // smallest subnormal
+        -5e-324,
+        1.5e-323, // 3 * 2^-1074
+        2.0f64.powi(-1070),
+        1.23e-310,
+        f64::MIN_POSITIVE,       // smallest normal
+        f64::MIN_POSITIVE / 2.0, // largest power-of-two subnormal
+    ] {
+        assert_eq!(
+            MpFloat::from_f64(x, 53).to_f64().to_bits(),
+            x.to_bits(),
+            "roundtrip {x:e}"
+        );
+    }
+    // Values between representables must round to nearest, ties to even:
+    // 0.4 * 2^-1074 -> 0, exactly 2^-1075 -> 0 (tie, even), 0.6 * 2^-1074
+    // and anything above the midpoint -> 2^-1074.
+    let min_sub = MpFloat::from_f64(5e-324, 160);
+    let frac = |s: &str| MpFloat::from_decimal_str(s, 160).unwrap();
+    assert_eq!(min_sub.mul(&frac("0.4"), 160).to_f64(), 0.0);
+    assert_eq!(min_sub.mul(&frac("0.5"), 160).to_f64(), 0.0);
+    assert_eq!(min_sub.mul(&frac("0.5000001"), 160).to_f64(), 5e-324);
+    assert_eq!(min_sub.mul(&frac("0.6"), 160).to_f64(), 5e-324);
+    // Double-rounding trap: 53-bit rounding first would round
+    // (2^53 + 1) * 2^-1126 (49 dropped bits ending 1000...0 sticky-less at
+    // 53 bits) differently from direct rounding at the 5 available bits.
+    let v = MpFloat::from_u64((1u64 << 53) + 1, 160).mul(&frac("1"), 160);
+    let scaled = v.mul(&MpFloat::from_f64(2.0f64.powi(-1070), 160), 160); // exp ~ -1016... keep normal
+    assert_eq!(
+        scaled.to_f64(),
+        ((1u64 << 53) + 1) as f64 * 2.0f64.powi(-1070)
+    );
+}
+
+#[test]
+fn wide_gap_subtraction_at_higher_result_precision() {
+    // Subtracting a tiny value from a low-precision operand while asking for
+    // a HIGHER result precision: the fast path's sticky nudge must land
+    // below the result's rounding point, not below the operand's own lsb.
+    // 2^996 (53-bit) minus 1 at 512 bits is correctly rounded to 2^996; the
+    // old nudge placement returned 2^996 - 2^942.
+    let big = MpFloat::from_f64(2.0f64.powi(996), 53);
+    let one = MpFloat::from_f64(1.0, 53);
+    let d = big.sub(&one, 512);
+    assert!(
+        d == big.round(512),
+        "2^996 - 1 at 512 bits must round to 2^996"
+    );
+    // Both argument orders of the commutative add.
+    let d2 = MpFloat::from_f64(-1.0, 53).add(&big, 512);
+    assert!(d2 == big.round(512));
+    // A tiny subtrahend still rounds to the operand at LOWER precision too
+    // (the 1 is far below the half-ulp at 40 bits).
+    let d3 = big.sub(&one, 40);
+    assert!(d3 == big.round(40));
+    // Adding tiny at higher precision still rounds back to the operand.
+    let s = big.add(&one, 512);
+    assert!(s == big.round(512));
+}

@@ -199,7 +199,22 @@ impl<const P: u32> SoftFloat<P> {
             }
             Kind::Finite => {
                 let (m, k) = self.parts();
-                let mag = (m as f64) * 2.0f64.powi(k);
+                // powi is unusable below 2^-1022: LLVM expands x.powi(-n)
+                // as 1.0 / x.powi(n), so the intermediate 2^n overflows to
+                // inf and the quotient collapses to 0 even though the true
+                // value (mant * 2^k) is a representable double. Scale in
+                // two exact power-of-two steps instead.
+                let mag = if k >= -1021 {
+                    (m as f64) * 2.0f64.powi(k)
+                } else if k >= -1140 {
+                    // m * 2^-1000 is a normal double (m >= 2^(P-1)), and
+                    // the second factor is a normal power of two, so the
+                    // only rounding is the final (possibly subnormal) one.
+                    (m as f64) * 2.0f64.powi(-1000) * 2.0f64.powi(k + 1000)
+                } else {
+                    // Even a 2^63 mantissa cannot reach 2^-1075 from here.
+                    0.0
+                };
                 if self.neg {
                     -mag
                 } else {

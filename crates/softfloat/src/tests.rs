@@ -303,6 +303,26 @@ fn floatbase_constants_are_consistent() {
     check::<53>();
 }
 
+#[test]
+fn to_f64_survives_deep_negative_exponents() {
+    // Regression: to_f64 used a single powi(k), which LLVM expands as
+    // 1 / 2^|k| — the intermediate overflows for k <= -1023 and the result
+    // collapsed to zero for values that are perfectly normal doubles
+    // (e.g. 2^-515 * 2^-465 = 2^-980). Found by the conformance harness.
+    let a = F53::from_f64(f64::from_bits(0x1fc0000000000000)); // 2^-515
+    let b = F53::from_f64(f64::from_bits(0x22e0000000000000)); // 2^-465
+    assert_eq!((a * b).to_f64(), f64::from_bits(0x02b0000000000000)); // 2^-980
+                                                                      // Across the normal/subnormal boundary, and at the very bottom.
+    for e in [-1020, -1022, -1025, -1060, -1074] {
+        let x = 2.0f64.powi(-500) * 2.0f64.powi(e + 500);
+        assert!(x > 0.0, "probe value 2^{e} must be representable");
+        assert_eq!(F53::from_f64(x).to_f64(), x, "2^{e}");
+    }
+    // Values below f64 range flush to zero instead of garbage.
+    let tiny = F53::raw(crate::Kind::Finite, false, -2000, 1u64 << 52);
+    assert_eq!(tiny.to_f64(), 0.0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3000))]
 

@@ -1,0 +1,120 @@
+//! Pins the §4.4 special-value semantics of the branch-free kernels.
+//!
+//! The paper's FPANs assume finite inputs: ±inf entering an EFT produces
+//! `inf - inf = NaN` in the error term, so non-finite operands *collapse to
+//! NaN* rather than propagating IEEE-style. `MultiFloat` deliberately keeps
+//! the kernels branch-free and documents the collapse instead of hiding it;
+//! this table makes the contract executable so any change to it is loud.
+//!
+//! Ops that already take branches for domain reasons (`exp` range checks,
+//! `ln` sign/zero checks) do honor IEEE special values, and that is pinned
+//! here too.
+
+use multifloats::{F64x2, F64x3, F64x4};
+
+const INF: f64 = f64::INFINITY;
+const NINF: f64 = f64::NEG_INFINITY;
+const NAN: f64 = f64::NAN;
+
+/// `got` matches `want`, treating all NaNs as equal and honoring the sign
+/// of zero only when `want` is zero (collapse semantics do not distinguish
+/// -0 outputs).
+fn matches(got: f64, want: f64) -> bool {
+    if want.is_nan() {
+        got.is_nan()
+    } else {
+        got == want
+    }
+}
+
+macro_rules! special_value_table {
+    ($ty:ty, $n:expr) => {
+        // (input, recip, sqrt, exp, ln) — unary ops.
+        let unary: &[(f64, f64, f64, f64, f64)] = &[
+            // x      1/x   sqrt   exp   ln
+            (0.0, NAN, 0.0, 1.0, NINF), // recip(0) collapses (no branch for inf)
+            (-0.0, NAN, 0.0, 1.0, NINF),
+            (1.0, 1.0, 1.0, core::f64::consts::E, 0.0),
+            (-1.0, -1.0, NAN, core::f64::consts::E.recip(), NAN),
+            (INF, NAN, NAN, INF, INF), // recip/sqrt collapse; exp/ln branch
+            (NINF, NAN, NAN, 0.0, NAN),
+            (NAN, NAN, NAN, NAN, NAN),
+        ];
+        for &(x, r, s, e, l) in unary {
+            let v = <$ty>::from(x);
+            assert!(
+                matches(v.recip().to_f64(), r),
+                "N={} recip({x}) = {}, want {r}",
+                $n,
+                v.recip().to_f64()
+            );
+            assert!(
+                matches(v.sqrt().to_f64(), s),
+                "N={} sqrt({x}) = {}, want {s}",
+                $n,
+                v.sqrt().to_f64()
+            );
+            assert!(
+                matches(v.exp().to_f64(), e),
+                "N={} exp({x}) = {}, want {e}",
+                $n,
+                v.exp().to_f64()
+            );
+            assert!(
+                matches(v.ln().to_f64(), l),
+                "N={} ln({x}) = {}, want {l}",
+                $n,
+                v.ln().to_f64()
+            );
+        }
+
+        // (a, b, a/b, hypot(a,b)) — binary ops. Any non-finite operand (or a
+        // zero divisor) collapses to NaN through the branch-free kernels;
+        // 0/finite is exactly 0 and hypot of finite args is IEEE-correct.
+        let binary: &[(f64, f64, f64, f64)] = &[
+            //  a     b     a/b   hypot
+            (0.0, 1.0, 0.0, 1.0),
+            (-0.0, 1.0, 0.0, 1.0),
+            (1.0, 0.0, NAN, 1.0), // x/0 collapses to NaN, not inf
+            (0.0, 0.0, NAN, 0.0),
+            (1.0, 1.0, 1.0, core::f64::consts::SQRT_2),
+            (-1.0, 1.0, -1.0, core::f64::consts::SQRT_2),
+            (INF, 1.0, NAN, NAN), // inf numerator collapses too
+            (1.0, INF, NAN, NAN),
+            (NINF, INF, NAN, NAN),
+            (NAN, 1.0, NAN, NAN),
+            (1.0, NAN, NAN, NAN),
+        ];
+        for &(a, b, q, h) in binary {
+            let x = <$ty>::from(a);
+            let y = <$ty>::from(b);
+            assert!(
+                matches(x.div(y).to_f64(), q),
+                "N={} {a}/{b} = {}, want {q}",
+                $n,
+                x.div(y).to_f64()
+            );
+            assert!(
+                matches(x.hypot(y).to_f64(), h),
+                "N={} hypot({a},{b}) = {}, want {h}",
+                $n,
+                x.hypot(y).to_f64()
+            );
+        }
+    };
+}
+
+#[test]
+fn special_values_n2() {
+    special_value_table!(F64x2, 2);
+}
+
+#[test]
+fn special_values_n3() {
+    special_value_table!(F64x3, 3);
+}
+
+#[test]
+fn special_values_n4() {
+    special_value_table!(F64x4, 4);
+}
