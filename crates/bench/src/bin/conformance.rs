@@ -13,12 +13,13 @@
 //!       [--corpus <dir>] [--manifest <json>]
 
 use mf_bench::{cli, RunManifest};
-use mf_conformance::{corpus, run_class, OpClass};
+use mf_conformance::{corpus, run_class, run_guarded, OpClass};
+use mf_core::GuardPolicy;
 use mf_telemetry::json::Json;
 use std::time::Instant;
 
 const USAGE: &str =
-    "[--ops <class,..>] [--cases N] [--seed S] [--corpus <dir>] [--manifest <json>]";
+    "[--ops <class,..>] [--cases N] [--seed S] [--guarded] [--corpus <dir>] [--manifest <json>]";
 
 fn main() {
     let started = Instant::now();
@@ -30,6 +31,7 @@ fn main() {
         100_000
     };
     let mut seed: u64 = 0x5EED_CAFE;
+    let mut guarded = false;
     let mut corpus_dir = String::from("results/conformance");
     let mut manifest_path = String::from("results/manifest_conformance.json");
     let mut i = 1;
@@ -79,6 +81,10 @@ fn main() {
                 });
                 i += 2;
             }
+            "--guarded" => {
+                guarded = true;
+                i += 1;
+            }
             "--corpus" => {
                 corpus_dir = cli::flag_value(&args, i, "conformance", USAGE).to_string();
                 i += 2;
@@ -114,6 +120,29 @@ fn main() {
         all.extend(divs);
     }
 
+    // Guarded lockstep: the same adversarial generator, but every arith
+    // case runs through `checked_*` under each recovery policy and must
+    // match the oracle with no collapse excuses.
+    if guarded {
+        for policy in [GuardPolicy::RescaleRetry, GuardPolicy::OracleFallback] {
+            let t = Instant::now();
+            let divs = run_guarded(cases, seed, policy);
+            let label = match policy {
+                GuardPolicy::RescaleRetry => "g-rescale",
+                _ => "g-oracle",
+            };
+            println!(
+                "{:<10} {:>10} {:>12} {:>10.1}",
+                label,
+                cases,
+                divs.len(),
+                t.elapsed().as_secs_f64()
+            );
+            counts.push((label.to_string(), Json::u64(divs.len() as u64)));
+            all.extend(divs);
+        }
+    }
+
     if !all.is_empty() {
         println!("\n{} divergence(s); minimal reproducers:", all.len());
         for d in &all {
@@ -144,7 +173,8 @@ fn main() {
         }
     }
 
-    let manifest = RunManifest::collect("conformance", "sweep", 0, started)
+    let config = if guarded { "sweep+guarded" } else { "sweep" };
+    let manifest = RunManifest::collect("conformance", config, 0, started)
         .with_extra("cases_per_class", Json::u64(cases as u64))
         .with_extra("seed", Json::u64(seed))
         .with_extra("divergences", Json::Obj(counts));

@@ -1,0 +1,397 @@
+//! Fault-injection campaign: prove the guard detectors catch injected
+//! corruption in the FPAN executors, and measure what the guards cost on
+//! clean inputs.
+//!
+//! For every shipped network (add_2/3/4, mul_2/3/4) the tool injects
+//! seeded single-bit flips on gate output wires plus exhaustive
+//! gate-dropout, classifies each injection as masked (still within the
+//! network's verified `2^-q` bound — benign by contract) or effective, and
+//! reports tier-1 (guard invariant) and combined (tier 1 + re-execution)
+//! detection rates over the effective ones. The run fails (exit 1) if the
+//! combined rate drops below 99% or a tier-1 detector fires on a clean run.
+//!
+//! The tool also times `checked_mul`/`checked_div`/`checked_sqrt` under
+//! `GuardPolicy::FastOnly` against the raw operators on clean inputs: the
+//! guard-overhead ablation recorded in EXPERIMENTS.md (target ≤5%).
+//!
+//! Usage:
+//!   cargo run --release -p mf-bench --bin faultsim -- \
+//!       [--nets add2,add3,add4,mul2,mul3,mul4] [--cases N] [--flips N] \
+//!       [--seed S] [--tol BITS] [--manifest <json>]
+
+use mf_bench::{cli, sink, RunManifest};
+use mf_core::{GuardPolicy, MultiFloat};
+use mf_fpan::fault::{self, FaultStats};
+use mf_fpan::verify::random_expansion;
+use mf_fpan::{networks, Fpan};
+use mf_telemetry::json::Json;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const USAGE: &str =
+    "[--nets <net,..>] [--cases N] [--flips N] [--seed S] [--tol BITS] [--manifest <json>]";
+
+/// One campaign target: a network plus its verified error bound and a
+/// case generator producing valid (in-contract) input vectors.
+struct Target {
+    name: &'static str,
+    net: Fpan,
+    q: i32,
+}
+
+fn target(name: &str) -> Option<Target> {
+    let (net, q) = match name {
+        "add2" => (networks::add_n(2), 104),
+        "add3" => (networks::add_n(3), 156),
+        "add4" => (networks::add_n(4), 208),
+        "mul2" => (networks::mul_n(2), 103),
+        "mul3" => (networks::mul_n(3), 156),
+        "mul4" => (networks::mul_n(4), 208),
+        _ => return None,
+    };
+    Some(Target {
+        name: match name {
+            "add2" => "add2",
+            "add3" => "add3",
+            "add4" => "add4",
+            "mul2" => "mul2",
+            "mul3" => "mul3",
+            "mul4" => "mul4",
+            _ => unreachable!(),
+        },
+        net,
+        q,
+    })
+}
+
+/// Valid input vector for a target: interleaved expansion pairs for the
+/// addition networks, the pruned `TwoProd` expansion step for the
+/// multiplication networks (mirrors the verifier's generators).
+fn gen_case(name: &str, rng: &mut SmallRng) -> Vec<f64> {
+    let n = name[3..].parse::<usize>().expect("net name ends in n");
+    let ex = rng.gen_range(-40..40);
+    let x = random_expansion::<f64>(rng, n, ex);
+    let ey = rng.gen_range(-40..40);
+    let y = random_expansion::<f64>(rng, n, ey);
+    if name.starts_with("add") {
+        let mut inputs = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            inputs.push(x[i]);
+            inputs.push(y[i]);
+        }
+        inputs
+    } else {
+        networks::mul_expansion_step(&x, &y)
+    }
+}
+
+fn stats_json(st: &FaultStats) -> Json {
+    Json::Obj(vec![
+        ("cases".into(), Json::u64(st.cases)),
+        ("clean_alarms".into(), Json::u64(st.clean_alarms)),
+        ("injected".into(), Json::u64(st.injected)),
+        ("masked".into(), Json::u64(st.masked)),
+        ("effective".into(), Json::u64(st.effective)),
+        ("tier1_detected".into(), Json::u64(st.t1_detected)),
+        ("dmr_detected".into(), Json::u64(st.dmr_detected)),
+        ("detected".into(), Json::u64(st.detected)),
+        ("tier1_rate".into(), Json::Num(st.t1_rate())),
+        ("detection_rate".into(), Json::Num(st.detection_rate())),
+    ])
+}
+
+/// Throughput-style timing: sweep the operand array `sweeps` times,
+/// folding every result head — and the guard alarm bit, so the detector
+/// computation is live and can't be dead-code-eliminated — into
+/// accumulators (one `sink` per sweep keeps the optimizer honest without
+/// serializing individual ops). Returns ns/op. Throughput is the
+/// representative regime — these kernels are branch-free precisely so they
+/// pipeline across array elements — and it is where detector ALU work
+/// overlaps the FP latency it guards.
+fn sweep_ns_per_op<const N: usize, F: Fn(MultiFloat<f64, N>, MultiFloat<f64, N>) -> (f64, bool)>(
+    pairs: &[(MultiFloat<f64, N>, MultiFloat<f64, N>)],
+    sweeps: usize,
+    f: F,
+) -> f64 {
+    let t = Instant::now();
+    for _ in 0..sweeps {
+        let mut acc = 0.0;
+        let mut alarm = false;
+        for &(a, b) in pairs {
+            let (v, flag) = f(a, b);
+            acc += v;
+            alarm |= flag;
+        }
+        sink(acc + (alarm as u64) as f64);
+    }
+    t.elapsed().as_nanos() as f64 / (sweeps * pairs.len()) as f64
+}
+
+/// Guard overhead on clean inputs: raw op vs `checked_*` under FastOnly
+/// (detectors run, recovery never taken). Each configuration is measured
+/// `reps` times interleaved and the minimum kept — the run-to-run noise on
+/// these short sweeps (±5%) is all upward, so min-of-reps is the standard
+/// estimator for the true cost. Returns (raw_ns, checked_ns).
+fn overhead<const N: usize>(
+    op: &str,
+    pairs: &[(MultiFloat<f64, N>, MultiFloat<f64, N>)],
+    sweeps: usize,
+    reps: usize,
+) -> (f64, f64) {
+    let (mut raw, mut checked) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let r = match op {
+            "mul" => sweep_ns_per_op(pairs, sweeps, |a, b| (a.mul(b).hi(), false)),
+            "div" => sweep_ns_per_op(pairs, sweeps, |a, b| (a.div(b).hi(), false)),
+            "sqrt" => sweep_ns_per_op(pairs, sweeps, |a, _| (a.abs().sqrt().hi(), false)),
+            _ => unreachable!(),
+        };
+        let c = match op {
+            "mul" => sweep_ns_per_op(pairs, sweeps, |a, b| {
+                let g = a.checked_mul(b, GuardPolicy::FastOnly);
+                (g.value.hi(), g.flags.any())
+            }),
+            "div" => sweep_ns_per_op(pairs, sweeps, |a, b| {
+                let g = a.checked_div(b, GuardPolicy::FastOnly);
+                (g.value.hi(), g.flags.any())
+            }),
+            "sqrt" => sweep_ns_per_op(pairs, sweeps, |a, _| {
+                let g = a.abs().checked_sqrt(GuardPolicy::FastOnly);
+                (g.value.hi(), g.flags.any())
+            }),
+            _ => unreachable!(),
+        };
+        raw = raw.min(r);
+        checked = checked.min(c);
+    }
+    (raw, checked)
+}
+
+/// Run the overhead ablation for one format, printing a table row per op
+/// and returning manifest entries.
+fn overhead_for_format<const N: usize>(seed: u64, sweeps: usize) -> Vec<(String, Json)> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0ead ^ N as u64);
+    let pairs: Vec<(MultiFloat<f64, N>, MultiFloat<f64, N>)> = (0..256)
+        .map(|_| {
+            let ea = rng.gen_range(-40..40);
+            let x = random_expansion::<f64>(&mut rng, N, ea);
+            let eb = rng.gen_range(-40..40);
+            let y = random_expansion::<f64>(&mut rng, N, eb);
+            let mut cx = [0.0; N];
+            cx.copy_from_slice(&x);
+            let mut cy = [0.0; N];
+            cy.copy_from_slice(&y);
+            (
+                MultiFloat::<f64, N>::from_components_renorm(cx),
+                MultiFloat::<f64, N>::from_components_renorm(cy),
+            )
+        })
+        .collect();
+    let mut entries = Vec::new();
+    for op in ["mul", "div", "sqrt"] {
+        // Warm up once so the first measured op doesn't pay page faults.
+        let (_, _) = overhead(op, &pairs, sweeps / 10, 1);
+        let (raw, checked) = overhead(op, &pairs, sweeps, 5);
+        let pct = 100.0 * (checked - raw) / raw;
+        println!("f64x{N} {op:<5} {raw:>10.2} {checked:>12.2} {pct:>9.2}%");
+        entries.push((
+            format!("f64x{N}_{op}"),
+            Json::Obj(vec![
+                ("raw_ns".into(), Json::Num(raw)),
+                ("checked_ns".into(), Json::Num(checked)),
+                ("overhead_pct".into(), Json::Num(pct)),
+            ]),
+        ));
+    }
+    entries
+}
+
+fn main() {
+    let started = Instant::now();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = mf_bench::quick_mode();
+    let all_nets = ["add2", "add3", "add4", "mul2", "mul3", "mul4"];
+    let mut nets: Vec<String> = all_nets.iter().map(|s| s.to_string()).collect();
+    let mut cases: usize = if quick { 8 } else { 50 };
+    let mut flips: usize = if quick { 128 } else { 1_500 };
+    let mut seed: u64 = 0xFA07_5EED;
+    let mut tol_bits: u32 = 40;
+    let mut manifest_path = String::from("results/manifest_faultsim.json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nets" => {
+                let v = cli::flag_value(&args, i, "faultsim", USAGE);
+                nets = v
+                    .split(',')
+                    .map(|s| {
+                        let s = s.trim();
+                        if !all_nets.contains(&s) {
+                            cli::usage_error(
+                                "faultsim",
+                                USAGE,
+                                &format!(
+                                    "unknown network '{s}' (expected one of {})",
+                                    all_nets.join(", ")
+                                ),
+                            )
+                        }
+                        s.to_string()
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--cases" => {
+                let v = cli::flag_value(&args, i, "faultsim", USAGE);
+                cases = v.parse().unwrap_or_else(|_| {
+                    cli::usage_error(
+                        "faultsim",
+                        USAGE,
+                        &format!("--cases expects a positive integer, got '{v}'"),
+                    )
+                });
+                i += 2;
+            }
+            "--flips" => {
+                let v = cli::flag_value(&args, i, "faultsim", USAGE);
+                flips = v.parse().unwrap_or_else(|_| {
+                    cli::usage_error(
+                        "faultsim",
+                        USAGE,
+                        &format!("--flips expects a non-negative integer, got '{v}'"),
+                    )
+                });
+                i += 2;
+            }
+            "--seed" => {
+                let v = cli::flag_value(&args, i, "faultsim", USAGE);
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16).ok(),
+                    None => v.parse().ok(),
+                };
+                seed = parsed.unwrap_or_else(|| {
+                    cli::usage_error(
+                        "faultsim",
+                        USAGE,
+                        &format!("--seed expects an integer (decimal or 0x hex), got '{v}'"),
+                    )
+                });
+                i += 2;
+            }
+            "--tol" => {
+                let v = cli::flag_value(&args, i, "faultsim", USAGE);
+                tol_bits = v.parse().unwrap_or_else(|_| {
+                    cli::usage_error(
+                        "faultsim",
+                        USAGE,
+                        &format!("--tol expects a bit count, got '{v}'"),
+                    )
+                });
+                i += 2;
+            }
+            "--manifest" => {
+                manifest_path = cli::flag_value(&args, i, "faultsim", USAGE).to_string();
+                i += 2;
+            }
+            other => cli::usage_error("faultsim", USAGE, &format!("unknown argument '{other}'")),
+        }
+    }
+
+    println!(
+        "Fault-injection campaign: {cases} cases/net, {flips} bit flips + exhaustive dropout, \
+         seed {seed:#x}, tol 2^-{tol_bits}"
+    );
+    println!(
+        "{:<6} {:>9} {:>8} {:>10} {:>9} {:>9} {:>7}",
+        "net", "injected", "masked", "effective", "tier1", "combined", "alarms"
+    );
+    println!("{}", "-".repeat(64));
+
+    let mut per_net = Vec::new();
+    let mut parts = Vec::new();
+    for (ni, name) in nets.iter().enumerate() {
+        let t = target(name).expect("validated above");
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(ni as u64));
+        let inputs: Vec<Vec<f64>> = (0..cases).map(|_| gen_case(name, &mut rng)).collect();
+        let mut faults = fault::sample_bit_flips(&t.net, flips, seed ^ (ni as u64) << 8);
+        faults.extend(fault::all_dropouts(&t.net));
+        let st = fault::campaign(&t.net, &inputs, &faults, t.q, tol_bits);
+        println!(
+            "{:<6} {:>9} {:>8} {:>10} {:>8.2}% {:>8.2}% {:>7}",
+            t.name,
+            st.injected,
+            st.masked,
+            st.effective,
+            100.0 * st.t1_rate(),
+            100.0 * st.detection_rate(),
+            st.clean_alarms
+        );
+        per_net.push((t.name.to_string(), stats_json(&st)));
+        parts.push(st);
+    }
+    let total = fault::merge_stats(&parts);
+    println!("{}", "-".repeat(64));
+    println!(
+        "{:<6} {:>9} {:>8} {:>10} {:>8.2}% {:>8.2}% {:>7}",
+        "total",
+        total.injected,
+        total.masked,
+        total.effective,
+        100.0 * total.t1_rate(),
+        100.0 * total.detection_rate(),
+        total.clean_alarms
+    );
+
+    // Guard overhead on clean inputs: checked_* (FastOnly) vs raw ops,
+    // across the three f64 formats. The fixed per-call detector cost
+    // (a few ns of integer compares) amortizes against the kernel cost,
+    // so the wide formats — where collapse recovery matters most — carry
+    // the smallest relative overhead.
+    let sweeps = if quick { 2_000 } else { 20_000 };
+    let total_ops = sweeps * 256;
+    println!("\nGuard overhead on clean inputs (FastOnly, {total_ops} ops/config):");
+    println!(
+        "{:<11} {:>10} {:>12} {:>10}",
+        "format/op", "raw ns", "checked ns", "overhead"
+    );
+    let mut overheads = Vec::new();
+    overheads.extend(overhead_for_format::<2>(seed, sweeps));
+    overheads.extend(overhead_for_format::<3>(seed, sweeps));
+    overheads.extend(overhead_for_format::<4>(seed, sweeps));
+
+    let manifest =
+        RunManifest::collect("faultsim", if quick { "quick" } else { "full" }, 0, started)
+            .with_extra("cases_per_net", Json::u64(cases as u64))
+            .with_extra("bit_flips_per_net", Json::u64(flips as u64))
+            .with_extra("seed", Json::u64(seed))
+            .with_extra("tol_bits", Json::u64(tol_bits as u64))
+            .with_extra("per_net", Json::Obj(per_net))
+            .with_extra("total", stats_json(&total))
+            .with_extra("guard_overhead", Json::Obj(overheads));
+    cli::write_manifest(&manifest, &manifest_path);
+
+    let mut failed = false;
+    if total.detection_rate() < 0.99 {
+        eprintln!(
+            "FAIL: combined detection rate {:.4} below the 0.99 floor",
+            total.detection_rate()
+        );
+        failed = true;
+    }
+    if total.clean_alarms > 0 {
+        eprintln!(
+            "FAIL: tier-1 detectors raised {} false alarm(s) on clean runs",
+            total.clean_alarms
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "\nok: {:.2}% of effective faults detected (tier 1 alone: {:.2}%), no false alarms",
+        100.0 * total.detection_rate(),
+        100.0 * total.t1_rate()
+    );
+}

@@ -6,9 +6,21 @@
 //! container they mostly measure overhead (recorded as such in
 //! EXPERIMENTS.md, substitution T7), but the implementations are real and
 //! scale on multi-core hosts.
+//!
+//! # Panic isolation
+//!
+//! Every worker runs its kernel under [`std::panic::catch_unwind`]. A
+//! panicking chunk no longer poisons the whole call: mutating kernels
+//! snapshot their output chunk first and restore it on panic, and the
+//! dispatcher then *degrades* the failed chunks to the serial kernel on the
+//! calling thread (counted in `blas.parallel.degraded_*` telemetry). Only
+//! if the serial retry panics too does the panic propagate — and then with
+//! the kernel name and chunk range in the message instead of an opaque
+//! `join().unwrap()`.
 
 use crate::{kernels, Matrix, Scalar};
 use mf_telemetry::{Counter, Histogram};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 static PAR_DISPATCHES: Counter = Counter::new("blas.parallel.dispatches");
 static PAR_TASKS: Counter = Counter::new("blas.parallel.tasks");
@@ -17,6 +29,11 @@ static PAR_ROWS: Counter = Counter::new("blas.parallel.rows");
 /// GEMV/GEMM, elements for AXPY/DOT). Nonzero buckets mean some threads
 /// idle while others finish their remainder rows.
 static PAR_CHUNK_IMBALANCE: Histogram = Histogram::new("blas.parallel.chunk_imbalance");
+/// Dispatches in which at least one worker panicked and its chunks were
+/// degraded to the serial kernel.
+static PAR_DEGRADED_DISPATCHES: Counter = Counter::new("blas.parallel.degraded_dispatches");
+/// Individual chunks rerun serially after a worker panic.
+static PAR_DEGRADED_CHUNKS: Counter = Counter::new("blas.parallel.degraded_chunks");
 
 /// Record one parallel dispatch over `ranges` (one task per chunk).
 #[inline]
@@ -33,8 +50,26 @@ fn record_dispatch(ranges: &[(usize, usize)]) {
     PAR_CHUNK_IMBALANCE.record((max - min) as u64);
 }
 
-/// Available worker count (1 on this container).
+#[inline]
+fn record_degraded(chunks: usize) {
+    if !mf_telemetry::ENABLED || chunks == 0 {
+        return;
+    }
+    PAR_DEGRADED_DISPATCHES.incr();
+    PAR_DEGRADED_CHUNKS.add(chunks as u64);
+}
+
+/// Worker count: the `MF_BLAS_THREADS` environment variable when set to a
+/// positive integer (reproducible benchmarking), otherwise the machine's
+/// available parallelism (1 on this container).
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MF_BLAS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -54,6 +89,44 @@ fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Best-effort description of a panic payload (the `&str`/`String` cases
+/// `panic!` produces).
+fn describe_panic(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run a mutating kernel over `out` under panic isolation: on panic the
+/// chunk is restored from a pre-kernel snapshot (a panicking kernel may
+/// have partially written it) so the dispatcher can deterministically rerun
+/// the serial kernel over the same data. Returns `true` on success.
+fn isolated<S: Scalar>(out: &mut [S], f: impl FnOnce(&mut [S])) -> bool {
+    let snapshot = out.to_vec();
+    match catch_unwind(AssertUnwindSafe(|| f(out))) {
+        Ok(()) => true,
+        Err(_) => {
+            out.copy_from_slice(&snapshot);
+            false
+        }
+    }
+}
+
+/// Serial retry of a degraded chunk. A second (deterministic) panic
+/// propagates with the kernel name and chunk range attached.
+fn degraded_rerun(kernel: &str, lo: usize, hi: usize, f: impl FnOnce()) {
+    if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+        panic!(
+            "mf-blas {kernel}: worker and serial retry both panicked on chunk {lo}..{hi}: {}",
+            describe_panic(p.as_ref())
+        );
+    }
+}
+
 /// Parallel `y <- alpha*x + y`.
 pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S], threads: usize) {
     assert_eq!(x.len(), y.len());
@@ -62,17 +135,34 @@ pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S], threads: usize) {
     }
     let ranges = chunk_ranges(y.len(), threads);
     record_dispatch(&ranges);
-    std::thread::scope(|s| {
+    let failed: Vec<(usize, usize)> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ranges.len());
         let mut rest = &mut y[..];
         let mut offset = 0;
         for &(lo, hi) in &ranges {
             let (head, tail) = rest.split_at_mut(hi - offset);
             rest = tail;
             let xs = &x[lo..hi];
-            s.spawn(move || kernels::axpy(alpha, xs, head));
+            handles.push((
+                s.spawn(move || isolated(head, |out| kernels::axpy(alpha, xs, out))),
+                (lo, hi),
+            ));
             offset = hi;
         }
+        handles
+            .into_iter()
+            .filter_map(|(h, r)| match h.join() {
+                Ok(true) => None,
+                _ => Some(r),
+            })
+            .collect()
     });
+    record_degraded(failed.len());
+    for (lo, hi) in failed {
+        degraded_rerun("axpy", lo, hi, || {
+            kernels::axpy(alpha, &x[lo..hi], &mut y[lo..hi])
+        });
+    }
 }
 
 /// Parallel dot product (per-thread partials, then a serial reduce).
@@ -83,18 +173,47 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S], threads: usize) -> S {
     }
     let ranges = chunk_ranges(x.len(), threads);
     record_dispatch(&ranges);
-    let partials: Vec<S> = std::thread::scope(|s| {
+    let partials: Vec<Result<S, (usize, usize)>> = std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
-            .map(|&(lo, hi)| s.spawn(move || kernels::dot(&x[lo..hi], &y[lo..hi])))
+            .map(|&(lo, hi)| {
+                let h = s.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| kernels::dot(&x[lo..hi], &y[lo..hi])))
+                });
+                (h, (lo, hi))
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            // The worker catches its own panic; a join error would mean a
+            // panic outside catch_unwind and degrades the same way.
+            .map(|(h, r)| h.join().unwrap_or(Err(Box::new(()))).map_err(|_| r))
+            .collect()
     });
+    let degraded = partials.iter().filter(|p| p.is_err()).count();
+    record_degraded(degraded);
     let mut acc = S::s_zero();
     for p in partials {
-        acc = acc.s_add(p);
+        let term = match p {
+            Ok(t) => t,
+            Err((lo, hi)) => {
+                let mut out = S::s_zero();
+                degraded_rerun("dot", lo, hi, || out = kernels::dot(&x[lo..hi], &y[lo..hi]));
+                out
+            }
+        };
+        acc = acc.s_add(term);
     }
     acc
+}
+
+/// GEMV row block `lo..hi` into `head` (shared by workers and the serial
+/// degrade path).
+fn gemv_rows<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, head: &mut [S], lo: usize) {
+    for (r, yi) in (lo..).zip(head.iter_mut()) {
+        let acc = kernels::dot(a.row(r), x);
+        *yi = beta.s_mul(*yi).s_add(alpha.s_mul(acc));
+    }
 }
 
 /// Parallel GEMV: rows are divided among threads.
@@ -120,21 +239,61 @@ pub fn gemv<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, y: &mut [S], t
     }
     let ranges = chunk_ranges(a.rows, threads);
     record_dispatch(&ranges);
-    std::thread::scope(|s| {
+    let failed: Vec<(usize, usize)> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ranges.len());
         let mut rest = &mut y[..];
         let mut offset = 0;
         for &(lo, hi) in &ranges {
             let (head, tail) = rest.split_at_mut(hi - offset);
             rest = tail;
-            s.spawn(move || {
-                for (r, yi) in (lo..hi).zip(head.iter_mut()) {
-                    let acc = kernels::dot(a.row(r), x);
-                    *yi = beta.s_mul(*yi).s_add(alpha.s_mul(acc));
-                }
-            });
+            handles.push((
+                s.spawn(move || isolated(head, |out| gemv_rows(alpha, a, x, beta, out, lo))),
+                (lo, hi),
+            ));
             offset = hi;
         }
+        handles
+            .into_iter()
+            .filter_map(|(h, r)| match h.join() {
+                Ok(true) => None,
+                _ => Some(r),
+            })
+            .collect()
     });
+    record_degraded(failed.len());
+    for (lo, hi) in failed {
+        degraded_rerun("gemv", lo, hi, || {
+            gemv_rows(alpha, a, x, beta, &mut y[lo..hi], lo)
+        });
+    }
+}
+
+/// GEMM output row block `lo..hi` into `head` (shared by workers and the
+/// serial degrade path).
+fn gemm_rows<S: Scalar>(
+    alpha: S,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    beta: S,
+    head: &mut [S],
+    lo: usize,
+    hi: usize,
+) {
+    let n = b.cols;
+    let kdim = a.cols;
+    for v in head.iter_mut() {
+        *v = beta.s_mul(*v);
+    }
+    for (bi, i) in (lo..hi).enumerate() {
+        for k in 0..kdim {
+            let aik = alpha.s_mul(a.at(i, k));
+            let brow = &b.data[k * n..(k + 1) * n];
+            let crow = &mut head[bi * n..(bi + 1) * n];
+            for j in 0..n {
+                crow[j] = crow[j].s_mul_acc(aik, brow[j]);
+            }
+        }
+    }
 }
 
 /// Parallel GEMM: output row blocks are divided among threads.
@@ -168,34 +327,33 @@ pub fn gemm<S: Scalar>(
         return kernels::gemm(alpha, a, b, beta, c);
     }
     let n = b.cols;
-    let kdim = a.cols;
     let ranges = chunk_ranges(a.rows, threads);
     record_dispatch(&ranges);
-    std::thread::scope(|s| {
+    let failed: Vec<(usize, usize)> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ranges.len());
         let mut rest = &mut c.data[..];
-        let mut offset = 0;
         for &(lo, hi) in &ranges {
             let (head, tail) = rest.split_at_mut((hi - lo) * n);
             rest = tail;
-            s.spawn(move || {
-                for v in head.iter_mut() {
-                    *v = beta.s_mul(*v);
-                }
-                for (bi, i) in (lo..hi).enumerate() {
-                    for k in 0..kdim {
-                        let aik = alpha.s_mul(a.at(i, k));
-                        let brow = &b.data[k * n..(k + 1) * n];
-                        let crow = &mut head[bi * n..(bi + 1) * n];
-                        for j in 0..n {
-                            crow[j] = crow[j].s_mul_acc(aik, brow[j]);
-                        }
-                    }
-                }
-            });
-            offset = hi;
+            handles.push((
+                s.spawn(move || isolated(head, |out| gemm_rows(alpha, a, b, beta, out, lo, hi))),
+                (lo, hi),
+            ));
         }
-        let _ = offset;
+        handles
+            .into_iter()
+            .filter_map(|(h, r)| match h.join() {
+                Ok(true) => None,
+                _ => Some(r),
+            })
+            .collect()
     });
+    record_degraded(failed.len());
+    for (lo, hi) in failed {
+        degraded_rerun("gemm", lo, hi, || {
+            gemm_rows(alpha, a, b, beta, &mut c.data[lo * n..hi * n], lo, hi)
+        });
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +362,8 @@ mod tests {
     use mf_core::F64x2;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn parallel_matches_serial() {
@@ -310,5 +470,160 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunking_edge_cases() {
+        // len=0: a single empty range, never an empty vec (workers iterate it).
+        assert_eq!(chunk_ranges(0, 4), vec![(0, 0)]);
+        assert_eq!(chunk_ranges(0, 0), vec![(0, 0)]);
+        // threads=0 degrades to one chunk.
+        assert_eq!(chunk_ranges(5, 0), vec![(0, 5)]);
+        // threads > len: one chunk per element, no empty chunks.
+        let r = chunk_ranges(3, 8);
+        assert_eq!(r, vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(r.iter().all(|&(lo, hi)| hi > lo));
+    }
+
+    #[test]
+    fn default_threads_env_override() {
+        // Serialize against any other env-reading test via a dedicated var.
+        std::env::set_var("MF_BLAS_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("MF_BLAS_THREADS", " 12 ");
+        assert_eq!(default_threads(), 12);
+        // Invalid or non-positive values fall back to the machine default.
+        std::env::set_var("MF_BLAS_THREADS", "0");
+        assert!(default_threads() >= 1);
+        std::env::set_var("MF_BLAS_THREADS", "lots");
+        assert!(default_threads() >= 1);
+        std::env::remove_var("MF_BLAS_THREADS");
+        assert!(default_threads() >= 1);
+    }
+
+    /// A scalar whose multiply panics while the global fuse is lit: lets the
+    /// tests inject exactly one worker panic, which must degrade that chunk
+    /// to the serial kernel instead of poisoning the dispatch.
+    #[derive(Clone, Copy, Debug, Default, PartialEq)]
+    struct Flaky(f64);
+
+    /// Positive: number of multiplies until a single panic fires (the
+    /// counter then disarms by running past zero). At or below PERSISTENT:
+    /// every multiply panics (a deterministic fault that survives the
+    /// retry).
+    static FUSE: AtomicI64 = AtomicI64::new(0);
+    const PERSISTENT: i64 = i64::MIN / 2;
+    /// Serializes the tests that arm the shared fuse.
+    static FLAKY_LOCK: Mutex<()> = Mutex::new(());
+
+    impl Scalar for Flaky {
+        fn s_zero() -> Self {
+            Flaky(0.0)
+        }
+        fn s_add(self, o: Self) -> Self {
+            Flaky(self.0 + o.0)
+        }
+        fn s_mul(self, o: Self) -> Self {
+            let v = FUSE.fetch_sub(1, Ordering::SeqCst);
+            if v == 1 || v <= PERSISTENT {
+                panic!("flaky scalar blew its fuse");
+            }
+            Flaky(self.0 * o.0)
+        }
+        fn s_from_f64(x: f64) -> Self {
+            Flaky(x)
+        }
+        fn s_to_f64(self) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn worker_panic_degrades_to_serial() {
+        let _fuse = FLAKY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let n = 64;
+        let x: Vec<Flaky> = (0..n).map(|i| Flaky(i as f64 * 0.25)).collect();
+        let y0: Vec<Flaky> = (0..n).map(|i| Flaky(1.0 - i as f64 * 0.5)).collect();
+        let alpha = Flaky(1.5);
+
+        // Serial reference with the fuse disarmed.
+        FUSE.store(0, Ordering::SeqCst);
+        let mut y_ref = y0.clone();
+        kernels::axpy(alpha, &x, &mut y_ref);
+        let d_ref = kernels::dot(&x, &y0);
+
+        // axpy: one worker panics mid-chunk; the result must still match.
+        FUSE.store(10, Ordering::SeqCst);
+        let mut y_par = y0.clone();
+        axpy(alpha, &x, &mut y_par, 4);
+        FUSE.store(0, Ordering::SeqCst);
+        assert_eq!(y_par, y_ref, "degraded axpy dispatch diverged");
+
+        // dot: a panicking partial is recomputed serially.
+        FUSE.store(10, Ordering::SeqCst);
+        let d_par = dot(&x, &y0, 4);
+        FUSE.store(0, Ordering::SeqCst);
+        assert_eq!(d_par, d_ref, "degraded dot dispatch diverged");
+    }
+
+    #[test]
+    fn worker_panic_degrades_gemv_gemm() {
+        let _fuse = FLAKY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (m, k, n) = (12, 7, 9);
+        let a = Matrix::from_fn(m, k, |i, j| Flaky((i * k + j) as f64 * 0.125 - 2.0));
+        let b = Matrix::from_fn(k, n, |i, j| Flaky((i * n + j) as f64 * 0.0625 - 1.0));
+        let c0 = Matrix::from_fn(m, n, |i, j| Flaky((i + j) as f64 * 0.5));
+        let x: Vec<Flaky> = (0..k).map(|i| Flaky(i as f64 - 3.0)).collect();
+        let y0: Vec<Flaky> = (0..m).map(|i| Flaky(i as f64 * 0.75)).collect();
+        let (alpha, beta) = (Flaky(0.75), Flaky(-1.25));
+
+        FUSE.store(0, Ordering::SeqCst);
+        let mut c_ref = c0.clone();
+        kernels::gemm(alpha, &a, &b, beta, &mut c_ref);
+        let mut y_ref = y0.clone();
+        kernels::gemv(alpha, &a, &x, beta, &mut y_ref);
+
+        FUSE.store(25, Ordering::SeqCst);
+        let mut c_par = c0.clone();
+        gemm(alpha, &a, &b, beta, &mut c_par, 4);
+        FUSE.store(0, Ordering::SeqCst);
+        assert_eq!(c_par.data, c_ref.data, "degraded gemm dispatch diverged");
+
+        FUSE.store(20, Ordering::SeqCst);
+        let mut y_par = y0.clone();
+        gemv(alpha, &a, &x, beta, &mut y_par, 4);
+        FUSE.store(0, Ordering::SeqCst);
+        assert_eq!(y_par, y_ref, "degraded gemv dispatch diverged");
+    }
+
+    #[test]
+    fn persistent_panic_propagates_with_context() {
+        let _fuse = FLAKY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // A deterministic panic (fuse lit for far more multiplies than the
+        // call makes) fails the serial retry too; the propagated message
+        // must carry the kernel name and chunk range.
+        let x: Vec<Flaky> = (0..16).map(|i| Flaky(i as f64)).collect();
+        let y: Vec<Flaky> = (0..16).map(|i| Flaky(i as f64)).collect();
+        FUSE.store(PERSISTENT, Ordering::SeqCst);
+        let err = catch_unwind(AssertUnwindSafe(|| dot(&x, &y, 2))).unwrap_err();
+        FUSE.store(0, Ordering::SeqCst);
+        let msg = describe_panic(err.as_ref());
+        assert!(msg.contains("mf-blas dot"), "got: {msg}");
+        assert!(msg.contains("chunk 0..8"), "got: {msg}");
+        assert!(msg.contains("flaky scalar blew its fuse"), "got: {msg}");
+    }
+
+    #[test]
+    fn isolated_restores_partial_writes() {
+        let mut out = [1.0f64, 2.0, 3.0];
+        let ok = isolated(&mut out, |o| {
+            o[0] = 99.0;
+            panic!("boom");
+        });
+        assert!(!ok);
+        assert_eq!(out, [1.0, 2.0, 3.0], "partial write must be rolled back");
+        let ok = isolated(&mut out, |o| o[1] = 42.0);
+        assert!(ok);
+        assert_eq!(out, [1.0, 42.0, 3.0]);
     }
 }

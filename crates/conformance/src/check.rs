@@ -7,7 +7,7 @@ use crate::{Case, Divergence};
 use core::cmp::Ordering;
 use mf_baselines::{campary::Expansion, dd::DoubleDouble, qd::QuadDouble};
 use mf_blas::{kernels, parallel, Matrix};
-use mf_core::{FloatBase, MultiFloat};
+use mf_core::{FloatBase, GuardPolicy, MultiFloat};
 use mf_mpsoft::MpFloat;
 use mf_softfloat::SoftFloat;
 
@@ -240,6 +240,141 @@ fn check_arith<const N: usize>(case: &Case) -> Vec<Divergence> {
     }
     let mag = a_mp.abs().add(&b_mp.abs(), ORACLE_PREC); // backward-bound scale for add/sub
     check_baselines::<N>(case, op, a, b, &exact, &mag, &mut out);
+    out
+}
+
+/// Name under which guarded-mode divergences are reported.
+pub fn guard_impl_name(policy: GuardPolicy) -> &'static str {
+    match policy {
+        GuardPolicy::FastOnly => "mf-guard-fastonly",
+        GuardPolicy::RescaleRetry => "mf-guard-rescale",
+        GuardPolicy::OracleFallback => "mf-guard-oracle",
+    }
+}
+
+/// Lockstep entry point for the guarded API: like [`run_case`], but the
+/// case runs through `checked_*` under `policy` and is held to the
+/// documented accuracy bound *without* the fast path's collapse excuses.
+/// The tiny-divisor / deep-subnormal / residual-reconstruction regimes are
+/// exactly what the recovery paths exist to fix, so a collapse under a
+/// recovery policy is a divergence here even though [`run_case`] excuses
+/// it. Non-arithmetic ops have no guarded form and return no findings.
+pub fn run_case_guarded(case: &Case, policy: GuardPolicy) -> Vec<Divergence> {
+    match case.op.as_str() {
+        "add" | "sub" | "mul" | "div" | "sqrt" => match case.n {
+            2 => check_arith_guarded::<2>(case, policy),
+            3 => check_arith_guarded::<3>(case, policy),
+            4 => check_arith_guarded::<4>(case, policy),
+            other => vec![diverge(case, "harness", format!("unsupported N={other}"))],
+        },
+        _ => Vec::new(),
+    }
+}
+
+fn check_arith_guarded<const N: usize>(case: &Case, policy: GuardPolicy) -> Vec<Divergence> {
+    let op = case.op.as_str();
+    let a = &case.operands[0];
+    let b = &case.operands[case.operands.len() - 1];
+    let unary = op == "sqrt";
+    if !valid_expansion(a) || (!unary && !valid_expansion(b)) {
+        return Vec::new();
+    }
+    let name = guard_impl_name(policy);
+    let xa = mf::<N>(a);
+    let xb = mf::<N>(b);
+    let g = match op {
+        "add" => xa.checked_add(xb, policy),
+        "sub" => xa.checked_sub(xb, policy),
+        "mul" => xa.checked_mul(xb, policy),
+        "div" => xa.checked_div(xb, policy),
+        _ => xa.checked_sqrt(policy),
+    };
+    let result = g.value;
+    let mut out = Vec::new();
+
+    // Documented special-value semantics pass through the guard unchanged.
+    let nonfinite_in =
+        !a.iter().all(|v| v.is_finite()) || (!unary && !b.iter().all(|v| v.is_finite()));
+    if nonfinite_in {
+        if result.is_finite() {
+            out.push(diverge(
+                case,
+                name,
+                format!("non-finite input produced finite {:?}", result.components()),
+            ));
+        }
+        return out;
+    }
+    if unary && xa.is_negative() && !xa.is_zero() {
+        if !result.is_nan() {
+            out.push(diverge(case, name, "sqrt(negative) not NaN".into()));
+        }
+        return out;
+    }
+    if op == "div" && xb.is_zero() {
+        if result.is_finite() {
+            out.push(diverge(case, name, "x/0 produced a finite value".into()));
+        }
+        return out;
+    }
+
+    let a_mp = slice_to_mp(a);
+    let b_mp = slice_to_mp(b);
+    let exact = match op {
+        "add" => a_mp.add(&b_mp, ORACLE_PREC),
+        "sub" => a_mp.sub(&b_mp, ORACLE_PREC),
+        "mul" => a_mp.mul(&b_mp, ORACLE_PREC),
+        "div" => a_mp.div(&b_mp, ORACLE_PREC),
+        _ => a_mp.sqrt(ORACLE_PREC),
+    };
+    if exact.is_zero() {
+        if !result.is_zero() {
+            out.push(diverge(
+                case,
+                name,
+                format!(
+                    "exact zero result, got {:?} via {:?}",
+                    result.components(),
+                    g.path
+                ),
+            ));
+        }
+        return out;
+    }
+
+    // The only excuse left under a recovery policy: the true result itself
+    // is outside the representable range (the saturated non-finite answer
+    // is then the *correct* report, and stays flagged in `g.flags`).
+    let e_exact = exact.exp2().unwrap_or(0);
+    let may_overflow = e_exact >= OVERFLOW_EXP;
+    let bexp = rel_bound_exp(op, N);
+    if !result.is_finite() {
+        if !may_overflow {
+            out.push(diverge(
+                case,
+                name,
+                format!(
+                    "unrecovered collapse: {:?} via {:?} (exact exp2 {e_exact})",
+                    result.components(),
+                    g.path
+                ),
+            ));
+        }
+        return out;
+    }
+    let got = result.to_mp(ORACLE_PREC);
+    let (ok, rel) = within(&got, &exact, bexp);
+    if !ok && !may_overflow && !flush_excused(op, &got, &exact, &a_mp, &b_mp) {
+        out.push(diverge(
+            case,
+            name,
+            format!(
+                "rel err 2^{:.1} exceeds bound 2^{bexp} via {:?}",
+                rel.log2(),
+                g.path
+            ),
+        ));
+    }
     out
 }
 

@@ -30,9 +30,16 @@ pub enum Regime {
     BoundaryTie,
     /// Trailing components forced to zero (short expansions).
     ShortZero,
+    /// The two documented collapse regimes the guard layer recovers from:
+    /// heads below the reciprocal-seed threshold `2^-1020` (tiny divisor /
+    /// deep-subnormal sqrt operand) and heads at the top binade `2^1023`
+    /// (residual-reconstruction overflow). Pairs bias one operand into a
+    /// collapse range and leave the other ordinary so the exact result
+    /// usually stays representable — the case where recovery must succeed.
+    GuardRegime,
 }
 
-pub const REGIMES: [Regime; 7] = [
+pub const REGIMES: [Regime; 8] = [
     Regime::Random,
     Regime::SpecialGrid,
     Regime::Subnormal,
@@ -40,6 +47,7 @@ pub const REGIMES: [Regime; 7] = [
     Regime::Cancel,
     Regime::BoundaryTie,
     Regime::ShortZero,
+    Regime::GuardRegime,
 ];
 
 const SPECIAL_HEADS: [f64; 14] = [
@@ -152,6 +160,23 @@ impl CaseGen {
                 }
                 c
             }
+            Regime::GuardRegime => {
+                let h = self.guard_head();
+                self.extend(h, n, true)
+            }
+        }
+    }
+
+    /// A head in one of the collapse ranges: below the `2^-1020`
+    /// reciprocal-seed threshold (spanning normal and subnormal), at the
+    /// top binade, or just inside/outside the thresholds to probe the
+    /// detector boundaries.
+    fn guard_head(&mut self) -> f64 {
+        match self.rng.gen_range(0..4) {
+            0 => self.head(-1074, -1021), // regime 1, subnormal included
+            1 => self.head(1023, 1023),   // regime 2: top binade
+            2 => self.head(-1022, -1015), // straddles the tiny threshold
+            _ => self.head(1019, 1023),   // approach to the top binade
         }
     }
 
@@ -183,6 +208,24 @@ impl CaseGen {
                     (a, b)
                 } else {
                     (b, a)
+                }
+            }
+            Regime::GuardRegime => {
+                // Bias one side (or both) into a collapse range; a modest
+                // partner keeps the exact result representable for most
+                // draws, so recovery has something to recover *to*.
+                let biased = self.expansion(n, Regime::GuardRegime);
+                let partner = {
+                    let h = self.head(-50, 50);
+                    self.extend(h, n, true)
+                };
+                match self.rng.gen_range(0..3) {
+                    0 => (partner, biased),
+                    1 => (biased, partner),
+                    _ => {
+                        let second = self.expansion(n, Regime::GuardRegime);
+                        (biased, second)
+                    }
                 }
             }
             _ => (self.expansion(n, regime), self.expansion(n, regime)),
@@ -239,7 +282,9 @@ impl CaseGen {
                 };
                 // BLAS checks assume finite data; reuse the finite regimes.
                 let r = match regime {
-                    Regime::SpecialGrid | Regime::NearOverflow => Regime::Random,
+                    Regime::SpecialGrid | Regime::NearOverflow | Regime::GuardRegime => {
+                        Regime::Random
+                    }
                     other => other,
                 };
                 match op {

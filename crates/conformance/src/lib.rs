@@ -145,6 +145,23 @@ impl OpClass {
     }
 }
 
+/// Run `cases` generated arithmetic cases through the guarded API under
+/// `policy` in lockstep with the oracle (see [`check::run_case_guarded`]).
+/// The generator seed is offset from [`run_class`]'s so the guarded sweep
+/// explores different draws than the fast-path sweep at the same seed.
+pub fn run_guarded(cases: usize, seed: u64, policy: mf_core::GuardPolicy) -> Vec<Divergence> {
+    let mut g = gen::CaseGen::new(seed ^ 0x6a72_6465_6427_5eed);
+    let mut out = Vec::new();
+    for _ in 0..cases {
+        let case = g.next_case(OpClass::Arith);
+        out.extend(check::run_case_guarded(&case, policy));
+        if out.len() >= 32 {
+            break; // enough evidence; don't flood the report
+        }
+    }
+    out
+}
+
 /// Run `cases` generated cases of one class and return every divergence
 /// (already shrunk to minimal reproducers).
 pub fn run_class(class: OpClass, cases: usize, seed: u64) -> Vec<Divergence> {

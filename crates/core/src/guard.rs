@@ -1,0 +1,862 @@
+//! Guarded evaluation: collapse-regime detectors with rescale-and-retry and
+//! oracle fallback recovery paths.
+//!
+//! The conformance harness (PR 2) documented two regimes where the
+//! branch-free kernels silently collapse:
+//!
+//! 1. **Reciprocal-seed overflow** — `div`/`recip` with a divisor head below
+//!    `~2^(MIN_EXP+2)` (tiny divisor), and `sqrt`/`rsqrt` with an operand
+//!    head below the same threshold (deep subnormal): the Newton seed
+//!    `1/b0` or `1/sqrt(a0)` overflows and the NaN cascades through every
+//!    gate.
+//! 2. **Residual-reconstruction overflow** — operand heads at or above
+//!    `2^MAX_EXP`: Karp–Markstein rebuilds `divisor * q0 ≈ dividend` (sqrt
+//!    rebuilds `s² ≈ x`) and the reconstruction rounds past `MAX` even
+//!    though the true result is representable.
+//!
+//! The detectors here are *branch-free-friendly*: each pre-condition is a
+//! handful of integer exponent compares combined with bitwise or, so a
+//! vectorized caller can evaluate them across a lane without reintroducing
+//! data-dependent control flow on the hot path. Only the (rare) recovery
+//! path branches.
+//!
+//! Recovery comes in two flavors, selected by [`GuardPolicy`]:
+//!
+//! * [`GuardPolicy::RescaleRetry`] — scale the operands by an exact power of
+//!   two so their heads sit near `2^0`, rerun the *same* branch-free kernel
+//!   (the retry is branch-free too), and scale the result back. Exact
+//!   except where the true result itself falls outside the base type's
+//!   range.
+//! * [`GuardPolicy::OracleFallback`] — route the operation through the
+//!   [`MpFloat`] software oracle at the format's equivalent precision and
+//!   round back. Correct by construction, but allocation-heavy and orders
+//!   of magnitude slower.
+//!
+//! Every checked operation returns a [`Guarded`] value carrying the result,
+//! the [`GuardPath`] that produced it, and the [`GuardFlags`] raised by the
+//! detectors, and feeds `core.guard.*` telemetry counters so fleet-wide
+//! fallback rates land in run manifests.
+
+use crate::{FloatBase, MultiFloat};
+use mf_mpsoft::MpFloat;
+use mf_telemetry::Counter;
+
+static GUARD_CHECKS: Counter = Counter::new("core.guard.checks");
+static GUARD_PRE_DETECTED: Counter = Counter::new("core.guard.pre_detected");
+static GUARD_POST_DETECTED: Counter = Counter::new("core.guard.post_detected");
+static GUARD_RESCALE_RETRIES: Counter = Counter::new("core.guard.rescale_retries");
+static GUARD_RESCALE_RECOVERED: Counter = Counter::new("core.guard.rescale_recovered");
+static GUARD_ORACLE_FALLBACKS: Counter = Counter::new("core.guard.oracle_fallbacks");
+
+#[inline]
+fn record(c: &'static Counter) {
+    if mf_telemetry::ENABLED {
+        c.incr();
+    }
+}
+
+/// What to do when a detector flags an operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GuardPolicy {
+    /// Run only the branch-free kernel (today's behavior). Detectors still
+    /// evaluate and report through [`GuardFlags`] and telemetry, but the
+    /// result is whatever the fast path produced — possibly collapsed.
+    #[default]
+    FastOnly,
+    /// Rescale the operands by an exact power of two, rerun the same
+    /// branch-free kernel, and scale the result back.
+    RescaleRetry,
+    /// Route the operation through the [`MpFloat`] oracle at equivalent
+    /// precision.
+    OracleFallback,
+}
+
+/// Which evaluation path produced a [`Guarded`] result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardPath {
+    /// The unmodified branch-free kernel.
+    Fast,
+    /// The branch-free kernel rerun on rescaled operands.
+    Rescaled,
+    /// The [`MpFloat`] software oracle.
+    Oracle,
+}
+
+/// Bit-set of detector findings for one guarded operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GuardFlags(u8);
+
+impl GuardFlags {
+    /// No detector fired.
+    pub const NONE: Self = GuardFlags(0);
+    /// Pre-condition: an operand exponent sits in a documented collapse
+    /// regime (tiny divisor / deep subnormal / huge head / product range).
+    pub const PRE_RANGE: Self = GuardFlags(1);
+    /// Post-condition: a non-finite component was produced from finite
+    /// inputs.
+    pub const POST_NONFINITE: Self = GuardFlags(1 << 1);
+    /// Post-condition: the output expansion violates the nonoverlapping
+    /// canonical form.
+    pub const POST_NONCANONICAL: Self = GuardFlags(1 << 2);
+
+    /// True if any detector fired.
+    pub fn any(self) -> bool {
+        self.0 != 0
+    }
+
+    /// True if every bit of `other` is set in `self`.
+    pub fn contains(self, other: Self) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    fn set(&mut self, other: Self) {
+        self.0 |= other.0;
+    }
+}
+
+/// A guarded result: the value plus provenance.
+#[derive(Clone, Copy, Debug)]
+pub struct Guarded<V> {
+    /// The operation result.
+    pub value: V,
+    /// Which evaluation path produced it.
+    pub path: GuardPath,
+    /// Detector findings (pre-conditions from the original operands,
+    /// post-conditions from whichever result is in `value`).
+    pub flags: GuardFlags,
+}
+
+impl<V> Guarded<V> {
+    /// True if a recovery path (rescale or oracle) produced the value.
+    pub fn recovered(&self) -> bool {
+        self.path != GuardPath::Fast
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Detectors. The slice forms are shared with the mf-fpan fault-injection
+// harness, which checks raw network outputs rather than MultiFloat values.
+// ---------------------------------------------------------------------------
+
+/// A base format whose IEEE 754 bit patterns the guard detectors may
+/// inspect.
+///
+/// [`FloatBase`] deliberately never looks at bit patterns — any correctly
+/// rounded format (including the verifier's `SoftFloat`) can implement it.
+/// The detectors, by contrast, are only worth having if they cost a few
+/// integer compares per call, which means reading the encoding directly:
+/// on IEEE formats, magnitude order equals integer order on the
+/// sign-cleared bits, so every check below collapses to branch-free `u64`
+/// arithmetic. Implemented for `f64` and `f32` (the two hardware bases);
+/// guarded evaluation is not offered for software formats.
+pub trait GuardBase: FloatBase {
+    /// Sign-cleared bit pattern, widened to `u64`. For finite values,
+    /// `a.abs() <= b.abs()` iff `a.abs_bits() <= b.abs_bits()`.
+    fn abs_bits(self) -> u64;
+    /// `abs_bits` of positive infinity; anything at or above is non-finite.
+    const INF_BITS: u64;
+    /// Width of the explicit mantissa field (52 / 23).
+    const MANT_BITS: u32;
+}
+
+impl GuardBase for f64 {
+    #[inline(always)]
+    fn abs_bits(self) -> u64 {
+        self.to_bits() & 0x7fff_ffff_ffff_ffff
+    }
+    const INF_BITS: u64 = 0x7ff0_0000_0000_0000;
+    const MANT_BITS: u32 = 52;
+}
+
+impl GuardBase for f32 {
+    #[inline(always)]
+    fn abs_bits(self) -> u64 {
+        (self.to_bits() & 0x7fff_ffff) as u64
+    }
+    const INF_BITS: u64 = 0x7f80_0000;
+    const MANT_BITS: u32 = 23;
+}
+
+/// Largest `abs_bits` over a slice — a branch-free max fold.
+#[inline(always)]
+fn max_abs_bits<T: GuardBase>(xs: &[T]) -> u64 {
+    let mut m = 0u64;
+    for x in xs {
+        m = m.max(x.abs_bits());
+    }
+    m
+}
+
+/// `abs_bits` of the normal power `2^e` — the threshold for branch-free
+/// head-exponent compares. For every finite `x` (zero and subnormals
+/// included) and normal-range `e`:
+/// `x.exponent() >= e ⟺ x.abs_bits() >= exp_bits::<T>(e)` and
+/// `x.exponent() <= e ⟺ x.abs_bits() < exp_bits::<T>(e + 1)`.
+#[inline(always)]
+fn exp_bits<T: GuardBase>(e: i32) -> u64 {
+    debug_assert!(e >= T::MIN_EXP && e <= T::MAX_EXP);
+    ((e + T::MAX_EXP) as u64) << T::MANT_BITS
+}
+
+/// True if `out` contains a NaN or infinity even though the inputs were
+/// finite — the signature of a collapsed kernel (or an injected fault):
+/// finite-domain FPANs can only produce non-finite values through
+/// intermediate overflow.
+pub fn escalated_nonfinite<T: GuardBase>(inputs_finite: bool, out: &[T]) -> bool {
+    inputs_finite & (max_abs_bits(out) >= T::INF_BITS)
+}
+
+/// Bit pattern of the half-ulp bound `2^(exponent(prev) - P)` in `T`'s
+/// encoding, given `prev`'s sign-cleared bits. Returns 0 when the bound
+/// falls below the subnormal floor (then only an exact zero can sit under
+/// it) and for `prev == 0` (a nonzero term after a zero term is always a
+/// violation). The common case — `prev` normal with a normal bound — is a
+/// single shift-and-subtract; everything within `P` binades of the floor
+/// takes the outlined cold path.
+#[inline(always)]
+fn half_ulp_bits<T: GuardBase>(prev: u64) -> u64 {
+    let raw = (prev >> T::MANT_BITS) as u32;
+    if raw > T::PRECISION {
+        ((raw - T::PRECISION) as u64) << T::MANT_BITS
+    } else {
+        half_ulp_bits_cold::<T>(prev)
+    }
+}
+
+#[cold]
+fn half_ulp_bits_cold<T: GuardBase>(prev: u64) -> u64 {
+    if prev == 0 {
+        return 0;
+    }
+    let raw = (prev >> T::MANT_BITS) as i32;
+    let min_sub = T::MIN_EXP - T::PRECISION as i32 + 1;
+    let e_prev = if raw == 0 {
+        // Subnormal: exponent from the top mantissa bit (bits == 1 encodes
+        // 2^min_sub).
+        min_sub + (63 - prev.leading_zeros() as i32)
+    } else {
+        // The IEEE bias equals MAX_EXP for both hardware formats.
+        raw - T::MAX_EXP
+    };
+    let et = e_prev - T::PRECISION as i32;
+    if et < min_sub {
+        0
+    } else if et >= T::MIN_EXP {
+        ((et + T::MAX_EXP) as u64) << T::MANT_BITS
+    } else {
+        1u64 << (et - min_sub)
+    }
+}
+
+/// True if `out` violates the nonoverlapping canonical form (paper Eq. 8):
+/// a nonzero term after a zero term, or `|out[i]| > ulp(out[i-1]) / 2`.
+/// Mirrors [`MultiFloat::is_nonoverlapping`] for raw slices, recast as
+/// branch-free integer compares on the bit patterns (magnitude order is
+/// integer order; the half-ulp bound is a pure power of two, so "at most
+/// the bound" is exactly "bits at most the bound's bits").
+pub fn noncanonical<T: GuardBase>(out: &[T]) -> bool {
+    let mut bad = false;
+    for i in 1..out.len() {
+        bad |= out[i].abs_bits() > half_ulp_bits::<T>(out[i - 1].abs_bits());
+    }
+    bad
+}
+
+/// True if the output head is inconsistent with a naive base-precision sum
+/// of the inputs. For any accumulation network the exact output sum equals
+/// the exact input sum (modulo discarded error terms far below working
+/// precision), so `|Σ inputs ⊖ out[0]|` must stay below `2^-tol_bits`
+/// times the input magnitude `Σ |inputs|` — a backward-style bound that is
+/// robust to cancellation. `tol_bits` should sit well below the base
+/// precision but above `log2(len) - PRECISION` worth of naive-summation
+/// noise; 40 is a good default for f64 networks of ≤ 64 inputs.
+///
+/// Returns `false` (not flagged) when the naive sum overflows — the check
+/// cannot cheaply judge near-`MAX` accumulations.
+pub fn head_inconsistent<T: FloatBase>(inputs: &[T], out: &[T], tol_bits: u32) -> bool {
+    let head = match out.first() {
+        Some(h) => *h,
+        None => return false,
+    };
+    let mut naive = T::ZERO;
+    let mut mag = T::ZERO;
+    for &x in inputs {
+        naive = naive + x;
+        mag = mag + x.abs();
+    }
+    if !naive.is_finite() || !mag.is_finite() || !head.is_finite() {
+        return false;
+    }
+    (naive - head).abs() > mag * T::exp2i(-(tol_bits as i32))
+}
+
+impl<T: GuardBase, const N: usize> MultiFloat<T, N> {
+    /// Exponent threshold below which `1/b0` (or `1/sqrt(a0)`) risks
+    /// overflow: `MIN_EXP + 2` (`2^-1020` for f64), matching the collapse
+    /// regime documented by the conformance harness.
+    const TINY_EXP: i32 = T::MIN_EXP + 2;
+
+    /// Branch-free finiteness of every component of both operands.
+    #[inline(always)]
+    fn both_finite(&self, rhs: &Self) -> bool {
+        max_abs_bits(&self.c).max(max_abs_bits(&rhs.c)) < T::INF_BITS
+    }
+    /// Head exponent at which residual reconstruction overflows: `MAX_EXP`
+    /// (`2^1023` for f64).
+    const HUGE_EXP: i32 = T::MAX_EXP;
+
+    #[inline(always)]
+    fn pre_div(&self, rhs: &Self) -> bool {
+        let ba = self.hi().abs_bits();
+        let bb = rhs.hi().abs_bits();
+        // Tiny divisor (regime 1), reciprocal tail flush near MAX (the
+        // recip of a huge divisor has subnormal tails), huge dividend head
+        // (regime 2).
+        ((bb < exp_bits::<T>(Self::TINY_EXP + 1)) & (bb != 0))
+            | (bb >= exp_bits::<T>(Self::HUGE_EXP - 3))
+            | (ba >= exp_bits::<T>(Self::HUGE_EXP))
+    }
+
+    #[inline(always)]
+    fn pre_sqrt(&self) -> bool {
+        let ba = self.hi().abs_bits();
+        ((ba < exp_bits::<T>(Self::TINY_EXP + 1)) & (ba != 0))
+            | (ba >= exp_bits::<T>(Self::HUGE_EXP))
+    }
+
+    fn pre_mul(&self, rhs: &Self) -> bool {
+        let s = self.hi().exponent() + rhs.hi().exponent();
+        // Product head near overflow, or low enough that the expansion's
+        // tail products (N*PRECISION bits below the head) flush to zero.
+        let lo = T::MIN_EXP + (N as i32) * T::PRECISION as i32 + 8;
+        (s >= Self::HUGE_EXP - 2) | ((s <= lo) & !self.is_zero() & !rhs.is_zero())
+    }
+
+    #[inline(always)]
+    fn pre_addsub(&self, rhs: &Self) -> bool {
+        // Transient overflow in the error-free sums only threatens when a
+        // head is at the top binade.
+        self.hi().abs_bits().max(rhs.hi().abs_bits()) >= exp_bits::<T>(Self::HUGE_EXP)
+    }
+
+    /// Post-condition detectors as pure data: no data-dependent branch, so
+    /// on clean results the whole computation is a handful of integer ops
+    /// running in the shadow of the kernel's FP latency.
+    #[inline(always)]
+    fn post_flags(inputs_finite: bool, r: &Self) -> GuardFlags {
+        let finite = max_abs_bits(&r.c) < T::INF_BITS;
+        let nonfinite = inputs_finite & !finite;
+        let noncanon = noncanonical(&r.c) & finite;
+        GuardFlags(
+            (nonfinite as u8) * GuardFlags::POST_NONFINITE.0
+                + (noncanon as u8) * GuardFlags::POST_NONCANONICAL.0,
+        )
+    }
+
+    /// Exact power-of-two scaling whose total shift may exceed the base
+    /// type's exponent range: applied in in-range steps, all of the same
+    /// sign, so intermediates never overshoot the final magnitude.
+    fn scale_wide(mut self, mut e: i32) -> Self {
+        let step = T::MAX_EXP - 2;
+        while e != 0 {
+            let s = e.clamp(-step, step);
+            self = self.scale_exp2(s);
+            e -= s;
+        }
+        self
+    }
+
+    /// Oracle working precision equivalent to this format.
+    fn oracle_prec() -> u32 {
+        N as u32 * (T::PRECISION + 1) + 64
+    }
+
+    fn oracle_binary(a: &Self, b: &Self, op: fn(&MpFloat, &MpFloat, u32) -> MpFloat) -> Self {
+        let prec = Self::oracle_prec();
+        Self::from_mp(&op(&a.to_mp(prec), &b.to_mp(prec), prec))
+    }
+
+    /// Shared driver: evaluate pre-conditions, run the fast kernel when
+    /// allowed, and dispatch to the policy's recovery path on detection.
+    ///
+    /// Split so the clean-input path — no pre-condition, clean post-flags —
+    /// inlines as a short straight-line sequence; everything that can only
+    /// run after a detection (including the rescale/oracle closure bodies,
+    /// which drag in the whole `MpFloat` conversion machinery) lives in the
+    /// outlined `#[cold]` half and never pollutes the hot path's code.
+    #[inline]
+    fn drive(
+        policy: GuardPolicy,
+        pre: bool,
+        inputs_finite: bool,
+        fast: impl FnOnce() -> Self,
+        rescale: impl FnOnce() -> Self,
+        oracle: impl FnOnce() -> Self,
+    ) -> Guarded<Self> {
+        record(&GUARD_CHECKS);
+        // FastOnly never branches on detector output: the kernel runs, the
+        // flags are computed as pure data, and the result ships. With
+        // telemetry compiled out this path has zero data-dependent control
+        // flow, so the detector's handful of integer ops issues in the
+        // shadow of the kernel's FP latency. (`policy` itself is
+        // loop-invariant in any realistic caller — perfectly predicted.)
+        if policy == GuardPolicy::FastOnly {
+            let r = fast();
+            let mut flags = Self::post_flags(inputs_finite, &r);
+            if pre {
+                flags.set(GuardFlags::PRE_RANGE);
+            }
+            if mf_telemetry::ENABLED {
+                if pre {
+                    record(&GUARD_PRE_DETECTED);
+                }
+                if flags.contains(GuardFlags::POST_NONFINITE)
+                    || flags.contains(GuardFlags::POST_NONCANONICAL)
+                {
+                    record(&GUARD_POST_DETECTED);
+                }
+            }
+            return Guarded {
+                value: r,
+                path: GuardPath::Fast,
+                flags,
+            };
+        }
+        // Recovery policies skip the kernel when a pre-condition already
+        // names the collapse regime.
+        if !pre {
+            let r = fast();
+            let post = Self::post_flags(inputs_finite, &r);
+            if !post.any() {
+                return Guarded {
+                    value: r,
+                    path: GuardPath::Fast,
+                    flags: GuardFlags::NONE,
+                };
+            }
+            record(&GUARD_POST_DETECTED);
+            return Self::recover(policy, post, inputs_finite, rescale, oracle);
+        }
+        record(&GUARD_PRE_DETECTED);
+        let mut flags = GuardFlags::NONE;
+        flags.set(GuardFlags::PRE_RANGE);
+        Self::recover(policy, flags, inputs_finite, rescale, oracle)
+    }
+
+    /// Recovery half of [`Self::drive`]: only ever entered after a
+    /// detection under a recovery policy.
+    #[cold]
+    #[inline(never)]
+    fn recover(
+        policy: GuardPolicy,
+        mut flags: GuardFlags,
+        inputs_finite: bool,
+        rescale: impl FnOnce() -> Self,
+        oracle: impl FnOnce() -> Self,
+    ) -> Guarded<Self> {
+        match policy {
+            GuardPolicy::FastOnly => unreachable!("FastOnly returned in drive"),
+            GuardPolicy::RescaleRetry => {
+                record(&GUARD_RESCALE_RETRIES);
+                // Renormalize finite results: per-component rounding on the
+                // scale-back can leave marginal overlap at the subnormal
+                // floor. A non-finite result must pass through untouched —
+                // renorm's TwoSum gates would turn a saturated ±inf
+                // (the correctly rounded out-of-range answer) into NaN.
+                let raw = rescale();
+                let r = if raw.is_finite() {
+                    Self::from_components_renorm(raw.components())
+                } else {
+                    raw
+                };
+                let post = Self::post_flags(inputs_finite, &r);
+                // A non-finite rescaled result means the true value is out
+                // of the base type's range (the flag is still reported so
+                // callers can escalate to the oracle if they disagree).
+                flags.set(post);
+                if !post.any() {
+                    record(&GUARD_RESCALE_RECOVERED);
+                }
+                Guarded {
+                    value: r,
+                    path: GuardPath::Rescaled,
+                    flags,
+                }
+            }
+            GuardPolicy::OracleFallback => {
+                record(&GUARD_ORACLE_FALLBACKS);
+                Guarded {
+                    value: oracle(),
+                    path: GuardPath::Oracle,
+                    flags,
+                }
+            }
+        }
+    }
+
+    /// Guarded addition. See the module docs for policy semantics.
+    #[inline]
+    pub fn checked_add(self, rhs: Self, policy: GuardPolicy) -> Guarded<Self> {
+        let finite = self.both_finite(&rhs);
+        if !finite {
+            // NaN/±inf propagation is documented §4.4 behavior, not a
+            // collapse; nothing to recover.
+            return Guarded {
+                value: self.add(rhs),
+                path: GuardPath::Fast,
+                flags: GuardFlags::NONE,
+            };
+        }
+        Self::drive(
+            policy,
+            self.pre_addsub(&rhs),
+            true,
+            || self.add(rhs),
+            // Quartering both operands clears transient overflow in the
+            // error-free sums; only dust below 2^-1072 (relative ~2^-2095
+            // against the near-MAX heads this regime implies) is lost.
+            || self.scale_exp2(-2).add(rhs.scale_exp2(-2)).scale_wide(2),
+            || Self::oracle_binary(&self, &rhs, MpFloat::add),
+        )
+    }
+
+    /// Guarded subtraction (addition of the exact negation).
+    #[inline]
+    pub fn checked_sub(self, rhs: Self, policy: GuardPolicy) -> Guarded<Self> {
+        self.checked_add(rhs.neg(), policy)
+    }
+
+    /// Guarded multiplication.
+    #[inline]
+    pub fn checked_mul(self, rhs: Self, policy: GuardPolicy) -> Guarded<Self> {
+        let finite = self.both_finite(&rhs);
+        if !finite {
+            return Guarded {
+                value: self.mul(rhs),
+                path: GuardPath::Fast,
+                flags: GuardFlags::NONE,
+            };
+        }
+        Self::drive(
+            policy,
+            self.pre_mul(&rhs),
+            true,
+            || self.mul(rhs),
+            || {
+                let ea = self.hi().exponent();
+                let eb = rhs.hi().exponent();
+                let p = self.scale_wide(-ea).mul(rhs.scale_wide(-eb));
+                p.scale_wide(ea + eb)
+            },
+            || Self::oracle_binary(&self, &rhs, MpFloat::mul),
+        )
+    }
+
+    /// Guarded division. Division by zero keeps the fast path's documented
+    /// NaN semantics.
+    #[inline]
+    pub fn checked_div(self, rhs: Self, policy: GuardPolicy) -> Guarded<Self> {
+        let finite = self.both_finite(&rhs);
+        if !finite || rhs.is_zero() {
+            return Guarded {
+                value: self.div(rhs),
+                path: GuardPath::Fast,
+                flags: GuardFlags::NONE,
+            };
+        }
+        Self::drive(
+            policy,
+            self.pre_div(&rhs),
+            true,
+            || self.div(rhs),
+            || {
+                let ea = self.hi().exponent();
+                let eb = rhs.hi().exponent();
+                let q = self.scale_wide(-ea).div(rhs.scale_wide(-eb));
+                q.scale_wide(ea - eb)
+            },
+            || Self::oracle_binary(&self, &rhs, MpFloat::div),
+        )
+    }
+
+    /// Guarded reciprocal.
+    #[inline]
+    pub fn checked_recip(self, policy: GuardPolicy) -> Guarded<Self> {
+        let finite = max_abs_bits(&self.c) < T::INF_BITS;
+        if !finite || self.is_zero() {
+            return Guarded {
+                value: self.recip(),
+                path: GuardPath::Fast,
+                flags: GuardFlags::NONE,
+            };
+        }
+        let bb = self.hi().abs_bits();
+        let pre = ((bb < exp_bits::<T>(Self::TINY_EXP + 1)) & (bb != 0))
+            | (bb >= exp_bits::<T>(Self::HUGE_EXP - 3));
+        Self::drive(
+            policy,
+            pre,
+            true,
+            || self.recip(),
+            || {
+                let eb = self.hi().exponent();
+                self.scale_wide(-eb).recip().scale_wide(-eb)
+            },
+            || {
+                let prec = Self::oracle_prec();
+                let one = MpFloat::from_f64(1.0, prec);
+                Self::from_mp(&one.div(&self.to_mp(prec), prec))
+            },
+        )
+    }
+
+    /// Guarded square root. Negative operands keep the fast path's
+    /// documented NaN semantics.
+    #[inline]
+    pub fn checked_sqrt(self, policy: GuardPolicy) -> Guarded<Self> {
+        if !self.is_finite() || self.is_zero() || self.is_negative() {
+            return Guarded {
+                value: self.sqrt(),
+                path: GuardPath::Fast,
+                flags: GuardFlags::NONE,
+            };
+        }
+        Self::drive(
+            policy,
+            self.pre_sqrt(),
+            true,
+            || self.sqrt(),
+            || {
+                // Even shift so the scale factor has an exact square root.
+                let m = self.hi().exponent().div_euclid(2);
+                self.scale_wide(-2 * m).sqrt().scale_wide(m)
+            },
+            || {
+                let prec = Self::oracle_prec();
+                Self::from_mp(&self.to_mp(prec).sqrt(prec))
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{F32x2, F64x2, F64x3, F64x4};
+
+    fn pow2(e: i32) -> f64 {
+        <f64 as FloatBase>::exp2i(e)
+    }
+
+    /// Relative error of a guarded result against the exact MpFloat value.
+    fn rel_err<const N: usize>(g: &Guarded<MultiFloat<f64, N>>, exact: &MpFloat) -> f64 {
+        g.value.to_mp(512).rel_error_vs(exact)
+    }
+
+    #[test]
+    fn clean_inputs_stay_fast() {
+        let a = F64x3::from(1.0) / F64x3::from(3.0);
+        let b = F64x3::from(7.0) / F64x3::from(11.0);
+        for policy in [
+            GuardPolicy::FastOnly,
+            GuardPolicy::RescaleRetry,
+            GuardPolicy::OracleFallback,
+        ] {
+            for g in [
+                a.checked_add(b, policy),
+                a.checked_sub(b, policy),
+                a.checked_mul(b, policy),
+                a.checked_div(b, policy),
+                a.checked_recip(policy),
+                a.checked_sqrt(policy),
+            ] {
+                assert_eq!(g.path, GuardPath::Fast);
+                assert_eq!(g.flags, GuardFlags::NONE);
+                assert!(!g.recovered());
+            }
+        }
+        // Values equal the unchecked kernels bit-for-bit.
+        let g = a.checked_div(b, GuardPolicy::RescaleRetry);
+        assert_eq!(g.value.components(), (a / b).components());
+    }
+
+    #[test]
+    fn tiny_divisor_detected_and_recovered() {
+        // Regime 1: |b0| < 2^-1020 overflows the reciprocal Newton seed.
+        let a = F64x2::from(pow2(-100));
+        let b = F64x2::from(pow2(-1040));
+        // Fast path collapses and FastOnly reports it.
+        let fast = a.checked_div(b, GuardPolicy::FastOnly);
+        assert_eq!(fast.path, GuardPath::Fast);
+        assert!(fast.flags.contains(GuardFlags::PRE_RANGE));
+        assert!(fast.value.is_nan(), "expected the documented collapse");
+        // Both recovery policies produce the exact quotient 2^940.
+        let exact =
+            MpFloat::from_f64(pow2(-100), 200).div(&MpFloat::from_f64(pow2(-1040), 200), 200);
+        for policy in [GuardPolicy::RescaleRetry, GuardPolicy::OracleFallback] {
+            let g = a.checked_div(b, policy);
+            assert!(g.recovered());
+            assert!(rel_err(&g, &exact) < pow2(-99), "policy {policy:?}");
+        }
+        assert_eq!(
+            a.checked_div(b, GuardPolicy::RescaleRetry).path,
+            GuardPath::Rescaled
+        );
+        assert_eq!(
+            a.checked_div(b, GuardPolicy::OracleFallback).path,
+            GuardPath::Oracle
+        );
+    }
+
+    #[test]
+    fn zero_over_tiny_divisor_is_zero() {
+        // 0 / tiny runs through 0 * inf = NaN on the fast path.
+        let z = F64x3::ZERO;
+        let b = F64x3::from(pow2(-1060));
+        assert!(z.checked_div(b, GuardPolicy::FastOnly).value.is_nan());
+        let g = z.checked_div(b, GuardPolicy::RescaleRetry);
+        assert!(g.value.is_zero(), "rescale must recover exact zero");
+    }
+
+    #[test]
+    fn deep_subnormal_sqrt_recovered_exactly() {
+        // sqrt(2^-1074) = 2^-537 exactly.
+        let a = F64x2::from(pow2(-1074));
+        assert!(a.checked_sqrt(GuardPolicy::FastOnly).flags.any());
+        for policy in [GuardPolicy::RescaleRetry, GuardPolicy::OracleFallback] {
+            let g = a.checked_sqrt(policy);
+            assert!(g.recovered());
+            assert_eq!(g.value.to_f64(), pow2(-537), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn huge_head_sqrt_recovered() {
+        // Regime 2 for sqrt: s^2 reconstruction overflows for heads >= 2^1023.
+        let a = F64x4::from(f64::MAX);
+        let fast = a.checked_sqrt(GuardPolicy::FastOnly);
+        assert!(fast.flags.contains(GuardFlags::PRE_RANGE));
+        let exact = MpFloat::from_f64(f64::MAX, 400).sqrt(400);
+        for policy in [GuardPolicy::RescaleRetry, GuardPolicy::OracleFallback] {
+            let g = a.checked_sqrt(policy);
+            assert!(g.recovered());
+            assert!(rel_err(&g, &exact) < pow2(-200), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn huge_head_division_recovered() {
+        // Regime 2 for div: Karp–Markstein residual reconstruction rounds
+        // past MAX for dividend heads at the top binade.
+        let a = F64x2::from_components([f64::MAX, pow2(969)]);
+        let b = F64x2::from_components([pow2(996), -pow2(942)]);
+        let exact = a.to_mp(512).div(&b.to_mp(512), 512);
+        for policy in [GuardPolicy::RescaleRetry, GuardPolicy::OracleFallback] {
+            let g = a.checked_div(b, policy);
+            assert!(g.recovered());
+            assert!(
+                g.value.is_finite(),
+                "policy {policy:?} left the ~2^28 quotient collapsed"
+            );
+            assert!(rel_err(&g, &exact) < pow2(-99), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn genuinely_out_of_range_results_saturate() {
+        // recip(2^-1040) = 2^1040 > MAX: both recovery paths must signal
+        // with infinity (better than the fast path's NaN).
+        let b = F64x2::from(pow2(-1040));
+        assert!(b.checked_recip(GuardPolicy::FastOnly).value.is_nan());
+        for policy in [GuardPolicy::RescaleRetry, GuardPolicy::OracleFallback] {
+            let g = b.checked_recip(policy);
+            assert!(g.recovered());
+            assert_eq!(g.value.to_f64(), f64::INFINITY, "policy {policy:?}");
+        }
+        // In-range tiny reciprocal stays finite and exact.
+        let c = F64x2::from(pow2(-1022));
+        let g = c.checked_recip(GuardPolicy::RescaleRetry);
+        assert_eq!(g.value.to_f64(), pow2(1022));
+    }
+
+    #[test]
+    fn underflow_range_multiplication_keeps_precision() {
+        // Product head near 2^-964: the fast kernel's tail products flush;
+        // the rescaled retry computes at full precision.
+        let third = F64x2::from(1.0) / F64x2::from(3.0);
+        let seventh = F64x2::from(1.0) / F64x2::from(7.0);
+        let a = third.scale_exp2(-480);
+        let b = seventh.scale_exp2(-482);
+        let g = a.checked_mul(b, GuardPolicy::RescaleRetry);
+        assert_eq!(g.path, GuardPath::Rescaled);
+        let exact = a.to_mp(512).mul(&b.to_mp(512), 512);
+        assert!(
+            rel_err(&g, &exact) < pow2(-95),
+            "err {:e}",
+            rel_err(&g, &exact)
+        );
+    }
+
+    #[test]
+    fn near_max_addition_survives() {
+        let a = F64x3::from(f64::MAX);
+        let b = F64x3::from(f64::MAX * 0.5);
+        // True sum 1.5*MAX overflows: the guarded result must be inf (the
+        // correctly rounded answer), flagged as out of range.
+        let g = a.checked_add(b, GuardPolicy::RescaleRetry);
+        assert_eq!(g.value.to_f64(), f64::INFINITY);
+        assert!(g.flags.contains(GuardFlags::POST_NONFINITE));
+        // A representable near-MAX sum stays finite and exact.
+        let g2 = a.checked_add(b.neg(), GuardPolicy::RescaleRetry);
+        assert_eq!(g2.value.to_f64(), f64::MAX * 0.5);
+    }
+
+    #[test]
+    fn special_values_keep_fast_semantics() {
+        let nan = F64x2::from(f64::NAN);
+        let inf = F64x2::from(f64::INFINITY);
+        let one = F64x2::ONE;
+        for policy in [GuardPolicy::RescaleRetry, GuardPolicy::OracleFallback] {
+            assert!(one.checked_div(nan, policy).value.is_nan());
+            assert!(!inf.checked_add(one, policy).recovered());
+            assert!(one.checked_div(F64x2::ZERO, policy).value.is_nan());
+            assert!(F64x2::from(-2.0).checked_sqrt(policy).value.is_nan());
+            assert!(F64x2::ZERO.checked_sqrt(policy).value.is_zero());
+        }
+    }
+
+    #[test]
+    fn f32_base_guard_is_generic() {
+        // Tiny divisor in the f32 exponent range: 2^-140 < 2^-124.
+        let a = F32x2::from_scalar(<f32 as FloatBase>::exp2i(-20));
+        let b = F32x2::from_scalar(<f32 as FloatBase>::exp2i(-140));
+        assert!(a.checked_div(b, GuardPolicy::FastOnly).flags.any());
+        let g = a.checked_div(b, GuardPolicy::RescaleRetry);
+        assert!(g.recovered());
+        assert_eq!(g.value.to_f64(), 2.0f64.powi(120));
+    }
+
+    #[test]
+    fn scale_wide_roundtrips_beyond_exponent_range() {
+        let x = F64x2::from(pow2(-1074));
+        let up = x.scale_wide(2000);
+        assert_eq!(up.to_f64(), pow2(926));
+        assert_eq!(up.scale_wide(-2000).to_f64(), pow2(-1074));
+    }
+
+    #[test]
+    fn slice_detectors() {
+        assert!(noncanonical(&[0.0f64, 1.0]));
+        assert!(noncanonical(&[1.0f64, 0.5]));
+        assert!(!noncanonical(&[1.0f64, pow2(-53), 0.0]));
+        assert!(escalated_nonfinite(true, &[1.0f64, f64::NAN]));
+        assert!(!escalated_nonfinite(false, &[1.0f64, f64::NAN]));
+        assert!(!escalated_nonfinite(true, &[1.0f64, 2.0]));
+        // Head consistency: exact sum vs corrupted head.
+        let inputs = [1.0f64, pow2(-30), pow2(-60)];
+        let good = [1.0 + pow2(-30), pow2(-60)];
+        assert!(!head_inconsistent(&inputs, &good, 40));
+        let bad = [1.5 + pow2(-30), pow2(-60)];
+        assert!(head_inconsistent(&inputs, &bad, 40));
+    }
+}

@@ -51,6 +51,7 @@ pub mod complex;
 pub mod consts;
 pub mod convert;
 pub mod division;
+pub mod guard;
 pub mod math;
 pub mod multiplication;
 pub mod ops;
@@ -59,6 +60,7 @@ pub mod rounding;
 pub mod sqrt;
 pub mod trig;
 
+pub use guard::{GuardFlags, GuardPath, GuardPolicy, Guarded};
 pub use mf_eft::FloatBase;
 
 impl<T: FloatBase, const N: usize> Default for MultiFloat<T, N> {

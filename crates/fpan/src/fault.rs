@@ -1,0 +1,429 @@
+//! Deterministic fault injection for FPAN executors.
+//!
+//! The guard subsystem (`mf_core::guard`) claims its detectors catch kernel
+//! collapse cheaply. This module provides the apparatus to *prove* that
+//! against a transient-fault model: seeded single-bit flips applied to gate
+//! output wires, and gate dropout (a gate's update is skipped entirely, as
+//! if the instruction never retired). The `faultsim` binary in `mf-bench`
+//! drives campaigns over the shipped networks and reports detection rates.
+//!
+//! # Methodology
+//!
+//! A fault is **masked** when the corrupted output still sums to the exact
+//! network result within the network's verified error bound `2^-q`
+//! (measured against `Σ |inputs|`, binade-granular) — by the verification
+//! contract such a result is indistinguishable from a correct one, so it is
+//! excluded from the detection denominator. Every other fault is
+//! **effective** and must be caught. Two detector tiers are measured:
+//!
+//! * **Tier 1 (invariants)** — the branch-free-friendly guard detectors:
+//!   non-finite escalation, non-canonical output, and head-vs-naive-sum
+//!   consistency. Nearly free, but blind to corruption that stays below the
+//!   consistency tolerance.
+//! * **Re-execution (DMR)** — run the network twice and compare bitwise.
+//!   Catches every effective *transient* fault by construction (the retry
+//!   is clean), at 2x cost.
+//!
+//! Both rates are reported; the combined stack is what the ≥99% detection
+//! target in EXPERIMENTS.md refers to. Tier-1-only coverage is honestly
+//! lower and recorded as such.
+
+use crate::Fpan;
+use mf_core::guard;
+use mf_eft::FloatBase;
+use mf_mpsoft::MpFloat;
+use mf_telemetry::Counter;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+static FAULT_INJECTED: Counter = Counter::new("fpan.fault.injected");
+static FAULT_MASKED: Counter = Counter::new("fpan.fault.masked");
+static FAULT_EFFECTIVE: Counter = Counter::new("fpan.fault.effective");
+static FAULT_DETECTED_T1: Counter = Counter::new("fpan.fault.detected_tier1");
+static FAULT_DETECTED: Counter = Counter::new("fpan.fault.detected");
+
+/// Which output wire of the faulted gate is corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The gate's `hi` wire (sum).
+    Hi,
+    /// The gate's `lo` wire (error term; dead-zeroed for `Add` gates).
+    Lo,
+}
+
+/// The fault model applied at the chosen gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// XOR bit `b` (0 = lsb of the mantissa, 63 = sign for f64) into the
+    /// gate's output wire after the gate executes.
+    BitFlip(u32),
+    /// Skip the gate entirely (its wires keep their prior values). The
+    /// site is ignored.
+    Dropout,
+}
+
+/// One injected fault: which gate, which output wire, what corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    pub gate: usize,
+    pub site: FaultSite,
+    pub kind: FaultKind,
+}
+
+/// Execute `net` on `inputs` with `fault` applied. Deterministic: the same
+/// fault on the same inputs always yields the same output.
+pub fn run_faulted(net: &Fpan, inputs: &[f64], fault: Fault) -> Vec<f64> {
+    assert_eq!(inputs.len(), net.n_inputs, "wrong input count");
+    assert!(fault.gate < net.gates.len(), "fault site out of range");
+    let mut w = vec![0.0f64; net.n_wires];
+    w[..inputs.len()].copy_from_slice(inputs);
+    for (gi, g) in net.gates.iter().enumerate() {
+        if gi == fault.gate && fault.kind == FaultKind::Dropout {
+            continue;
+        }
+        let (a, b) = (w[g.hi], w[g.lo]);
+        match g.kind {
+            crate::GateKind::Add => {
+                w[g.hi] = a + b;
+                w[g.lo] = 0.0;
+            }
+            crate::GateKind::TwoSum => {
+                let (s, e) = mf_eft::two_sum(a, b);
+                w[g.hi] = s;
+                w[g.lo] = e;
+            }
+            crate::GateKind::FastTwoSum => {
+                // Inline 3-op sequence rather than mf_eft::fast_two_sum:
+                // upstream faults legitimately violate the precondition its
+                // debug_assert checks, and the fault model wants the
+                // release-mode silent-inexact semantics.
+                let s = a + b;
+                let e = b - (s - a);
+                w[g.hi] = s;
+                w[g.lo] = e;
+            }
+        }
+        if gi == fault.gate {
+            if let FaultKind::BitFlip(bit) = fault.kind {
+                let wi = match fault.site {
+                    FaultSite::Hi => g.hi,
+                    FaultSite::Lo => g.lo,
+                };
+                w[wi] = f64::from_bits(w[wi].to_bits() ^ (1u64 << (bit % 64)));
+            }
+        }
+    }
+    net.outputs.iter().map(|&i| w[i]).collect()
+}
+
+/// Sample `n` uniform single-bit-flip faults over the network's gates,
+/// sites, and all 64 bit positions. Seeded and reproducible.
+pub fn sample_bit_flips(net: &Fpan, n: usize, seed: u64) -> Vec<Fault> {
+    assert!(!net.gates.is_empty(), "network has no gates to fault");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA01_7B17);
+    (0..n)
+        .map(|_| Fault {
+            gate: rng.gen_range(0..net.gates.len()),
+            site: if rng.gen() {
+                FaultSite::Hi
+            } else {
+                FaultSite::Lo
+            },
+            kind: FaultKind::BitFlip(rng.gen_range(0..64)),
+        })
+        .collect()
+}
+
+/// One dropout fault per gate (exhaustive over the network).
+pub fn all_dropouts(net: &Fpan) -> Vec<Fault> {
+    (0..net.gates.len())
+        .map(|gate| Fault {
+            gate,
+            site: FaultSite::Hi,
+            kind: FaultKind::Dropout,
+        })
+        .collect()
+}
+
+/// Tier-1 (invariant) detectors over a network output: the guard
+/// subsystem's branch-free-friendly checks.
+pub fn tier1_detects(inputs: &[f64], out: &[f64], tol_bits: u32) -> bool {
+    let finite_in = inputs.iter().all(|v| v.is_finite());
+    guard::escalated_nonfinite(finite_in, out)
+        || guard::noncanonical(out)
+        || guard::head_inconsistent(inputs, out, tol_bits)
+}
+
+/// Tally of one fault-injection campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Input vectors exercised.
+    pub cases: u64,
+    /// Clean (un-faulted) runs on which a tier-1 detector fired — false
+    /// positives.
+    pub clean_alarms: u64,
+    /// Faults injected (cases x faults).
+    pub injected: u64,
+    /// Output stayed within the network's error bound: benign by the
+    /// verification contract, excluded from the detection denominator.
+    pub masked: u64,
+    /// Output deviated beyond the bound (= injected - masked).
+    pub effective: u64,
+    /// Effective faults flagged by tier-1 invariants alone.
+    pub t1_detected: u64,
+    /// Effective faults caught by re-execution compare (DMR).
+    pub dmr_detected: u64,
+    /// Effective faults caught by the combined stack (tier 1 or DMR).
+    pub detected: u64,
+}
+
+impl FaultStats {
+    /// Combined-stack detection rate over effective faults (1.0 when no
+    /// fault was effective).
+    pub fn detection_rate(&self) -> f64 {
+        if self.effective == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.effective as f64
+        }
+    }
+
+    /// Tier-1-only detection rate over effective faults.
+    pub fn t1_rate(&self) -> f64 {
+        if self.effective == 0 {
+            1.0
+        } else {
+            self.t1_detected as f64 / self.effective as f64
+        }
+    }
+
+    /// Tier-1 false-positive rate over clean runs.
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.cases == 0 {
+            0.0
+        } else {
+            self.clean_alarms as f64 / self.cases as f64
+        }
+    }
+
+    fn merge(&mut self, o: FaultStats) {
+        self.cases += o.cases;
+        self.clean_alarms += o.clean_alarms;
+        self.injected += o.injected;
+        self.masked += o.masked;
+        self.effective += o.effective;
+        self.t1_detected += o.t1_detected;
+        self.dmr_detected += o.dmr_detected;
+        self.detected += o.detected;
+    }
+}
+
+/// Binade-granular deviation test: does `sum_f` differ from `exact` by
+/// more than `2^-q * mag`? (`mag` = exact `Σ |inputs|`.)
+fn deviates(sum_f: &MpFloat, exact: &MpFloat, mag: &MpFloat, q: i32) -> bool {
+    let err = sum_f.sub(exact, 600);
+    if err.is_zero() {
+        return false;
+    }
+    match (err.exp2(), mag.exp2()) {
+        (Some(ee), Some(me)) => ee > me - q as i64,
+        // All-zero inputs but a nonzero corrupted output.
+        (Some(_), None) => true,
+        _ => false,
+    }
+}
+
+/// Run every fault in `faults` against every input vector in `cases`,
+/// classifying each injection as masked or effective (against the
+/// network's verified bound `2^-q`) and testing both detector tiers on the
+/// effective ones. `tol_bits` is the tier-1 head-consistency tolerance.
+pub fn campaign(
+    net: &Fpan,
+    cases: &[Vec<f64>],
+    faults: &[Fault],
+    q: i32,
+    tol_bits: u32,
+) -> FaultStats {
+    let mut st = FaultStats::default();
+    for inputs in cases {
+        st.cases += 1;
+        let clean = net.run(inputs);
+        if tier1_detects(inputs, &clean, tol_bits) {
+            st.clean_alarms += 1;
+        }
+        let exact = MpFloat::exact_sum(inputs);
+        let abs_in: Vec<f64> = inputs.iter().map(|v| v.abs()).collect();
+        let mag = MpFloat::exact_sum(&abs_in);
+        for &f in faults {
+            st.injected += 1;
+            let faulted = run_faulted(net, inputs, f);
+            let finite = faulted.iter().all(|v| FloatBase::is_finite(*v));
+            let effective = if finite {
+                deviates(&MpFloat::exact_sum(&faulted), &exact, &mag, q)
+            } else {
+                // Non-finite output from finite inputs is a collapse by
+                // definition (exact_sum cannot even represent it).
+                true
+            };
+            if !effective {
+                st.masked += 1;
+                continue;
+            }
+            st.effective += 1;
+            let t1 = tier1_detects(inputs, &faulted, tol_bits);
+            // Transient-fault model: a re-execution is clean, so DMR
+            // detection is a bitwise output compare against the clean run.
+            let dmr = faulted != clean;
+            if t1 {
+                st.t1_detected += 1;
+            }
+            if dmr {
+                st.dmr_detected += 1;
+            }
+            if t1 || dmr {
+                st.detected += 1;
+            }
+        }
+    }
+    if mf_telemetry::ENABLED {
+        FAULT_INJECTED.add(st.injected);
+        FAULT_MASKED.add(st.masked);
+        FAULT_EFFECTIVE.add(st.effective);
+        FAULT_DETECTED_T1.add(st.t1_detected);
+        FAULT_DETECTED.add(st.detected);
+    }
+    st
+}
+
+/// Merge per-network stats into a campaign total.
+pub fn merge_stats(parts: &[FaultStats]) -> FaultStats {
+    let mut total = FaultStats::default();
+    for &p in parts {
+        total.merge(p);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::networks;
+    use crate::verify::random_expansion;
+
+    /// Interleaved valid expansion pair for an n-term addition network
+    /// (no forced cancellation — fault classification wants a stable
+    /// magnitude scale).
+    fn add_case(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+        let ex = rng.gen_range(-30..30);
+        let x = random_expansion::<f64>(rng, n, ex);
+        let ey = rng.gen_range(-30..30);
+        let y = random_expansion::<f64>(rng, n, ey);
+        let mut inputs = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            inputs.push(x[i]);
+            inputs.push(y[i]);
+        }
+        inputs
+    }
+
+    #[test]
+    fn bit_flip_is_deterministic_and_visible() {
+        let net = networks::add_2();
+        let inputs = [1.0, 0.5, 2.0f64.powi(-60), 2.0f64.powi(-70)];
+        let clean = net.run(&inputs);
+        let f = Fault {
+            gate: net.gates.len() - 1,
+            site: FaultSite::Hi,
+            kind: FaultKind::BitFlip(62),
+        };
+        let a = run_faulted(&net, &inputs, f);
+        let b = run_faulted(&net, &inputs, f);
+        // Bitwise compare: the flip may manufacture a NaN, for which
+        // PartialEq is useless.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b), "same fault, same inputs, same output");
+        assert_ne!(a, clean, "an exponent-bit flip must change the output");
+        assert!(
+            tier1_detects(&inputs, &a, 40),
+            "huge head deviation must trip tier 1"
+        );
+    }
+
+    #[test]
+    fn low_bit_flip_on_error_wire_is_masked() {
+        let net = networks::add_2();
+        let inputs = [1.0, 0.5, 2.0f64.powi(-55), 2.0f64.powi(-56)];
+        // Flip the lsb of the *last* gate's lo wire: that wire carries an
+        // error term ~2^-108 relative to the head, so the deviation is far
+        // below add_2's q=104 bound only if the flipped bit is low enough.
+        let f = Fault {
+            gate: net.gates.len() - 1,
+            site: FaultSite::Lo,
+            kind: FaultKind::BitFlip(0),
+        };
+        let faulted = run_faulted(&net, &inputs, f);
+        let exact = MpFloat::exact_sum(&inputs);
+        let abs_in: Vec<f64> = inputs.iter().map(|v| v.abs()).collect();
+        let mag = MpFloat::exact_sum(&abs_in);
+        assert!(
+            !deviates(&MpFloat::exact_sum(&faulted), &exact, &mag, 104),
+            "lsb flip of a deep error term must be masked"
+        );
+    }
+
+    #[test]
+    fn dropout_is_effective_and_detected() {
+        let net = networks::add_2();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cases: Vec<Vec<f64>> = (0..10).map(|_| add_case(&mut rng, 2)).collect();
+        let st = campaign(&net, &cases, &all_dropouts(&net), 104, 40);
+        assert_eq!(st.injected, 10 * net.gates.len() as u64);
+        // Some dropouts (e.g. of a gate whose wires are both tiny) may be
+        // masked, but every effective one must be caught by the stack.
+        assert_eq!(
+            st.detected, st.effective,
+            "combined stack must catch all dropouts"
+        );
+        assert!(st.effective > 0, "dropping gates must usually matter");
+    }
+
+    #[test]
+    fn campaign_combined_stack_catches_everything() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for (n, q) in [(2usize, 104i32), (3, 156)] {
+            let net = networks::add_n(n);
+            let cases: Vec<Vec<f64>> = (0..8).map(|_| add_case(&mut rng, n)).collect();
+            let faults = sample_bit_flips(&net, 64, 99);
+            let st = campaign(&net, &cases, &faults, q, 40);
+            assert_eq!(st.injected, 8 * 64);
+            assert_eq!(st.masked + st.effective, st.injected);
+            assert_eq!(
+                st.detected, st.effective,
+                "add_{n}: combined stack missed effective faults"
+            );
+            assert!(st.t1_detected <= st.effective);
+            assert_eq!(st.clean_alarms, 0, "add_{n}: tier 1 fired on clean runs");
+            assert!(st.detection_rate() >= 0.99);
+        }
+    }
+
+    #[test]
+    fn stats_merge_and_rates() {
+        let a = FaultStats {
+            cases: 2,
+            clean_alarms: 0,
+            injected: 10,
+            masked: 4,
+            effective: 6,
+            t1_detected: 3,
+            dmr_detected: 6,
+            detected: 6,
+        };
+        let total = merge_stats(&[a, a]);
+        assert_eq!(total.injected, 20);
+        assert_eq!(total.effective, 12);
+        assert!((total.detection_rate() - 1.0).abs() < 1e-12);
+        assert!((total.t1_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(FaultStats::default().detection_rate(), 1.0);
+    }
+}

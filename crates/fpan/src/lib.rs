@@ -25,6 +25,7 @@
 //!   paper's SMT pipeline (DESIGN.md substitution T1);
 //! * [`search`] — the simulated-annealing discovery procedure of §4.1.
 
+pub mod fault;
 pub mod networks;
 pub mod search;
 pub mod verify;
