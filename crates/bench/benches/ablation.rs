@@ -140,6 +140,34 @@ fn telemetry_overhead_ablation(c: &mut Criterion) {
         },
         |bch| bch.iter(|| black_box(kernels::dot(black_box(&xs), black_box(&ys)))),
     );
+    // Span-tracing cost on the same workload, telemetry builds only.
+    // Unarmed = enabled build without `--trace`: each span is one relaxed
+    // atomic load. Armed: the full record cost (clock read + two ring-slot
+    // writes) until the per-thread ring fills (32Ki spans), after which
+    // overflow spans take the cheaper drop path — so the armed number is a
+    // steady-state figure, not a first-span figure. Spans in the shipped
+    // probes wrap whole chunks/rounds, so per-span cost amortizes over
+    // O(n) flops; EXPERIMENTS.md ablation 7 budgets the end-to-end
+    // overhead at <= 5%.
+    #[cfg(feature = "telemetry")]
+    {
+        use mf_telemetry::trace;
+        g.bench_function("axpy_N2_span_unarmed", |bch| {
+            bch.iter(|| {
+                let _s = trace::span("ablation.axpy", n as u64);
+                kernels::axpy(black_box(alpha), black_box(&xs), black_box(&mut ys));
+                black_box(ys[0]);
+            })
+        });
+        trace::arm();
+        g.bench_function("axpy_N2_span_armed", |bch| {
+            bch.iter(|| {
+                let _s = trace::span("ablation.axpy", n as u64);
+                kernels::axpy(black_box(alpha), black_box(&xs), black_box(&mut ys));
+                black_box(ys[0]);
+            })
+        });
+    }
     g.finish();
 }
 

@@ -12,14 +12,14 @@
 //!       [--ops arith,cmp,convert,io,blas,soft] [--cases N] [--seed S] \
 //!       [--corpus <dir>] [--manifest <json>]
 
-use mf_bench::{cli, RunManifest};
+use mf_bench::{cli, history, RunManifest};
 use mf_conformance::{corpus, run_class, run_guarded, OpClass};
 use mf_core::GuardPolicy;
 use mf_telemetry::json::Json;
 use std::time::Instant;
 
-const USAGE: &str =
-    "[--ops <class,..>] [--cases N] [--seed S] [--guarded] [--corpus <dir>] [--manifest <json>]";
+const USAGE: &str = "[--ops <class,..>] [--cases N] [--seed S] [--guarded] [--corpus <dir>] \
+                     [--manifest <json>] [--trace <json>]";
 
 fn main() {
     let started = Instant::now();
@@ -34,6 +34,7 @@ fn main() {
     let mut guarded = false;
     let mut corpus_dir = String::from("results/conformance");
     let mut manifest_path = String::from("results/manifest_conformance.json");
+    let mut trace_flag: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -93,9 +94,15 @@ fn main() {
                 manifest_path = cli::flag_value(&args, i, "conformance", USAGE).to_string();
                 i += 2;
             }
+            "--trace" => {
+                trace_flag = Some(cli::flag_value(&args, i, "conformance", USAGE).to_string());
+                i += 2;
+            }
             other => cli::usage_error("conformance", USAGE, &format!("unknown argument '{other}'")),
         }
     }
+    let trace = cli::trace_path(trace_flag);
+    cli::trace_arm(&trace);
 
     println!("Differential conformance sweep: {cases} cases/class, seed {seed:#x}");
     println!(
@@ -179,6 +186,9 @@ fn main() {
         .with_extra("seed", Json::u64(seed))
         .with_extra("divergences", Json::Obj(counts));
     cli::write_manifest(&manifest, &manifest_path);
+    history::record_wall_ms("conformance", started.elapsed().as_secs_f64() * 1e3);
+    history::append_run("conformance", &history::platform_label());
+    cli::trace_finish(&trace);
 
     if !all.is_empty() {
         std::process::exit(1);

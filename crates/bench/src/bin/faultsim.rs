@@ -19,7 +19,7 @@
 //!       [--nets add2,add3,add4,mul2,mul3,mul4] [--cases N] [--flips N] \
 //!       [--seed S] [--tol BITS] [--manifest <json>]
 
-use mf_bench::{cli, sink, RunManifest};
+use mf_bench::{cli, history, sink, RunManifest};
 use mf_core::{GuardPolicy, MultiFloat};
 use mf_fpan::fault::{self, FaultStats};
 use mf_fpan::verify::random_expansion;
@@ -30,7 +30,7 @@ use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 const USAGE: &str =
-    "[--nets <net,..>] [--cases N] [--flips N] [--seed S] [--tol BITS] [--manifest <json>]";
+    "[--nets <net,..>] [--cases N] [--flips N] [--seed S] [--tol BITS] [--manifest <json>] [--trace <json>]";
 
 /// One campaign target: a network plus its verified error bound and a
 /// case generator producing valid (in-contract) input vectors.
@@ -218,6 +218,7 @@ fn main() {
     let mut seed: u64 = 0xFA07_5EED;
     let mut tol_bits: u32 = 40;
     let mut manifest_path = String::from("results/manifest_faultsim.json");
+    let mut trace_flag: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -294,9 +295,15 @@ fn main() {
                 manifest_path = cli::flag_value(&args, i, "faultsim", USAGE).to_string();
                 i += 2;
             }
+            "--trace" => {
+                trace_flag = Some(cli::flag_value(&args, i, "faultsim", USAGE).to_string());
+                i += 2;
+            }
             other => cli::usage_error("faultsim", USAGE, &format!("unknown argument '{other}'")),
         }
     }
+    let trace = cli::trace_path(trace_flag);
+    cli::trace_arm(&trace);
 
     println!(
         "Fault-injection campaign: {cases} cases/net, {flips} bit flips + exhaustive dropout, \
@@ -370,6 +377,9 @@ fn main() {
             .with_extra("total", stats_json(&total))
             .with_extra("guard_overhead", Json::Obj(overheads));
     cli::write_manifest(&manifest, &manifest_path);
+    history::record_wall_ms("faultsim", started.elapsed().as_secs_f64() * 1e3);
+    history::append_run("faultsim", &history::platform_label());
+    cli::trace_finish(&trace);
 
     let mut failed = false;
     if total.detection_rate() < 0.99 {

@@ -13,12 +13,13 @@ use mf_bench::{cli, RunManifest};
 use mf_telemetry::json::Json;
 use std::path::PathBuf;
 
-const USAGE: &str = "[--dir <results>] [--out <json>]";
+const USAGE: &str = "[--dir <results>] [--out <json>] [--trace <json>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut dir = String::from("results");
     let mut out_path: Option<String> = None;
+    let mut trace_flag: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,9 +31,15 @@ fn main() {
                 out_path = Some(cli::flag_value(&args, i, "report", USAGE).to_string());
                 i += 2;
             }
+            "--trace" => {
+                trace_flag = Some(cli::flag_value(&args, i, "report", USAGE).to_string());
+                i += 2;
+            }
             other => cli::usage_error("report", USAGE, &format!("unknown argument '{other}'")),
         }
     }
+    let trace = cli::trace_path(trace_flag);
+    cli::trace_arm(&trace);
 
     let entries = match std::fs::read_dir(&dir) {
         Ok(e) => e,
@@ -97,8 +104,18 @@ fn main() {
         if !m.snapshot.sections.is_empty() {
             println!("  sections:");
             for s in &m.snapshot.sections {
+                let quantiles = if s.sketch.count > 0 {
+                    format!(
+                        "  p50<={:.1}ms p90<={:.1}ms p99<={:.1}ms",
+                        s.sketch.p50() as f64 / 1e6,
+                        s.sketch.p90() as f64 / 1e6,
+                        s.sketch.p99() as f64 / 1e6
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "    {:<32} {:>10.1} ms ({} span{})",
+                    "    {:<32} {:>10.1} ms ({} span{}){quantiles}",
                     s.name,
                     s.total_ns as f64 / 1e6,
                     s.count,
@@ -125,13 +142,30 @@ fn main() {
                 h.quantile_upper_bound(0.99),
             );
         }
-        if !m.snapshot.events.is_empty() {
+        if !m.snapshot.events.is_empty() || m.snapshot.dropped_events > 0 {
             println!(
                 "  events: {} retained ({} dropped)",
                 m.snapshot.events.len(),
                 m.snapshot.dropped_events
             );
         }
+    }
+
+    // Dropped events mean the digest above is *incomplete*: the buffer
+    // overflowed and later events were discarded. Make that loud.
+    let total_dropped: u64 = manifests
+        .iter()
+        .map(|(_, m)| m.snapshot.dropped_events)
+        .sum();
+    if total_dropped > 0 {
+        println!(
+            "\nwarning: {total_dropped} event(s) dropped across {} manifest(s) — \
+             event lists above are incomplete (MAX_EVENTS overflow)",
+            manifests
+                .iter()
+                .filter(|(_, m)| m.snapshot.dropped_events > 0)
+                .count()
+        );
     }
 
     if let Some(p) = out_path {
@@ -147,4 +181,6 @@ fn main() {
             Err(e) => eprintln!("warning: could not write {p}: {e}"),
         }
     }
+
+    cli::trace_finish(&trace);
 }

@@ -8,19 +8,34 @@
 //! Each input is a JSON file produced by the `tables` binary. The paper's
 //! claim is that every ratio exceeds 1 (MultiFloats is always fastest).
 
-use mf_bench::{cli, TableRun};
+use mf_bench::{cli, history, TableRun};
 use mf_telemetry::json::Json;
 
 const KERNELS: [&str; 4] = ["AXPY", "DOT", "GEMV", "GEMM"];
 const BITS: [u32; 4] = [53, 103, 156, 208];
 const OURS: &str = "MultiFloats (ours)";
-const USAGE: &str = "<tables.json> [...]";
+const USAGE: &str = "<tables.json> [...] [--trace <json>]";
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let started = std::time::Instant::now();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut trace_flag: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            trace_flag = Some(cli::flag_value(&args, i, "summary", USAGE).to_string());
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
     if paths.is_empty() {
         cli::usage_error("summary", USAGE, "expected at least one tables.json path");
     }
+    let trace = cli::trace_path(trace_flag);
+    cli::trace_arm(&trace);
     for path in paths {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             cli::usage_error("summary", USAGE, &format!("cannot read {path}: {e}"))
@@ -76,4 +91,8 @@ fn main() {
             }
         );
     }
+
+    history::record_wall_ms("summary", started.elapsed().as_secs_f64() * 1e3);
+    history::append_run("summary", &history::platform_label());
+    cli::trace_finish(&trace);
 }

@@ -24,7 +24,7 @@ use mf_baselines::campary::Expansion;
 use mf_baselines::dd::DoubleDouble;
 use mf_baselines::qd::QuadDouble;
 use mf_bench::workloads::{rand_f64s, Sizes};
-use mf_bench::{cli, measure_gops, render_table, sink, Cell, RunManifest, TableRun};
+use mf_bench::{cli, history, measure_kernel, render_table, sink, Cell, RunManifest, TableRun};
 use mf_blas::soa::{self, SoaMatrix, SoaVec};
 use mf_blas::{kernels, mp, parallel, Matrix, Scalar};
 use mf_core::MultiFloat;
@@ -35,7 +35,8 @@ use std::time::Instant;
 const KERNELS: [&str; 4] = ["AXPY", "DOT", "GEMV", "GEMM"];
 const BITS: [u32; 4] = [53, 103, 156, 208];
 
-const USAGE: &str = "[--config wide|narrow] [--label <text>] [--out <json>] [--manifest <json>]";
+const USAGE: &str =
+    "[--config wide|narrow] [--label <text>] [--out <json>] [--manifest <json>] [--trace <json>]";
 
 static SEC_MULTIFLOATS: Section = Section::new("tables.multifloats");
 static SEC_MPSOFT: Section = Section::new("tables.mpsoft");
@@ -43,29 +44,40 @@ static SEC_QD: Section = Section::new("tables.qd");
 static SEC_CAMPARY: Section = Section::new("tables.campary");
 
 /// Measure all four kernels for one `Scalar` type (AoS layout).
-fn bench_aos<S: Scalar>(sizes: &Sizes, threads: usize) -> [f64; 4] {
+/// `tag` keys the history entries (e.g. `103/mf/aos`).
+fn bench_aos<S: Scalar>(sizes: &Sizes, threads: usize, tag: &str) -> [f64; 4] {
     let n = sizes.vec_len;
     let xs: Vec<S> = rand_f64s(1, n).into_iter().map(S::s_from_f64).collect();
     let mut ys: Vec<S> = rand_f64s(2, n).into_iter().map(S::s_from_f64).collect();
     let alpha = S::s_from_f64(1.000000321);
 
-    let axpy = measure_gops(sizes.ops("AXPY"), sizes.min_secs, || {
-        if threads > 1 {
-            parallel::axpy(alpha, &xs, &mut ys, threads);
-        } else {
-            kernels::axpy(alpha, &xs, &mut ys);
-        }
-        sink(ys[0]);
-    });
+    let axpy = measure_kernel(
+        &format!("AXPY/{tag}"),
+        sizes.ops("AXPY"),
+        sizes.min_secs,
+        || {
+            if threads > 1 {
+                parallel::axpy(alpha, &xs, &mut ys, threads);
+            } else {
+                kernels::axpy(alpha, &xs, &mut ys);
+            }
+            sink(ys[0]);
+        },
+    );
 
-    let dot = measure_gops(sizes.ops("DOT"), sizes.min_secs, || {
-        let d = if threads > 1 {
-            parallel::dot(&xs, &ys, threads)
-        } else {
-            kernels::dot(&xs, &ys)
-        };
-        sink(d);
-    });
+    let dot = measure_kernel(
+        &format!("DOT/{tag}"),
+        sizes.ops("DOT"),
+        sizes.min_secs,
+        || {
+            let d = if threads > 1 {
+                parallel::dot(&xs, &ys, threads)
+            } else {
+                kernels::dot(&xs, &ys)
+            };
+            sink(d);
+        },
+    );
 
     let gn = sizes.gemv_n;
     let a = {
@@ -79,14 +91,19 @@ fn bench_aos<S: Scalar>(sizes: &Sizes, threads: usize) -> [f64; 4] {
     let xv: Vec<S> = rand_f64s(4, gn).into_iter().map(S::s_from_f64).collect();
     let mut yv: Vec<S> = rand_f64s(5, gn).into_iter().map(S::s_from_f64).collect();
     let beta = S::s_from_f64(0.999999712);
-    let gemv = measure_gops(sizes.ops("GEMV"), sizes.min_secs, || {
-        if threads > 1 {
-            parallel::gemv(alpha, &a, &xv, beta, &mut yv, threads);
-        } else {
-            kernels::gemv(alpha, &a, &xv, beta, &mut yv);
-        }
-        sink(yv[0]);
-    });
+    let gemv = measure_kernel(
+        &format!("GEMV/{tag}"),
+        sizes.ops("GEMV"),
+        sizes.min_secs,
+        || {
+            if threads > 1 {
+                parallel::gemv(alpha, &a, &xv, beta, &mut yv, threads);
+            } else {
+                kernels::gemv(alpha, &a, &xv, beta, &mut yv);
+            }
+            sink(yv[0]);
+        },
+    );
 
     let mn = sizes.gemm_n;
     let am = {
@@ -106,20 +123,25 @@ fn bench_aos<S: Scalar>(sizes: &Sizes, threads: usize) -> [f64; 4] {
         }
     };
     let mut cm = Matrix::<S>::zeros(mn, mn);
-    let gemm = measure_gops(sizes.ops("GEMM"), sizes.min_secs, || {
-        if threads > 1 {
-            parallel::gemm(alpha, &am, &bm, beta, &mut cm, threads);
-        } else {
-            kernels::gemm(alpha, &am, &bm, beta, &mut cm);
-        }
-        sink(cm.at(0, 0));
-    });
+    let gemm = measure_kernel(
+        &format!("GEMM/{tag}"),
+        sizes.ops("GEMM"),
+        sizes.min_secs,
+        || {
+            if threads > 1 {
+                parallel::gemm(alpha, &am, &bm, beta, &mut cm, threads);
+            } else {
+                kernels::gemm(alpha, &am, &bm, beta, &mut cm);
+            }
+            sink(cm.at(0, 0));
+        },
+    );
 
     [axpy, dot, gemv, gemm]
 }
 
 /// Measure all four kernels for MultiFloat in SoA layout.
-fn bench_soa<const N: usize>(sizes: &Sizes) -> [f64; 4] {
+fn bench_soa<const N: usize>(sizes: &Sizes, tag: &str) -> [f64; 4] {
     type T = f64;
     let n = sizes.vec_len;
     let to_mf = |v: f64| MultiFloat::<T, N>::from(v);
@@ -128,24 +150,39 @@ fn bench_soa<const N: usize>(sizes: &Sizes) -> [f64; 4] {
     let alpha = to_mf(1.000000321);
     let beta = to_mf(0.999999712);
 
-    let axpy = measure_gops(sizes.ops("AXPY"), sizes.min_secs, || {
-        soa::axpy(alpha, &xs, &mut ys);
-        sink(ys.comps[0][0]);
-    });
+    let axpy = measure_kernel(
+        &format!("AXPY/{tag}"),
+        sizes.ops("AXPY"),
+        sizes.min_secs,
+        || {
+            soa::axpy(alpha, &xs, &mut ys);
+            sink(ys.comps[0][0]);
+        },
+    );
 
-    let dot = measure_gops(sizes.ops("DOT"), sizes.min_secs, || {
-        sink(soa::dot(&xs, &ys));
-    });
+    let dot = measure_kernel(
+        &format!("DOT/{tag}"),
+        sizes.ops("DOT"),
+        sizes.min_secs,
+        || {
+            sink(soa::dot(&xs, &ys));
+        },
+    );
 
     let gn = sizes.gemv_n;
     let vals = rand_f64s(3, gn * gn);
     let a = SoaMatrix::from_fn(gn, gn, |i, j| to_mf(vals[i * gn + j]));
     let xv = SoaVec::from_slice(&rand_f64s(4, gn).into_iter().map(to_mf).collect::<Vec<_>>());
     let mut yv = SoaVec::from_slice(&rand_f64s(5, gn).into_iter().map(to_mf).collect::<Vec<_>>());
-    let gemv = measure_gops(sizes.ops("GEMV"), sizes.min_secs, || {
-        soa::gemv(alpha, &a, &xv, beta, &mut yv);
-        sink(yv.comps[0][0]);
-    });
+    let gemv = measure_kernel(
+        &format!("GEMV/{tag}"),
+        sizes.ops("GEMV"),
+        sizes.min_secs,
+        || {
+            soa::gemv(alpha, &a, &xv, beta, &mut yv);
+            sink(yv.comps[0][0]);
+        },
+    );
 
     let mn = sizes.gemm_n;
     let va = rand_f64s(6, mn * mn);
@@ -153,16 +190,21 @@ fn bench_soa<const N: usize>(sizes: &Sizes) -> [f64; 4] {
     let am = SoaMatrix::from_fn(mn, mn, |i, j| to_mf(va[i * mn + j]));
     let bm = SoaMatrix::from_fn(mn, mn, |i, j| to_mf(vb[i * mn + j]));
     let mut cm = SoaMatrix::<T, N>::zeros(mn, mn);
-    let gemm = measure_gops(sizes.ops("GEMM"), sizes.min_secs, || {
-        soa::gemm(alpha, &am, &bm, beta, &mut cm);
-        sink(cm.comps[0][0]);
-    });
+    let gemm = measure_kernel(
+        &format!("GEMM/{tag}"),
+        sizes.ops("GEMM"),
+        sizes.min_secs,
+        || {
+            soa::gemm(alpha, &am, &bm, beta, &mut cm);
+            sink(cm.comps[0][0]);
+        },
+    );
 
     [axpy, dot, gemv, gemm]
 }
 
 /// Measure the limb-based MpFloat kernels at `prec` bits.
-fn bench_mp(sizes: &Sizes, prec: u32) -> [f64; 4] {
+fn bench_mp(sizes: &Sizes, prec: u32, tag: &str) -> [f64; 4] {
     let n = sizes.vec_len.min(2048); // MpFloat is slow; cap sizes
     let x: Vec<MpFloat> = rand_f64s(1, n)
         .iter()
@@ -175,11 +217,11 @@ fn bench_mp(sizes: &Sizes, prec: u32) -> [f64; 4] {
     let alpha = MpFloat::from_f64(1.000000321, prec);
     let beta = MpFloat::from_f64(0.999999712, prec);
 
-    let axpy = measure_gops(n as f64, sizes.min_secs, || {
+    let axpy = measure_kernel(&format!("AXPY/{tag}"), n as f64, sizes.min_secs, || {
         mp::axpy(&alpha, &x, &mut y, prec);
         sink(y[0].to_f64());
     });
-    let dot = measure_gops(n as f64, sizes.min_secs, || {
+    let dot = measure_kernel(&format!("DOT/{tag}"), n as f64, sizes.min_secs, || {
         sink(mp::dot(&x, &y, prec).to_f64());
     });
 
@@ -196,10 +238,15 @@ fn bench_mp(sizes: &Sizes, prec: u32) -> [f64; 4] {
         .iter()
         .map(|&v| MpFloat::from_f64(v, prec))
         .collect();
-    let gemv = measure_gops((gn * gn) as f64, sizes.min_secs, || {
-        mp::gemv(&alpha, &a, gn, gn, &xv, &beta, &mut yv, prec);
-        sink(yv[0].to_f64());
-    });
+    let gemv = measure_kernel(
+        &format!("GEMV/{tag}"),
+        (gn * gn) as f64,
+        sizes.min_secs,
+        || {
+            mp::gemv(&alpha, &a, gn, gn, &xv, &beta, &mut yv, prec);
+            sink(yv[0].to_f64());
+        },
+    );
 
     let mn = sizes.gemm_n.min(32);
     let am: Vec<MpFloat> = rand_f64s(6, mn * mn)
@@ -211,10 +258,15 @@ fn bench_mp(sizes: &Sizes, prec: u32) -> [f64; 4] {
         .map(|&v| MpFloat::from_f64(v, prec))
         .collect();
     let mut cmv: Vec<MpFloat> = (0..mn * mn).map(|_| MpFloat::zero(prec)).collect();
-    let gemm = measure_gops((mn * mn * mn) as f64, sizes.min_secs, || {
-        mp::gemm(&alpha, &am, &bm, &mut cmv, mn, mn, mn, &beta, prec);
-        sink(cmv[0].to_f64());
-    });
+    let gemm = measure_kernel(
+        &format!("GEMM/{tag}"),
+        (mn * mn * mn) as f64,
+        sizes.min_secs,
+        || {
+            mp::gemm(&alpha, &am, &bm, &mut cmv, mn, mn, mn, &beta, prec);
+            sink(cmv[0].to_f64());
+        },
+    );
 
     [axpy, dot, gemv, gemm]
 }
@@ -241,6 +293,7 @@ fn main() {
     let mut label: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut manifest_path = String::from("results/manifest_tables.json");
+    let mut trace_flag: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -267,9 +320,15 @@ fn main() {
                 manifest_path = cli::flag_value(&args, i, "tables", USAGE).to_string();
                 i += 2;
             }
+            "--trace" => {
+                trace_flag = Some(cli::flag_value(&args, i, "tables", USAGE).to_string());
+                i += 2;
+            }
             other => cli::usage_error("tables", USAGE, &format!("unknown argument '{other}'")),
         }
     }
+    let trace = cli::trace_path(trace_flag);
+    cli::trace_arm(&trace);
     let label = label.unwrap_or_else(|| {
         format!(
             "{} ({}, {} threads)",
@@ -291,11 +350,14 @@ fn main() {
         let _g = SEC_MULTIFLOATS.start();
         // 53-bit: N = 1 (plain base type through the same kernels).
         let mf1 = max4(
-            bench_aos::<MultiFloat<f64, 1>>(&sizes, 1),
-            bench_soa::<1>(&sizes),
+            bench_aos::<MultiFloat<f64, 1>>(&sizes, 1, "53/mf/aos"),
+            bench_soa::<1>(&sizes, "53/mf/soa"),
         );
         let mf1 = if threads > 1 {
-            max4(mf1, bench_aos::<MultiFloat<f64, 1>>(&sizes, threads))
+            max4(
+                mf1,
+                bench_aos::<MultiFloat<f64, 1>>(&sizes, threads, "53/mf/aos-mt"),
+            )
         } else {
             mf1
         };
@@ -303,20 +365,20 @@ fn main() {
         eprintln!("  53-bit: {mf1:.3?}");
 
         let mf2 = max4(
-            bench_aos::<MultiFloat<f64, 2>>(&sizes, 1),
-            bench_soa::<2>(&sizes),
+            bench_aos::<MultiFloat<f64, 2>>(&sizes, 1, "103/mf/aos"),
+            bench_soa::<2>(&sizes, "103/mf/soa"),
         );
         push(&mut cells, "MultiFloats (ours)", 103, mf2);
         eprintln!("  103-bit: {mf2:.3?}");
         let mf3 = max4(
-            bench_aos::<MultiFloat<f64, 3>>(&sizes, 1),
-            bench_soa::<3>(&sizes),
+            bench_aos::<MultiFloat<f64, 3>>(&sizes, 1, "156/mf/aos"),
+            bench_soa::<3>(&sizes, "156/mf/soa"),
         );
         push(&mut cells, "MultiFloats (ours)", 156, mf3);
         eprintln!("  156-bit: {mf3:.3?}");
         let mf4 = max4(
-            bench_aos::<MultiFloat<f64, 4>>(&sizes, 1),
-            bench_soa::<4>(&sizes),
+            bench_aos::<MultiFloat<f64, 4>>(&sizes, 1, "208/mf/aos"),
+            bench_soa::<4>(&sizes, "208/mf/soa"),
         );
         push(&mut cells, "MultiFloats (ours)", 208, mf4);
         eprintln!("  208-bit: {mf4:.3?}");
@@ -326,7 +388,7 @@ fn main() {
     {
         let _g = SEC_MPSOFT.start();
         for &bits in &BITS {
-            let v = bench_mp(&sizes, bits);
+            let v = bench_mp(&sizes, bits, &format!("{bits}/mpsoft"));
             push(&mut cells, "GMP/MPFR-class", bits, v);
             eprintln!("  {bits}-bit: {v:.3?}");
         }
@@ -335,10 +397,10 @@ fn main() {
     eprintln!("== QD ==");
     {
         let _g = SEC_QD.start();
-        let qd2 = bench_aos::<DoubleDouble>(&sizes, 1);
+        let qd2 = bench_aos::<DoubleDouble>(&sizes, 1, "103/qd");
         push(&mut cells, "QD", 103, qd2);
         eprintln!("  103-bit (dd): {qd2:.3?}");
-        let qd4 = bench_aos::<QuadDouble>(&sizes, 1);
+        let qd4 = bench_aos::<QuadDouble>(&sizes, 1, "208/qd");
         push(&mut cells, "QD", 208, qd4);
         eprintln!("  208-bit (qd): {qd4:.3?}");
     }
@@ -346,16 +408,16 @@ fn main() {
     eprintln!("== CAMPARY (certified) ==");
     {
         let _g = SEC_CAMPARY.start();
-        let c1 = bench_aos::<Expansion<1>>(&sizes, 1);
+        let c1 = bench_aos::<Expansion<1>>(&sizes, 1, "53/campary");
         push(&mut cells, "CAMPARY", 53, c1);
         eprintln!("  53-bit: {c1:.3?}");
-        let c2 = bench_aos::<Expansion<2>>(&sizes, 1);
+        let c2 = bench_aos::<Expansion<2>>(&sizes, 1, "103/campary");
         push(&mut cells, "CAMPARY", 103, c2);
         eprintln!("  103-bit: {c2:.3?}");
-        let c3 = bench_aos::<Expansion<3>>(&sizes, 1);
+        let c3 = bench_aos::<Expansion<3>>(&sizes, 1, "156/campary");
         push(&mut cells, "CAMPARY", 156, c3);
         eprintln!("  156-bit: {c3:.3?}");
-        let c4 = bench_aos::<Expansion<4>>(&sizes, 1);
+        let c4 = bench_aos::<Expansion<4>>(&sizes, 1, "208/campary");
         push(&mut cells, "CAMPARY", 208, c4);
         eprintln!("  208-bit: {c4:.3?}");
     }
@@ -381,4 +443,6 @@ fn main() {
     let manifest = RunManifest::collect("tables", &config, threads, started)
         .with_extra("table", run.to_json());
     cli::write_manifest(&manifest, &manifest_path);
+    history::append_run("tables", &run.platform);
+    cli::trace_finish(&trace);
 }

@@ -1,0 +1,18 @@
+//! Benchmark regression gate: compares fresh history records against a
+//! committed baseline and exits nonzero on a confident regression.
+//!
+//! Usage:
+//!   cargo run --release -p mf-bench --bin trend -- \
+//!       [--history <jsonl>] [--baseline <jsonl>] [--threshold <frac>] \
+//!       [--min-samples <n>]
+//!
+//! Exit codes: 0 = no regression, 1 = regression beyond threshold,
+//! 2 = usage or data error (missing/empty history or baseline).
+//!
+//! The whole behavior lives in `mf_bench::trend::run` so the exit-code
+//! contract is covered by unit tests.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mf_bench::trend::run(&args));
+}

@@ -10,13 +10,13 @@
 //!   cargo run --release -p mf-bench --bin verify_networks -- \
 //!       [--trials N] [--manifest <json>]
 
-use mf_bench::{cli, RunManifest};
+use mf_bench::{cli, history, RunManifest};
 use mf_fpan::networks;
 use mf_fpan::verify::{self, Config};
 use mf_telemetry::Section;
 use std::time::Instant;
 
-const USAGE: &str = "[--trials N] [--manifest <json>]";
+const USAGE: &str = "[--trials N] [--manifest <json>] [--trace <json>]";
 
 static SEC_F64: Section = Section::new("verify_networks.f64_suites");
 static SEC_SOFT: Section = Section::new("verify_networks.soft_sweep");
@@ -31,6 +31,7 @@ fn main() {
         50_000
     };
     let mut manifest_path = String::from("results/manifest_verify_networks.json");
+    let mut trace_flag: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,6 +50,10 @@ fn main() {
                 manifest_path = cli::flag_value(&args, i, "verify_networks", USAGE).to_string();
                 i += 2;
             }
+            "--trace" => {
+                trace_flag = Some(cli::flag_value(&args, i, "verify_networks", USAGE).to_string());
+                i += 2;
+            }
             other => cli::usage_error(
                 "verify_networks",
                 USAGE,
@@ -56,6 +61,9 @@ fn main() {
             ),
         }
     }
+
+    let trace = cli::trace_path(trace_flag);
+    cli::trace_arm(&trace);
 
     println!("Empirical FPAN verification ({trials} adversarial trials per network)");
     println!(
@@ -179,6 +187,9 @@ fn main() {
     let manifest = RunManifest::collect("verify_networks", &format!("trials={trials}"), 1, started)
         .with_extra("failures", mf_telemetry::json::Json::u64(failures));
     cli::write_manifest(&manifest, &manifest_path);
+    history::record_wall_ms("verify_networks", started.elapsed().as_secs_f64() * 1e3);
+    history::append_run("verify_networks", &history::platform_label());
+    cli::trace_finish(&trace);
     if failures > 0 {
         std::process::exit(1);
     }

@@ -31,6 +31,8 @@ use mf_telemetry::json::Json;
 use std::hint::black_box;
 use std::time::Instant;
 
+pub mod history;
+pub mod trend;
 pub mod workloads;
 
 pub use mf_telemetry::manifest::RunManifest;
@@ -116,7 +118,7 @@ impl TableRun {
 
 /// Full statistics from one throughput measurement (see
 /// [`measure_gops_detailed`]).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GopsMeasurement {
     /// Billions of extended operations per second.
     pub gops: f64,
@@ -130,6 +132,27 @@ pub struct GopsMeasurement {
     pub stddev_iter_ns: f64,
     /// `stddev / mean` — the run-to-run noise figure the manifest records.
     pub rel_stddev: f64,
+    /// Extended operations per call of the measured closure.
+    pub ops_per_iter: f64,
+    /// Per-iteration wall times in ns, downsampled to at most
+    /// [`MAX_ITER_SAMPLES`] evenly strided samples. The trend pipeline
+    /// bootstraps confidence intervals from these (one Gop/s sample per
+    /// iteration is `ops_per_iter / iter_ns`).
+    pub iter_ns: Vec<f64>,
+}
+
+/// Cap on per-iteration samples retained in a [`GopsMeasurement`] (a
+/// nanosecond-scale closure measured for 0.2 s would otherwise retain
+/// millions).
+pub const MAX_ITER_SAMPLES: usize = 512;
+
+/// Evenly strided downsample to at most `cap` entries.
+fn downsample(samples: &[f64], cap: usize) -> Vec<f64> {
+    if samples.len() <= cap {
+        return samples.to_vec();
+    }
+    let stride = samples.len().div_ceil(cap);
+    samples.iter().step_by(stride).copied().collect()
 }
 
 /// Measure the throughput of `f`, which performs `ops_per_iter` extended
@@ -142,6 +165,10 @@ pub fn measure_gops_detailed<F: FnMut()>(
     min_secs: f64,
     mut f: F,
 ) -> GopsMeasurement {
+    // One span per measurement loop: on the trace timeline the benchmark
+    // shows as back-to-back `bench.measure` blocks with the instrumented
+    // kernels' spans nested inside.
+    let _sp = mf_telemetry::trace::span("bench.measure", ops_per_iter as u64);
     f(); // warmup
     let mut iter_ns: Vec<f64> = Vec::with_capacity(64);
     let start = Instant::now();
@@ -166,6 +193,8 @@ pub fn measure_gops_detailed<F: FnMut()>(
                 mean_iter_ns: mean,
                 stddev_iter_ns: stddev,
                 rel_stddev: if mean > 0.0 { stddev / mean } else { 0.0 },
+                ops_per_iter,
+                iter_ns: downsample(&iter_ns, MAX_ITER_SAMPLES),
             };
             mf_telemetry::event(
                 "bench.measure",
@@ -178,6 +207,16 @@ pub fn measure_gops_detailed<F: FnMut()>(
             return m;
         }
     }
+}
+
+/// Measure *and record*: like [`measure_gops`], but also appends a
+/// per-kernel entry named `name` to the in-process history collector that
+/// [`history::append_run`] flushes to `results/history/bench_history.jsonl`
+/// at the end of the run.
+pub fn measure_kernel<F: FnMut()>(name: &str, ops_per_iter: f64, min_secs: f64, f: F) -> f64 {
+    let m = measure_gops_detailed(ops_per_iter, min_secs, f);
+    history::record_measurement(name, &m);
+    m.gops
 }
 
 /// Throughput-only form of [`measure_gops_detailed`].
@@ -249,6 +288,52 @@ pub mod cli {
         match manifest.write(std::path::Path::new(path)) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("warning: could not write manifest {path}: {e}"),
+        }
+    }
+
+    /// Resolve the trace output path: an explicit `--trace` value wins,
+    /// otherwise the `MF_TRACE` environment variable (empty = unset).
+    pub fn trace_path(flag: Option<String>) -> Option<String> {
+        flag.or_else(|| std::env::var("MF_TRACE").ok().filter(|s| !s.is_empty()))
+    }
+
+    /// Arm span collection when tracing was requested. Warns (once, up
+    /// front) when the binary was built without the `telemetry` feature —
+    /// the run still completes, it just cannot produce a trace.
+    pub fn trace_arm(path: &Option<String>) {
+        if path.is_none() {
+            return;
+        }
+        if !mf_telemetry::ENABLED {
+            eprintln!("warning: tracing requested but this binary was built without --features telemetry; no trace will be written");
+            return;
+        }
+        mf_telemetry::trace::arm();
+    }
+
+    /// Export the collected spans as Chrome `trace_event` JSON (load in
+    /// Perfetto / `chrome://tracing`), reporting buffer overflow drops.
+    pub fn trace_finish(path: &Option<String>) {
+        let Some(p) = path else { return };
+        if !mf_telemetry::ENABLED {
+            return; // trace_arm already warned
+        }
+        match mf_telemetry::trace::export_chrome(std::path::Path::new(p)) {
+            Ok(()) => {
+                let dropped = mf_telemetry::trace::dropped_spans();
+                if dropped > 0 {
+                    eprintln!(
+                        "wrote {p} ({} events, {dropped} spans dropped on full buffers)",
+                        mf_telemetry::trace::recorded_events()
+                    );
+                } else {
+                    eprintln!(
+                        "wrote {p} ({} events)",
+                        mf_telemetry::trace::recorded_events()
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: could not write trace {p}: {e}"),
         }
     }
 }

@@ -104,6 +104,11 @@ impl GuardFlags {
         self.0 != 0
     }
 
+    /// The raw bit-set (for telemetry span args and log lines).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
     /// True if every bit of `other` is set in `self`.
     pub fn contains(self, other: Self) -> bool {
         self.0 & other.0 == other.0
@@ -454,6 +459,10 @@ impl<T: GuardBase, const N: usize> MultiFloat<T, N> {
         rescale: impl FnOnce() -> Self,
         oracle: impl FnOnce() -> Self,
     ) -> Guarded<Self> {
+        // Slow-path excursions are rare enough to afford a span each: the
+        // timeline then shows exactly when a benchmark left the branch-free
+        // kernel (arg = detector bit-set at entry).
+        let _sp = mf_telemetry::trace::span("core.guard.recover", flags.bits() as u64);
         match policy {
             GuardPolicy::FastOnly => unreachable!("FastOnly returned in drive"),
             GuardPolicy::RescaleRetry => {

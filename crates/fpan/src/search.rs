@@ -61,6 +61,9 @@ pub struct SearchConfig {
 /// ones by how badly they fail (so the search can hill-climb toward
 /// correctness).
 fn energy(net: &Fpan, n: usize, q: i32, trials: usize, seed: u64) -> f64 {
+    // Verifier passes dominate search wall time; spans make the
+    // per-candidate cost visible on the timeline (arg = candidate size).
+    let _sp = mf_telemetry::trace::span("fpan.verify.pass", net.size() as u64);
     let rep = verify::verify_addition_soft::<12>(net, n, VerifyConfig::new(trials, q, seed));
     if rep.pass {
         net.size() as f64 + 0.25 * net.depth() as f64
@@ -145,6 +148,7 @@ pub fn search_addition(cfg: SearchConfig) -> (Fpan, bool) {
         if cur_energy < 900.0 {
             break; // passes verification
         }
+        let _round = mf_telemetry::trace::span("fpan.grow.round", iter as u64);
         SEARCH_ITERS.incr();
         let mut cand = current.clone();
         let hi = rng.gen_range(0..cand.n_wires);
@@ -189,6 +193,7 @@ pub fn search_addition(cfg: SearchConfig) -> (Fpan, bool) {
     // Phase 2: anneal — random add/remove/rewire with the removal pressure
     // of `mutate`, accepting uphill moves by temperature.
     for iter in 0..cfg.iters {
+        let _round = mf_telemetry::trace::span("fpan.anneal.round", iter as u64);
         SEARCH_ITERS.incr();
         // Exponential cooling from 4.0 down to 0.05.
         let t = 4.0 * (0.05f64 / 4.0).powf(iter as f64 / cfg.iters.max(1) as f64);
@@ -218,6 +223,7 @@ pub fn search_addition(cfg: SearchConfig) -> (Fpan, bool) {
     // 25x trial budget and a fresh seed; return the smallest survivor.
     history.sort_by_key(|n| (n.size(), n.depth()));
     for cand in &history {
+        let _sp = mf_telemetry::trace::span("fpan.final.verify", cand.size() as u64);
         let rep = verify::verify_addition_soft::<12>(
             cand,
             cfg.n,
@@ -233,6 +239,7 @@ pub fn search_addition(cfg: SearchConfig) -> (Fpan, bool) {
 /// Energy for a multiplication accumulation candidate (frozen prefix not
 /// counted differently; the verifier covers the whole network).
 fn mul_energy(net: &Fpan, n: usize, q: i32, trials: usize, seed: u64) -> f64 {
+    let _sp = mf_telemetry::trace::span("fpan.verify.pass", net.size() as u64);
     let rep =
         verify::verify_mul_accumulation_soft::<12>(net, n, VerifyConfig::new(trials, q, seed));
     if rep.pass {
@@ -277,6 +284,7 @@ pub fn search_multiplication(cfg: SearchConfig) -> (Fpan, bool) {
 
     let max_gates = frozen + 40;
     for iter in 0..cfg.iters {
+        let _round = mf_telemetry::trace::span("fpan.anneal.round", iter as u64);
         SEARCH_ITERS.incr();
         let t = 4.0 * (0.05f64 / 4.0).powf(iter as f64 / cfg.iters.max(1) as f64);
         // Mutate only beyond the frozen prefix.
@@ -323,6 +331,7 @@ pub fn search_multiplication(cfg: SearchConfig) -> (Fpan, bool) {
 
     history.sort_by_key(|c| (c.size(), c.depth()));
     for cand in &history {
+        let _sp = mf_telemetry::trace::span("fpan.final.verify", cand.size() as u64);
         let rep = verify::verify_mul_accumulation_soft::<12>(
             cand,
             n,

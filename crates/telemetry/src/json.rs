@@ -533,6 +533,89 @@ mod tests {
     }
 
     #[test]
+    fn control_chars_and_quotes_escape_losslessly() {
+        // Every C0 control character, plus embedded quotes/backslashes in
+        // key *and* value position (manifest section names are free-form).
+        let mut all_controls = String::new();
+        for c in 0u32..0x20 {
+            all_controls.push(char::from_u32(c).unwrap());
+        }
+        let v = Json::Obj(vec![
+            (all_controls.clone(), Json::str(&all_controls)),
+            (
+                "quo\"te\\key".into(),
+                Json::str("say \"hi\" \\ bye \u{7f} \u{0} end"),
+            ),
+        ]);
+        for text in [v.render(), v.render_pretty()] {
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back, v, "through {text:?}");
+        }
+        // The rendering itself must never contain a raw control byte.
+        assert!(v.render().bytes().all(|b| b >= 0x20));
+    }
+
+    #[test]
+    fn u_escape_edge_cases() {
+        // NUL escape, a BMP escape, a surrogate-pair escape, a literal
+        // astral char, and an accented escape all parse to the same code
+        // points.
+        let v = Json::parse("\"\\u0000\\u0041\\ud83d\\ude00\u{1F600}\\u00e9\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{0}A\u{1F600}\u{1F600}\u{e9}");
+        // Lone or inverted surrogates and truncated escapes are malformed.
+        for bad in [
+            "\"\\ud800\"",
+            "\"\\ud800x\"",
+            "\"\\ude00\\ud83d\"",
+            "\"\\u12",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        // JSON has no NaN/Inf: the writer must not emit tokens other JSON
+        // consumers (Perfetto included) reject.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(vec![("x".into(), Json::Num(v))]);
+            let text = doc.render();
+            assert_eq!(text, r#"{"x":null}"#);
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.get("x"), Some(&Json::Null));
+        }
+        // An overflowing literal parses to Num(inf) (Rust f64 semantics) —
+        // and then re-renders as null, so a render cycle normalizes it.
+        let overflow = Json::parse("1e999").unwrap();
+        assert_eq!(overflow, Json::Num(f64::INFINITY));
+        assert_eq!(overflow.render(), "null");
+    }
+
+    #[test]
+    fn manifest_parse_serialize_parse_is_fixed_point() {
+        // A representative manifest document (foreign-authored: hand-written
+        // text, not a render() output) must reach a fixed point after one
+        // parse→render cycle: parse(render(parse(text))) == parse(text).
+        let text = r#"{
+          "schema": "mf-telemetry/manifest/v1",
+          "tool": "tables", "config": "wide", "telemetry_enabled": true,
+          "platform": {"os": "linux", "arch": "x86_64", "family": "unix",
+                       "rustc": "rustc 1.95.0", "label": "ci \"quick\"",
+                       "rustflags": "-C target-cpu=native", "available_parallelism": 16},
+          "threads": 8, "unix_time": 1770000000, "wall_ms": 1234.5,
+          "counters": {"core.renorm.calls": 42},
+          "histograms": [], "sections": [{"name": "bench.axpy\n", "total_ns": 5000000, "count": 2}],
+          "events": [{"name": "search.progress", "fields": {"iter": 100.0}}],
+          "dropped_events": 0
+        }"#;
+        let first = Json::parse(text).unwrap();
+        let second = Json::parse(&first.render()).unwrap();
+        assert_eq!(first, second);
+        let third = Json::parse(&second.render_pretty()).unwrap();
+        assert_eq!(second, third);
+    }
+
+    #[test]
     fn walk_produces_paths() {
         let v = Json::parse(r#"{"a": {"b": 1}, "c": [2, 3]}"#).unwrap();
         let flat = walk(&v);

@@ -21,7 +21,12 @@
 //! * [`Histogram`] — 65 log2-bucketed counts (`bucket 0` = zero values,
 //!   bucket `k` = values in `[2^(k-1), 2^k)`), plus exact count/sum;
 //! * [`Section`] — a named accumulating timer; [`Section::start`] returns a
-//!   drop guard, [`Section::time`] wraps a closure;
+//!   drop guard, [`Section::time`] wraps a closure. Each section also feeds
+//!   a fixed-memory [`SketchSnapshot`] quantile sketch (log2 buckets +
+//!   min/max), so manifests carry per-call latency *distributions*
+//!   (count/min/max/p50/p90/p99), not just cumulative nanoseconds;
+//! * [`trace`] — within-run span timelines (thread-local ring buffers,
+//!   Chrome `trace_event` export for Perfetto);
 //! * [`event`] — a bounded structured event stream (e.g. annealing search
 //!   progress), mirrored to stderr when `MF_TELEMETRY_LOG=1`;
 //! * [`snapshot`] — a point-in-time copy of every registered probe;
@@ -36,6 +41,7 @@
 
 pub mod json;
 pub mod manifest;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Mutex, OnceLock};
@@ -226,26 +232,116 @@ impl HistogramSnapshot {
 
     /// Upper bound of the approximate `q`-quantile (q in [0, 1]).
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
-            }
-        }
-        u64::MAX
+        log2_quantile_upper_bound(self.count, &self.buckets, q)
     }
 }
 
-/// A named accumulating wall-clock timer ("span" source).
+/// Shared quantile walk over a log2 bucket array (bucket 0 = zeros, bucket
+/// `k` = `[2^(k-1), 2^k)`): upper bound of the `q`-quantile.
+fn log2_quantile_upper_bound(count: u64, buckets: &[u64; 65], q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+        }
+    }
+    u64::MAX
+}
+
+/// Point-in-time copy of a fixed-memory quantile sketch: log2-bucketed
+/// counts plus exact min/max. Mergeable (buckets add, min/max combine), so
+/// per-thread or per-run sketches can be rolled up losslessly; quantile
+/// queries are upper bounds within a factor of 2 (the bucket width).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSnapshot {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: [u64; 65],
+}
+
+impl Default for SketchSnapshot {
+    fn default() -> Self {
+        SketchSnapshot {
+            count: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl SketchSnapshot {
+    /// Build a sketch from raw samples (used by the bench harness to
+    /// summarize per-iteration latencies into history records).
+    pub fn from_samples(samples: impl IntoIterator<Item = u64>) -> Self {
+        let mut s = SketchSnapshot::default();
+        for v in samples {
+            s.record(v);
+        }
+        s
+    }
+
+    /// Record one sample (snapshot-side; the live atomic form is inside
+    /// [`Section`]).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)] += 1;
+        self.min = if self.count == 0 { v } else { self.min.min(v) };
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    /// Merge another sketch into this one.
+    pub fn merge(&mut self, other: &SketchSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Upper bound of the `q`-quantile (q in [0, 1]).
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        // The exact extremes tighten the bucket bounds at the edges.
+        log2_quantile_upper_bound(self.count, &self.buckets, q)
+            .clamp(self.min, self.max.max(self.min))
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile_upper_bound(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
+    }
+}
+
+/// A named accumulating wall-clock timer ("span" source) with an attached
+/// fixed-memory quantile sketch of per-call durations.
 pub struct Section {
     name: &'static str,
     total_ns: AtomicU64,
     count: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; 65],
     registered: AtomicBool,
 }
 
@@ -255,6 +351,9 @@ impl Section {
             name,
             total_ns: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; 65],
             registered: AtomicBool::new(false),
         }
     }
@@ -286,6 +385,9 @@ impl Section {
         }
         self.total_ns.fetch_add(ns, Relaxed);
         self.count.fetch_add(1, Relaxed);
+        self.min_ns.fetch_min(ns, Relaxed);
+        self.max_ns.fetch_max(ns, Relaxed);
+        self.buckets[Histogram::bucket_of(ns)].fetch_add(1, Relaxed);
         if !self.registered.load(Relaxed) {
             self.register_slow();
         }
@@ -312,6 +414,21 @@ impl Section {
 
     pub fn count(&self) -> u64 {
         self.count.load(Relaxed)
+    }
+
+    /// Point-in-time copy of the per-call duration sketch.
+    pub fn sketch(&self) -> SketchSnapshot {
+        let count = self.count.load(Relaxed);
+        SketchSnapshot {
+            count,
+            min: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Relaxed)
+            },
+            max: self.max_ns.load(Relaxed),
+            buckets: core::array::from_fn(|i| self.buckets[i].load(Relaxed)),
+        }
     }
 }
 
@@ -384,12 +501,13 @@ pub struct Snapshot {
     pub dropped_events: u64,
 }
 
-/// Point-in-time copy of a [`Section`].
+/// Point-in-time copy of a [`Section`], including its latency sketch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SectionSnapshot {
     pub name: String,
     pub total_ns: u64,
     pub count: u64,
+    pub sketch: SketchSnapshot,
 }
 
 /// Snapshot every registered probe. Sorted by name for stable output.
@@ -423,6 +541,7 @@ pub fn snapshot() -> Snapshot {
             name: s.name.to_string(),
             total_ns: s.total_ns(),
             count: s.count(),
+            sketch: s.sketch(),
         })
         .collect();
     sections.sort_by(|a, b| a.name.cmp(&b.name));
@@ -523,6 +642,37 @@ mod tests {
         }
 
         #[test]
+        fn section_sketch_tracks_distribution() {
+            static S: Section = Section::new("test.section.sketch");
+            for ns in [100u64, 200, 400, 800, 100_000] {
+                S.add_ns(ns);
+            }
+            let sk = S.sketch();
+            assert_eq!(sk.count, 5);
+            assert_eq!(sk.min, 100);
+            assert_eq!(sk.max, 100_000);
+            // Third-smallest sample (400) lands in bucket [256, 512).
+            assert_eq!(sk.p50(), 511);
+            // p99 walks into the top bucket; the exact max tightens it.
+            assert_eq!(sk.p99(), 100_000);
+        }
+
+        #[test]
+        fn sketches_merge_losslessly() {
+            let mut a = SketchSnapshot::from_samples([1u64, 2, 3]);
+            let b = SketchSnapshot::from_samples([1000u64]);
+            a.merge(&b);
+            assert_eq!(a.count, 4);
+            assert_eq!(a.min, 1);
+            assert_eq!(a.max, 1000);
+            let direct = SketchSnapshot::from_samples([1u64, 2, 3, 1000]);
+            assert_eq!(a, direct);
+            // Merging an empty sketch changes nothing.
+            a.merge(&SketchSnapshot::default());
+            assert_eq!(a, direct);
+        }
+
+        #[test]
         fn events_are_bounded_and_snapshotted() {
             event("test.event", &[("iter", 1.0), ("size", 6.0)]);
             let snap = snapshot();
@@ -569,6 +719,7 @@ mod tests {
             assert_eq!(H.snapshot_data().count, 0);
             assert_eq!(S.total_ns(), 0);
             assert_eq!(S.count(), 0);
+            assert_eq!(S.sketch().count, 0);
             let snap = snapshot();
             assert!(snap.counters.is_empty());
             assert!(snap.histograms.is_empty());

@@ -151,11 +151,26 @@ impl RunManifest {
                 .sections
                 .iter()
                 .map(|s| {
-                    Json::Obj(vec![
+                    let mut obj = vec![
                         ("name".into(), Json::str(&s.name)),
                         ("total_ns".into(), Json::u64(s.total_ns)),
                         ("count".into(), Json::u64(s.count)),
-                    ])
+                    ];
+                    if s.sketch.count > 0 {
+                        // Per-call latency distribution: exact min/max,
+                        // derived quantiles (for humans/diffs), and the raw
+                        // mergeable log2 buckets.
+                        obj.push(("min_ns".into(), Json::u64(s.sketch.min)));
+                        obj.push(("max_ns".into(), Json::u64(s.sketch.max)));
+                        obj.push(("p50_ns".into(), Json::u64(s.sketch.p50())));
+                        obj.push(("p90_ns".into(), Json::u64(s.sketch.p90())));
+                        obj.push(("p99_ns".into(), Json::u64(s.sketch.p99())));
+                        obj.push((
+                            "buckets".into(),
+                            Json::Arr(s.sketch.buckets.iter().map(|&b| Json::u64(b)).collect()),
+                        ));
+                    }
+                    Json::Obj(obj)
                 })
                 .collect(),
         );
@@ -240,10 +255,28 @@ impl RunManifest {
             .as_arr()?
             .iter()
             .filter_map(|s| {
+                let count = s.get("count")?.as_u64()?;
+                // Sketch fields are optional: pre-sketch manifests (and
+                // zero-count sections) parse to an empty sketch.
+                let sketch = (|| {
+                    let raw = s.get("buckets")?.as_arr()?;
+                    let mut buckets = [0u64; 65];
+                    for (i, b) in raw.iter().take(65).enumerate() {
+                        buckets[i] = b.as_u64()?;
+                    }
+                    Some(crate::SketchSnapshot {
+                        count,
+                        min: s.get("min_ns")?.as_u64()?,
+                        max: s.get("max_ns")?.as_u64()?,
+                        buckets,
+                    })
+                })()
+                .unwrap_or_default();
                 Some(SectionSnapshot {
                     name: s.get("name")?.as_str()?.to_string(),
                     total_ns: s.get("total_ns")?.as_u64()?,
-                    count: s.get("count")?.as_u64()?,
+                    count,
+                    sketch,
                 })
             })
             .collect();
@@ -378,6 +411,7 @@ mod tests {
                     name: "bench.axpy".into(),
                     total_ns: 5_000_000,
                     count: 2,
+                    sketch: crate::SketchSnapshot::from_samples([2_000_000u64, 3_000_000]),
                 }],
                 events: vec![Event {
                     name: "search.progress".into(),

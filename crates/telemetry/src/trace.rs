@@ -1,0 +1,474 @@
+//! Span tracing: nestable begin/end records in thread-local bounded ring
+//! buffers, exported as Chrome `trace_event` JSON (loadable in Perfetto or
+//! `chrome://tracing`).
+//!
+//! [`Section`](crate::Section) answers "how much time, cumulatively"; a
+//! trace answers "*where inside the run* did it go" — per-chunk worker
+//! imbalance in a parallel dispatch, annealing rounds that stall, guard
+//! slow-path excursions. The design constraints are the same as the rest of
+//! this crate:
+//!
+//! * feature **disabled** (default): [`span`] returns an inert guard and
+//!   the whole module const-folds away — zero cost on the branch-free hot
+//!   paths;
+//! * feature **enabled** but not [`arm`]ed: one relaxed atomic load per
+//!   [`span`] call (benchmarks that were not asked for a trace pay
+//!   essentially nothing);
+//! * armed: each span writes two fixed-size records (begin at construction,
+//!   end at drop) into a buffer owned by the current thread — no locks, no
+//!   allocation, no cross-thread traffic on the record path.
+//!
+//! # Ring-buffer discipline
+//!
+//! Each thread owns a fixed array of [`TRACE_CAP`] records and an atomic
+//! `written` high-water mark. The owning thread is the only writer: it
+//! fills slot `written`, then publishes `written + 1` with `Release`. The
+//! exporter (any thread, typically after workers have been joined) loads
+//! `written` with `Acquire` and reads only below it, so every record it
+//! sees is fully written.
+//!
+//! A full buffer drops *whole spans*, never half of one: a begin record is
+//! only written if a slot can also be **reserved** for its matching end
+//! (`written + reserved + 2 <= TRACE_CAP`), so the exported stream always
+//! has balanced B/E events with per-thread monotone timestamps — the two
+//! invariants the Chrome JSON consumer cares about. Dropped spans are
+//! counted ([`dropped_spans`]) and surfaced in the exported JSON.
+
+use crate::json::Json;
+use std::cell::{Cell, OnceCell, UnsafeCell};
+use std::path::Path;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-thread record capacity. 64Ki records = 32Ki spans per thread; at 40
+/// bytes per record the fixed memory cost is 2.5 MiB per traced thread.
+pub const TRACE_CAP: usize = 1 << 16;
+
+/// One begin or end record. `name` is the static span name; `arg` is the
+/// caller's u64 payload (chunk length, trial count, flag bits, …), carried
+/// on the begin record only.
+#[derive(Clone, Copy)]
+struct Record {
+    name: &'static str,
+    arg: u64,
+    ts_ns: u64,
+    end: bool,
+}
+
+const EMPTY_RECORD: Record = Record {
+    name: "",
+    arg: 0,
+    ts_ns: 0,
+    end: false,
+};
+
+/// A thread's span buffer. Slots below `written` are immutable history;
+/// the owning thread is the only writer.
+struct ThreadBuf {
+    tid: u32,
+    written: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Box<[UnsafeCell<Record>]>,
+}
+
+// SAFETY: slot `i` is written exactly once, by the owning thread, before
+// `written` advances past `i` with Release ordering; readers dereference
+// only slots below an Acquire-loaded `written`, so they never race with a
+// write to the same slot.
+unsafe impl Sync for ThreadBuf {}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static BUFS: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    BUFS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static ARMED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+struct Local {
+    buf: OnceCell<Arc<ThreadBuf>>,
+    /// Open spans whose begin record was written; each holds one reserved
+    /// slot so its end record can never be dropped.
+    reserved: Cell<usize>,
+}
+
+thread_local! {
+    static LOCAL: Local = const {
+        Local {
+            buf: OnceCell::new(),
+            reserved: Cell::new(0),
+        }
+    };
+}
+
+/// Start collecting spans (idempotent). Until this is called, [`span`]
+/// costs one relaxed load. No-op when the `telemetry` feature is off.
+pub fn arm() {
+    if !crate::ENABLED {
+        return;
+    }
+    EPOCH.get_or_init(Instant::now);
+    ARMED.store(true, Release);
+}
+
+/// Whether spans are currently being collected.
+#[inline(always)]
+pub fn armed() -> bool {
+    crate::ENABLED && ARMED.load(Relaxed)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    EPOCH
+        .get()
+        .map(|e| e.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// Open a span. The returned guard writes the end record when dropped;
+/// nesting guards nests the spans on the timeline. `arg` is a free u64
+/// shown in the trace viewer (chunk size, iteration, flag bits, …).
+///
+/// ```
+/// let _t = mf_telemetry::trace::span("blas.gemm.worker", 128);
+/// // ... work ...
+/// // end record written here
+/// ```
+#[inline(always)]
+pub fn span(name: &'static str, arg: u64) -> SpanHandle {
+    if !armed() {
+        return SpanHandle {
+            name: "",
+            recorded: false,
+        };
+    }
+    span_slow(name, arg)
+}
+
+#[cold]
+fn span_slow(name: &'static str, arg: u64) -> SpanHandle {
+    let recorded = LOCAL
+        .try_with(|l| {
+            let buf = l.buf.get_or_init(|| {
+                let b = Arc::new(ThreadBuf {
+                    tid: NEXT_TID.fetch_add(1, Relaxed),
+                    written: AtomicUsize::new(0),
+                    dropped: AtomicU64::new(0),
+                    slots: (0..TRACE_CAP)
+                        .map(|_| UnsafeCell::new(EMPTY_RECORD))
+                        .collect(),
+                });
+                registry().lock().unwrap().push(Arc::clone(&b));
+                b
+            });
+            let used = buf.written.load(Relaxed);
+            // One slot for this begin, one reserved per open span (ours
+            // included) so every written begin can write its end.
+            if used + l.reserved.get() + 2 <= TRACE_CAP {
+                // SAFETY: `used` is below `written + 1`; only this thread
+                // writes, and no reader sees the slot until the Release
+                // store below.
+                unsafe {
+                    *buf.slots[used].get() = Record {
+                        name,
+                        arg,
+                        ts_ns: now_ns(),
+                        end: false,
+                    };
+                }
+                buf.written.store(used + 1, Release);
+                l.reserved.set(l.reserved.get() + 1);
+                true
+            } else {
+                buf.dropped.fetch_add(1, Relaxed);
+                false
+            }
+        })
+        .unwrap_or(false);
+    SpanHandle { name, recorded }
+}
+
+/// RAII guard returned by [`span`]; writes the end record on drop.
+#[must_use = "a span guard bound to `_` ends immediately; bind it to `_t` or a named variable"]
+pub struct SpanHandle {
+    name: &'static str,
+    recorded: bool,
+}
+
+impl Drop for SpanHandle {
+    #[inline]
+    fn drop(&mut self) {
+        if self.recorded {
+            end_slow(self.name);
+        }
+    }
+}
+
+#[cold]
+fn end_slow(name: &'static str) {
+    // try_with: a guard dropped during thread teardown (after TLS
+    // destruction) has nowhere to record; its reserved slot goes unused.
+    let _ = LOCAL.try_with(|l| {
+        let Some(buf) = l.buf.get() else { return };
+        let used = buf.written.load(Relaxed);
+        debug_assert!(used < TRACE_CAP, "end record had no reserved slot");
+        if used < TRACE_CAP {
+            // SAFETY: same single-writer/publish discipline as the begin.
+            unsafe {
+                *buf.slots[used].get() = Record {
+                    name,
+                    arg: 0,
+                    ts_ns: now_ns(),
+                    end: true,
+                };
+            }
+            buf.written.store(used + 1, Release);
+            l.reserved.set(l.reserved.get().saturating_sub(1));
+        }
+    });
+}
+
+/// Total spans dropped across all threads because a buffer was full.
+pub fn dropped_spans() -> u64 {
+    if !crate::ENABLED {
+        return 0;
+    }
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|b| b.dropped.load(Relaxed))
+        .sum()
+}
+
+/// Total records published across all threads (begin + end).
+pub fn recorded_events() -> u64 {
+    if !crate::ENABLED {
+        return 0;
+    }
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|b| b.written.load(Acquire) as u64)
+        .sum()
+}
+
+/// Render every collected span as a Chrome `trace_event` JSON document
+/// (the object form: `{"traceEvents": [...], ...}`), suitable for
+/// Perfetto / `chrome://tracing`. Timestamps are microseconds with
+/// nanosecond fractions, relative to [`arm`] time; `tid` is the internal
+/// per-thread buffer id (stable within a process).
+pub fn chrome_trace() -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    if crate::ENABLED {
+        let mut bufs: Vec<Arc<ThreadBuf>> = registry().lock().unwrap().clone();
+        bufs.sort_by_key(|b| b.tid);
+        for buf in &bufs {
+            let n = buf.written.load(Acquire).min(TRACE_CAP);
+            for i in 0..n {
+                // SAFETY: i < written (Acquire), so the slot write
+                // happened-before this read and is never overwritten.
+                let r = unsafe { *buf.slots[i].get() };
+                let mut obj = vec![
+                    ("name".into(), Json::str(r.name)),
+                    ("ph".into(), Json::str(if r.end { "E" } else { "B" })),
+                    ("ts".into(), Json::Num(r.ts_ns as f64 / 1000.0)),
+                    ("pid".into(), Json::u64(1)),
+                    ("tid".into(), Json::u64(buf.tid as u64)),
+                ];
+                if !r.end {
+                    obj.push((
+                        "args".into(),
+                        Json::Obj(vec![("arg".into(), Json::u64(r.arg))]),
+                    ));
+                }
+                events.push(Json::Obj(obj));
+            }
+        }
+    }
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::str("ms")),
+        (
+            "otherData".into(),
+            Json::Obj(vec![
+                ("schema".into(), Json::str("mf-telemetry/trace/v1")),
+                ("dropped_spans".into(), Json::u64(dropped_spans())),
+            ]),
+        ),
+    ])
+}
+
+/// Write [`chrome_trace`] to `path`, creating parent directories. With the
+/// feature disabled this writes a valid, empty trace.
+pub fn export_chrome(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace().render() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(feature = "telemetry")]
+    mod enabled {
+        use super::super::*;
+
+        /// Events for the given tid, in export order.
+        fn thread_events(doc: &Json, tid: u64) -> Vec<Json> {
+            doc.get("traceEvents")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .filter(|e| e.get("tid").unwrap().as_u64() == Some(tid))
+                .cloned()
+                .collect()
+        }
+
+        /// The tid that recorded `name` (panics if several did).
+        fn tid_of(doc: &Json, name: &str) -> u64 {
+            let tids: std::collections::BTreeSet<u64> = doc
+                .get("traceEvents")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .filter(|e| e.get("name").unwrap().as_str() == Some(name))
+                .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+                .collect();
+            assert_eq!(tids.len(), 1, "span {name} recorded on {tids:?}");
+            *tids.iter().next().unwrap()
+        }
+
+        /// Balanced B/E + per-thread monotone ts — the two invariants the
+        /// Chrome trace_event consumer needs.
+        fn assert_well_formed(doc: &Json, tid: u64) {
+            let evs = thread_events(doc, tid);
+            let mut depth: i64 = 0;
+            let mut last_ts = f64::NEG_INFINITY;
+            for e in &evs {
+                let ts = e.get("ts").unwrap().as_f64().unwrap();
+                assert!(ts >= last_ts, "ts not monotone on tid {tid}");
+                last_ts = ts;
+                match e.get("ph").unwrap().as_str().unwrap() {
+                    "B" => depth += 1,
+                    "E" => {
+                        depth -= 1;
+                        assert!(depth >= 0, "E without matching B on tid {tid}");
+                    }
+                    other => panic!("unexpected phase {other}"),
+                }
+            }
+            assert_eq!(depth, 0, "unbalanced B/E on tid {tid}");
+        }
+
+        #[test]
+        fn nested_spans_export_balanced_and_monotone() {
+            arm();
+            std::thread::spawn(|| {
+                let _outer = span("test.trace.outer", 7);
+                for i in 0..3u64 {
+                    let _inner = span("test.trace.inner", i);
+                    std::hint::black_box(i);
+                }
+            })
+            .join()
+            .unwrap();
+            let doc = chrome_trace();
+            let tid = tid_of(&doc, "test.trace.outer");
+            assert_well_formed(&doc, tid);
+            let evs = thread_events(&doc, tid);
+            assert_eq!(evs.len(), 8, "1 outer + 3 inner spans = 8 records");
+            // First record: outer begin, with its arg payload.
+            assert_eq!(
+                evs[0].get("name").unwrap().as_str(),
+                Some("test.trace.outer")
+            );
+            assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("B"));
+            assert_eq!(
+                evs[0].get("args").unwrap().get("arg").unwrap().as_u64(),
+                Some(7)
+            );
+            // Last record: outer end (inner spans close before it).
+            assert_eq!(
+                evs[7].get("name").unwrap().as_str(),
+                Some("test.trace.outer")
+            );
+            assert_eq!(evs[7].get("ph").unwrap().as_str(), Some("E"));
+        }
+
+        #[test]
+        fn overflow_drops_whole_spans_and_stays_balanced() {
+            arm();
+            let spans = TRACE_CAP; // 2x the record budget: must overflow
+            let dropped = std::thread::spawn(move || {
+                {
+                    let _outer = span("test.trace.flood_outer", 0);
+                    for i in 0..spans as u64 {
+                        let _s = span("test.trace.flood", i);
+                    }
+                }
+                LOCAL.with(|l| {
+                    assert_eq!(l.reserved.get(), 0, "all reservations released");
+                    l.buf.get().unwrap().dropped.load(Relaxed)
+                })
+            })
+            .join()
+            .unwrap();
+            assert!(dropped > 0, "flood must overflow the buffer");
+            let doc = chrome_trace();
+            let tid = tid_of(&doc, "test.trace.flood_outer");
+            assert_well_formed(&doc, tid);
+            // The buffer is full to (at most) capacity, yet still balanced.
+            assert!(thread_events(&doc, tid).len() <= TRACE_CAP);
+            assert!(dropped_spans() >= dropped);
+        }
+
+        #[test]
+        fn export_writes_parseable_file() {
+            arm();
+            {
+                let _s = span("test.trace.file", 1);
+            }
+            let path = std::env::temp_dir().join("mf-trace-test/trace.json");
+            export_chrome(&path).unwrap();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let doc = Json::parse(&text).unwrap();
+            assert!(doc.get("traceEvents").unwrap().as_arr().is_some());
+            assert_eq!(
+                doc.get("otherData")
+                    .unwrap()
+                    .get("schema")
+                    .unwrap()
+                    .as_str(),
+                Some("mf-telemetry/trace/v1")
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    mod disabled {
+        use super::super::*;
+
+        #[test]
+        fn tracing_is_inert() {
+            arm();
+            assert!(!armed());
+            {
+                let _s = span("test.trace.disabled", 9);
+            }
+            assert_eq!(recorded_events(), 0);
+            assert_eq!(dropped_spans(), 0);
+            let doc = chrome_trace();
+            assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+        }
+    }
+}
