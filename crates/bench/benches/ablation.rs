@@ -12,7 +12,10 @@
 //!    the default build and once with `--features telemetry` and diff the
 //!    `telemetry_overhead/*` numbers; the disabled build must be within
 //!    1–2% of a build where the probes were never written (the probes
-//!    const-fold to nothing, see `mf_telemetry::ENABLED`).
+//!    const-fold to nothing, see `mf_telemetry::ENABLED`);
+//! 8. persistent worker pool vs per-dispatch scoped spawn for the parallel
+//!    BLAS wrappers (`pool_dispatch`) — small-n dispatch latency is the
+//!    pool's whole reason to exist, large-n must not regress.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mf_baselines::qd::QuadDouble;
@@ -106,6 +109,47 @@ fn qd_add_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+fn pool_dispatch_ablation(c: &mut Criterion) {
+    use mf_bench::workloads::rand_f64s;
+    use mf_blas::parallel;
+    use mf_core::MultiFloat;
+    let mut g = c.benchmark_group("pool_dispatch");
+    let threads = 4;
+    // Size the pool like the dispatch unless the caller pinned it.
+    if std::env::var("MF_BLAS_THREADS").is_err() {
+        std::env::set_var("MF_BLAS_THREADS", threads.to_string());
+    }
+    // n=128: dispatch latency dominates (what the persistent pool
+    // amortizes). n=16384: kernel work dominates (the shared-cursor
+    // protocol must cost nothing). The `pardispatch` bin measures the same
+    // contrast through the history/trend pipeline.
+    for n in [128usize, 16384] {
+        let to_mf = MultiFloat::<f64, 2>::from;
+        let xs: Vec<_> = rand_f64s(1, n).into_iter().map(to_mf).collect();
+        let mut ys: Vec<_> = rand_f64s(2, n).into_iter().map(to_mf).collect();
+        let alpha = to_mf(1.000000321);
+        for mode in ["pool", "scoped"] {
+            std::env::set_var("MF_BLAS_POOL", if mode == "pool" { "on" } else { "off" });
+            g.bench_function(format!("axpy_N2_n{n}_{mode}"), |bch| {
+                bch.iter(|| {
+                    parallel::axpy(
+                        black_box(alpha),
+                        black_box(&xs),
+                        black_box(&mut ys),
+                        threads,
+                    );
+                    black_box(ys[0]);
+                })
+            });
+            g.bench_function(format!("dot_N2_n{n}_{mode}"), |bch| {
+                bch.iter(|| black_box(parallel::dot(black_box(&xs), black_box(&ys), threads)))
+            });
+        }
+    }
+    std::env::remove_var("MF_BLAS_POOL");
+    g.finish();
+}
+
 fn telemetry_overhead_ablation(c: &mut Criterion) {
     use mf_bench::workloads::rand_f64s;
     use mf_blas::kernels;
@@ -177,6 +221,6 @@ criterion_group!(
         .sample_size(30)
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_millis(500));
-    targets = eft_ablation, division_ablation, qd_add_ablation, kernel_form_ablation, simd_form_ablation, telemetry_overhead_ablation
+    targets = eft_ablation, division_ablation, qd_add_ablation, kernel_form_ablation, simd_form_ablation, pool_dispatch_ablation, telemetry_overhead_ablation
 );
 criterion_main!(benches);

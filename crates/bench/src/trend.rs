@@ -90,6 +90,10 @@ pub struct KernelTrend {
     pub noise: f64,
     /// `max(threshold, noise_mult * noise)`.
     pub effective_threshold: f64,
+    /// Pooled baseline samples for this kernel (0 = the baseline has never
+    /// measured it — e.g. a newly added per-variant kernel name — which the
+    /// gate reports as a data error with a refresh hint, not silence).
+    pub baseline_samples: usize,
     pub verdict: Verdict,
 }
 
@@ -204,6 +208,7 @@ pub fn analyze(
                 ci_hi: 0.0,
                 noise,
                 effective_threshold: eff,
+                baseline_samples: base.len(),
                 verdict: Verdict::Insufficient,
             });
             continue;
@@ -236,6 +241,7 @@ pub fn analyze(
             ci_hi,
             noise,
             effective_threshold: eff,
+            baseline_samples: base.len(),
             verdict,
         });
     }
@@ -272,7 +278,9 @@ const USAGE: &str =
 
 /// The `trend` binary's whole behavior, unit-testable: parse flags, load
 /// the baseline and the fresh history, print the table, and return the
-/// exit code (0 quiet, 1 regression, 2 usage/data error).
+/// exit code (0 quiet, 1 regression, 2 usage/data error — including
+/// current kernels the baseline has never measured, reported with the
+/// `scripts/refresh_baseline.sh` command that fixes it).
 pub fn run(args: &[String]) -> i32 {
     let mut cfg = TrendConfig::default();
     let mut history_path =
@@ -354,7 +362,29 @@ pub fn run_on_files(baseline_path: &Path, history_path: &Path, cfg: &TrendConfig
         .iter()
         .filter(|t| t.verdict == Verdict::Improvement)
         .count();
+    // Kernels the baseline has never measured (e.g. freshly added
+    // per-variant names like AXPY/128/mf/pool) make the gate blind to
+    // them; that is a data error (exit 2), not a quiet pass — but a
+    // confident regression elsewhere still takes precedence below.
+    let unbaselined: Vec<&KernelTrend> = trends
+        .iter()
+        .filter(|t| t.verdict == Verdict::Insufficient && t.baseline_samples == 0)
+        .collect();
     if regressions.is_empty() {
+        if !unbaselined.is_empty() {
+            println!(
+                "\n{} kernel(s) missing from the baseline:",
+                unbaselined.len()
+            );
+            for t in &unbaselined {
+                println!("  {}", t.name);
+            }
+            println!(
+                "refresh it with:\n  scripts/refresh_baseline.sh {}",
+                baseline_path.display()
+            );
+            return 2;
+        }
         println!(
             "\nno regressions ({} kernels, {} improved)",
             trends.len(),
@@ -477,6 +507,9 @@ mod tests {
         let current = vec![rec("bbbb", "NEW/kernel", 1.0)];
         let trends = analyze(&baseline, &current, &TrendConfig::default());
         assert_eq!(trends[0].verdict, Verdict::Insufficient);
+        // Distinguishable from "measured but too few samples": the gate
+        // turns this into exit 2 with a refresh hint.
+        assert_eq!(trends[0].baseline_samples, 0);
     }
 
     #[test]
@@ -507,6 +540,27 @@ mod tests {
             &[rec("aaaa", "AXPY/103", 2.0), rec("aaaa", "AXPY/103", 2.002)],
         );
         assert_eq!(run_on_files(&base_p, &hist_p, &cfg), 0);
+
+        // A fresh kernel the baseline never measured -> exit 2 (stale
+        // baseline is a data error, fixed by refreshing it).
+        write(
+            &hist_p,
+            &[
+                rec("aaaa", "AXPY/103", 2.0),
+                rec("aaaa", "AXPY/128/mf/pool", 3.0),
+            ],
+        );
+        assert_eq!(run_on_files(&base_p, &hist_p, &cfg), 2);
+
+        // ...but a confident regression still wins over the stale entry.
+        write(
+            &hist_p,
+            &[
+                rec("bbbb", "AXPY/103", 1.8),
+                rec("bbbb", "AXPY/128/mf/pool", 3.0),
+            ],
+        );
+        assert_eq!(run_on_files(&base_p, &hist_p, &cfg), 1);
 
         // Missing files -> exit 2.
         assert_eq!(run_on_files(&dir.join("nope.jsonl"), &hist_p, &cfg), 2);

@@ -23,14 +23,17 @@
 //! * [`mp`] — kernels over the limb-based `MpFloat` (the GMP/MPFR-class
 //!   baseline, with its allocation and branching costs included, as in the
 //!   real libraries);
-//! * [`parallel`] — chunked `std::thread::scope` wrappers (the paper runs
-//!   thread-per-core; this container has one core, so the harness reports
-//!   the max over serial/parallel — see DESIGN.md T7).
+//! * [`parallel`] — chunked thread-parallel wrappers running on the
+//!   persistent worker [`pool`] (or per-dispatch `std::thread::scope`
+//!   when `MF_BLAS_POOL=off`; the paper runs thread-per-core; this
+//!   container has one core, so the harness reports the max over
+//!   serial/parallel — see DESIGN.md T7).
 
 pub mod kernels;
 pub mod lanes;
 pub mod mp;
 pub mod parallel;
+pub mod pool;
 pub mod soa;
 
 use mf_baselines::campary::Expansion;

@@ -1,4 +1,4 @@
-//! Thread-parallel kernel wrappers (`std::thread::scope`, chunked rows).
+//! Thread-parallel kernel wrappers (chunked rows, pluggable executor).
 //!
 //! The paper runs every kernel in thread-per-physical-core and
 //! thread-per-logical-core configurations and reports the max. These
@@ -7,20 +7,36 @@
 //! EXPERIMENTS.md, substitution T7), but the implementations are real and
 //! scale on multi-core hosts.
 //!
+//! # Executors
+//!
+//! Chunks run on one of two executors, selected per dispatch (see
+//! [`dispatch_chunks`]):
+//!
+//! * the **persistent worker pool** ([`crate::pool`], the default) —
+//!   workers claim chunk indices from a shared atomic cursor, amortizing
+//!   thread creation across calls and rebalancing stragglers;
+//! * **scoped spawn** (`MF_BLAS_POOL=off`) — one fresh OS thread per
+//!   chunk via `std::thread::scope`, the original dispatch, kept
+//!   selectable for A/B ablations (`pardispatch` bin, `pool_dispatch`
+//!   criterion group).
+//!
 //! # Panic isolation
 //!
-//! Every worker runs its kernel under [`std::panic::catch_unwind`]. A
+//! Every chunk runs its kernel under [`std::panic::catch_unwind`]. A
 //! panicking chunk no longer poisons the whole call: mutating kernels
 //! snapshot their output chunk first and restore it on panic, and the
 //! dispatcher then *degrades* the failed chunks to the serial kernel on the
 //! calling thread (counted in `blas.parallel.degraded_*` telemetry). Only
 //! if the serial retry panics too does the panic propagate — and then with
 //! the kernel name and chunk range in the message instead of an opaque
-//! `join().unwrap()`.
+//! `join().unwrap()`. These semantics are identical on both executors:
+//! the chunk closure catches its own panics, so the pool never sees one.
 
 use crate::{kernels, Matrix, Scalar};
 use mf_telemetry::{trace, Counter, Histogram};
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 static PAR_DISPATCHES: Counter = Counter::new("blas.parallel.dispatches");
 static PAR_TASKS: Counter = Counter::new("blas.parallel.tasks");
@@ -101,6 +117,75 @@ fn describe_panic(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Disjoint mutable chunk access for a shared chunk closure. The executors
+/// hand out chunk *indices* (the pool's cursor decides at runtime which
+/// thread runs which chunk), so the output slice can't be pre-split with
+/// `split_at_mut` the way the scoped dispatch originally did. This wrapper
+/// shares the raw base pointer instead; every chunk index maps to an
+/// element range from [`chunk_ranges`], and those ranges never overlap, so
+/// no two concurrently live `slice` views alias.
+struct ChunkedMut<'a, S> {
+    ptr: *mut S,
+    len: usize,
+    _life: PhantomData<&'a mut [S]>,
+}
+
+// SAFETY: distinct chunk indices address disjoint element ranges (the only
+// way `slice` is used), so concurrent access from executor threads is
+// data-race-free for any `Send` scalar.
+unsafe impl<S: Send> Sync for ChunkedMut<'_, S> {}
+
+impl<'a, S> ChunkedMut<'a, S> {
+    fn new(data: &'a mut [S]) -> Self {
+        ChunkedMut {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _life: PhantomData,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `lo..hi` must be in bounds and disjoint from every other range with
+    /// a live view; each chunk index must be executed at most once per
+    /// dispatch (both executors guarantee this).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, lo: usize, hi: usize) -> &'a mut [S] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+/// Execute `task(ci)` for every chunk index in `0..nchunks` and return the
+/// sorted indices whose task reported failure. `task` must catch its own
+/// kernel panics and report them through the return value — both executors
+/// treat an unwinding task as a contract violation (the pool swallows it
+/// defensively; see `pool.task_panics`).
+fn dispatch_chunks(nchunks: usize, task: &(dyn Fn(usize) -> bool + Sync)) -> Vec<usize> {
+    let failed = Mutex::new(Vec::new());
+    let run = |ci: usize| {
+        if !task(ci) {
+            failed.lock().unwrap_or_else(|e| e.into_inner()).push(ci);
+        }
+    };
+    if crate::pool::enabled() {
+        crate::pool::run(nchunks, &run);
+    } else {
+        std::thread::scope(|s| {
+            for ci in 0..nchunks {
+                let run = &run;
+                s.spawn(move || run(ci));
+            }
+        });
+    }
+    let mut failed = failed.into_inner().unwrap_or_else(|e| e.into_inner());
+    // The pool's cursor hands chunks out in arbitrary thread order; sort
+    // so the degrade path reruns (and reduces) in deterministic chunk
+    // order on both executors.
+    failed.sort_unstable();
+    failed
+}
+
 /// Run a mutating kernel over `out` under panic isolation: on panic the
 /// chunk is restored from a pre-kernel snapshot (a panicking kernel may
 /// have partially written it) so the dispatcher can deterministically rerun
@@ -140,40 +225,27 @@ pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S], threads: usize) {
     let ranges = chunk_ranges(y.len(), threads);
     record_dispatch(&ranges);
     let _sp = trace::span("par.axpy", y.len() as u64);
-    let failed: Vec<(usize, usize)> = std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        let mut rest = &mut y[..];
-        let mut offset = 0;
-        for &(lo, hi) in &ranges {
-            let (head, tail) = rest.split_at_mut(hi - offset);
-            rest = tail;
-            let xs = &x[lo..hi];
-            handles.push((
-                s.spawn(move || {
-                    let _t = trace::span("par.axpy.chunk", (hi - lo) as u64);
-                    isolated(head, |out| kernels::axpy(alpha, xs, out))
-                }),
-                (lo, hi),
-            ));
-            offset = hi;
-        }
-        handles
-            .into_iter()
-            .filter_map(|(h, r)| match h.join() {
-                Ok(true) => None,
-                _ => Some(r),
-            })
-            .collect()
-    });
+    let failed = {
+        let out = ChunkedMut::new(y);
+        dispatch_chunks(ranges.len(), &|ci| {
+            let (lo, hi) = ranges[ci];
+            let _t = trace::span("par.axpy.chunk", (hi - lo) as u64);
+            // SAFETY: chunk ranges are disjoint and each index runs once.
+            let head = unsafe { out.slice(lo, hi) };
+            isolated(head, |out| kernels::axpy(alpha, &x[lo..hi], out))
+        })
+    };
     record_degraded(failed.len());
-    for (lo, hi) in failed {
+    for ci in failed {
+        let (lo, hi) = ranges[ci];
         degraded_rerun("axpy", lo, hi, || {
             kernels::axpy(alpha, &x[lo..hi], &mut y[lo..hi])
         });
     }
 }
 
-/// Parallel dot product (per-thread partials, then a serial reduce).
+/// Parallel dot product (per-chunk partials, then a serial reduce in chunk
+/// order).
 pub fn dot<S: Scalar>(x: &[S], y: &[S], threads: usize) -> S {
     assert_eq!(x.len(), y.len());
     if threads <= 1 {
@@ -182,35 +254,33 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S], threads: usize) -> S {
     let ranges = chunk_ranges(x.len(), threads);
     record_dispatch(&ranges);
     let _sp = trace::span("par.dot", x.len() as u64);
-    let partials: Vec<Result<S, (usize, usize)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(lo, hi)| {
-                let h = s.spawn(move || {
-                    let _t = trace::span("par.dot.chunk", (hi - lo) as u64);
-                    catch_unwind(AssertUnwindSafe(|| kernels::dot(&x[lo..hi], &y[lo..hi])))
-                });
-                (h, (lo, hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            // The worker catches its own panic; a join error would mean a
-            // panic outside catch_unwind and degrades the same way.
-            .map(|(h, r)| h.join().unwrap_or(Err(Box::new(()))).map_err(|_| r))
-            .collect()
-    });
-    let degraded = partials.iter().filter(|p| p.is_err()).count();
-    record_degraded(degraded);
-    let mut acc = S::s_zero();
-    for p in partials {
-        let term = match p {
-            Ok(t) => t,
-            Err((lo, hi)) => {
-                let mut out = S::s_zero();
-                degraded_rerun("dot", lo, hi, || out = kernels::dot(&x[lo..hi], &y[lo..hi]));
-                out
+    let mut partials = vec![S::s_zero(); ranges.len()];
+    let failed = {
+        let slots = ChunkedMut::new(&mut partials);
+        dispatch_chunks(ranges.len(), &|ci| {
+            let (lo, hi) = ranges[ci];
+            let _t = trace::span("par.dot.chunk", (hi - lo) as u64);
+            match catch_unwind(AssertUnwindSafe(|| kernels::dot(&x[lo..hi], &y[lo..hi]))) {
+                Ok(v) => {
+                    // SAFETY: slot ci is written only by the single
+                    // executor of chunk ci.
+                    let slot = unsafe { slots.slice(ci, ci + 1) };
+                    slot[0] = v;
+                    true
+                }
+                Err(_) => false,
             }
+        })
+    };
+    record_degraded(failed.len());
+    let mut acc = S::s_zero();
+    for (ci, &(lo, hi)) in ranges.iter().enumerate() {
+        let term = if failed.binary_search(&ci).is_ok() {
+            let mut out = S::s_zero();
+            degraded_rerun("dot", lo, hi, || out = kernels::dot(&x[lo..hi], &y[lo..hi]));
+            out
+        } else {
+            partials[ci]
         };
         acc = acc.s_add(term);
     }
@@ -250,32 +320,19 @@ pub fn gemv<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, y: &mut [S], t
     let ranges = chunk_ranges(a.rows, threads);
     record_dispatch(&ranges);
     let _sp = trace::span("par.gemv", a.rows as u64);
-    let failed: Vec<(usize, usize)> = std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        let mut rest = &mut y[..];
-        let mut offset = 0;
-        for &(lo, hi) in &ranges {
-            let (head, tail) = rest.split_at_mut(hi - offset);
-            rest = tail;
-            handles.push((
-                s.spawn(move || {
-                    let _t = trace::span("par.gemv.chunk", (hi - lo) as u64);
-                    isolated(head, |out| gemv_rows(alpha, a, x, beta, out, lo))
-                }),
-                (lo, hi),
-            ));
-            offset = hi;
-        }
-        handles
-            .into_iter()
-            .filter_map(|(h, r)| match h.join() {
-                Ok(true) => None,
-                _ => Some(r),
-            })
-            .collect()
-    });
+    let failed = {
+        let out = ChunkedMut::new(y);
+        dispatch_chunks(ranges.len(), &|ci| {
+            let (lo, hi) = ranges[ci];
+            let _t = trace::span("par.gemv.chunk", (hi - lo) as u64);
+            // SAFETY: chunk ranges are disjoint and each index runs once.
+            let head = unsafe { out.slice(lo, hi) };
+            isolated(head, |out| gemv_rows(alpha, a, x, beta, out, lo))
+        })
+    };
     record_degraded(failed.len());
-    for (lo, hi) in failed {
+    for ci in failed {
+        let (lo, hi) = ranges[ci];
         degraded_rerun("gemv", lo, hi, || {
             gemv_rows(alpha, a, x, beta, &mut y[lo..hi], lo)
         });
@@ -320,8 +377,8 @@ pub fn gemm<S: Scalar>(
     threads: usize,
 ) {
     // Validate shapes before any chunking: a mismatched `b.rows` would read
-    // wrong strides, and a short `c.data` would panic mid-`split_at_mut`
-    // with slices already handed to spawned threads.
+    // wrong strides, and a short `c.data` would hand out-of-bounds chunk
+    // ranges to the executor.
     assert_eq!(
         a.cols, b.rows,
         "gemm: A is {}x{} but B is {}x{}",
@@ -344,30 +401,20 @@ pub fn gemm<S: Scalar>(
     let ranges = chunk_ranges(a.rows, threads);
     record_dispatch(&ranges);
     let _sp = trace::span("par.gemm", a.rows as u64);
-    let failed: Vec<(usize, usize)> = std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        let mut rest = &mut c.data[..];
-        for &(lo, hi) in &ranges {
-            let (head, tail) = rest.split_at_mut((hi - lo) * n);
-            rest = tail;
-            handles.push((
-                s.spawn(move || {
-                    let _t = trace::span("par.gemm.chunk", (hi - lo) as u64);
-                    isolated(head, |out| gemm_rows(alpha, a, b, beta, out, lo, hi))
-                }),
-                (lo, hi),
-            ));
-        }
-        handles
-            .into_iter()
-            .filter_map(|(h, r)| match h.join() {
-                Ok(true) => None,
-                _ => Some(r),
-            })
-            .collect()
-    });
+    let failed = {
+        let out = ChunkedMut::new(&mut c.data);
+        dispatch_chunks(ranges.len(), &|ci| {
+            let (lo, hi) = ranges[ci];
+            let _t = trace::span("par.gemm.chunk", (hi - lo) as u64);
+            // SAFETY: row ranges are disjoint, so the element ranges
+            // lo*n..hi*n are too; each index runs once.
+            let head = unsafe { out.slice(lo * n, hi * n) };
+            isolated(head, |out| gemm_rows(alpha, a, b, beta, out, lo, hi))
+        })
+    };
     record_degraded(failed.len());
-    for (lo, hi) in failed {
+    for ci in failed {
+        let (lo, hi) = ranges[ci];
         degraded_rerun("gemm", lo, hi, || {
             gemm_rows(alpha, a, b, beta, &mut c.data[lo * n..hi * n], lo, hi)
         });
@@ -381,7 +428,6 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use std::sync::atomic::{AtomicI64, Ordering};
-    use std::sync::Mutex;
 
     #[test]
     fn parallel_matches_serial() {
@@ -413,6 +459,61 @@ mod tests {
             let d_ser = kernels::dot(&x, &y0).to_f64();
             assert!((d_par - d_ser).abs() <= 1e-25, "t={threads}");
         }
+    }
+
+    /// The scoped-spawn executor stays selectable (`MF_BLAS_POOL=off`) and
+    /// bit-identical to the pool path.
+    #[test]
+    fn scoped_mode_matches_serial() {
+        let _env = crate::pool::tests::env_lock();
+        std::env::set_var("MF_BLAS_POOL", "off");
+        let mut rng = SmallRng::seed_from_u64(932);
+        let n = 101;
+        let alpha = F64x2::from(-0.5);
+        let x: Vec<F64x2> = (0..n)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
+        let y0: Vec<F64x2> = (0..n)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut y_par = y0.clone();
+        axpy(alpha, &x, &mut y_par, 4);
+        let mut y_ser = y0.clone();
+        kernels::axpy(alpha, &x, &mut y_ser);
+        for i in 0..n {
+            assert_eq!(y_par[i].components(), y_ser[i].components(), "i={i}");
+        }
+        let d_par = dot(&x, &y0, 4).to_f64();
+        let d_ser = kernels::dot(&x, &y0).to_f64();
+        assert!((d_par - d_ser).abs() <= 1e-25);
+        std::env::remove_var("MF_BLAS_POOL");
+    }
+
+    /// Zero-length inputs dispatch a single empty chunk through both
+    /// executors without touching memory or hanging.
+    #[test]
+    fn zero_length_inputs() {
+        let _env = crate::pool::tests::env_lock();
+        for mode in ["on", "off"] {
+            std::env::set_var("MF_BLAS_POOL", mode);
+            let alpha = F64x2::from(2.0);
+            let x: Vec<F64x2> = Vec::new();
+            let mut y: Vec<F64x2> = Vec::new();
+            axpy(alpha, &x, &mut y, 4);
+            assert!(y.is_empty());
+            assert_eq!(dot(&x, &y, 4).to_f64(), 0.0);
+
+            // 0-row matrix: gemv/gemm over no rows.
+            let a = Matrix::from_fn(0, 3, |_, _| F64x2::from(1.0));
+            let xv = vec![F64x2::from(1.0); 3];
+            let mut yv: Vec<F64x2> = Vec::new();
+            gemv(alpha, &a, &xv, F64x2::from(0.0), &mut yv, 4);
+            let b = Matrix::from_fn(3, 2, |_, _| F64x2::from(1.0));
+            let mut c = Matrix::from_fn(0, 2, |_, _| F64x2::from(0.0));
+            gemm(alpha, &a, &b, F64x2::from(0.0), &mut c, 4);
+            assert!(c.data.is_empty());
+        }
+        std::env::remove_var("MF_BLAS_POOL");
     }
 
     #[test]
@@ -505,7 +606,9 @@ mod tests {
 
     #[test]
     fn default_threads_env_override() {
-        // Serialize against any other env-reading test via a dedicated var.
+        // The pool reads this variable on every dispatch; serialize with
+        // the pool tests that assert exact worker counts.
+        let _env = crate::pool::tests::env_lock();
         std::env::set_var("MF_BLAS_THREADS", "3");
         assert_eq!(default_threads(), 3);
         std::env::set_var("MF_BLAS_THREADS", " 12 ");
@@ -633,11 +736,16 @@ mod tests {
 
     /// Acceptance: a parallel GEMM dispatch shows one worker span per chunk
     /// in the exported Chrome trace, each on its own thread, wrapped by the
-    /// dispatch span on the calling thread.
+    /// dispatch span on the calling thread. Pinned to the scoped executor —
+    /// its thread-per-chunk shape is what "one chunk, one thread" asserts;
+    /// the pool's cursor legitimately lets one worker run several chunks
+    /// (see `pool_dispatch_traces_one_span_per_chunk` for that mode).
     #[cfg(feature = "telemetry")]
     #[test]
     fn parallel_gemm_traces_one_span_per_chunk() {
         use mf_telemetry::trace;
+        let _env = crate::pool::tests::env_lock();
+        std::env::set_var("MF_BLAS_POOL", "off");
         trace::arm();
         // 40 rows over 5 threads -> five chunks of exactly 8 rows; no other
         // test in this binary dispatches gemm with that chunk size, so the
@@ -648,6 +756,7 @@ mod tests {
         let b = Matrix::from_fn(k, n, |i, j| F64x2::from((i * n + j) as f64 * 0.25));
         let mut c = Matrix::from_fn(m, n, |_, _| F64x2::from(0.0));
         gemm(F64x2::from(1.0), &a, &b, F64x2::from(0.0), &mut c, 5);
+        std::env::remove_var("MF_BLAS_POOL");
 
         let doc = trace::chrome_trace();
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
@@ -676,6 +785,40 @@ mod tests {
             }),
             "dispatch span missing"
         );
+    }
+
+    /// Pool-mode sibling of the trace acceptance test: the pool preserves
+    /// one `par.*.chunk` span per chunk (whichever thread — worker or
+    /// helping caller — claims it emits the span).
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn pool_dispatch_traces_one_span_per_chunk() {
+        use mf_telemetry::trace;
+        let _env = crate::pool::tests::env_lock();
+        std::env::remove_var("MF_BLAS_POOL");
+        trace::arm();
+        // 36 rows over 4 threads -> four chunks of exactly 9 rows; no other
+        // test in this binary dispatches gemv with that chunk size.
+        let (m, k) = (36, 6);
+        let a = Matrix::from_fn(m, k, |i, j| F64x2::from((i + 2 * j) as f64 * 0.25));
+        let x: Vec<F64x2> = (0..k).map(|j| F64x2::from(j as f64 - 2.0)).collect();
+        let mut y = vec![F64x2::from(0.0); m];
+        gemv(F64x2::from(1.0), &a, &x, F64x2::from(0.0), &mut y, 4);
+
+        let doc = trace::chrome_trace();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let chunk_begins = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(|v| v.as_str()) == Some("par.gemv.chunk")
+                    && e.get("ph").and_then(|v| v.as_str()) == Some("B")
+                    && e.get("args")
+                        .and_then(|a| a.get("arg"))
+                        .and_then(|v| v.as_u64())
+                        == Some(9)
+            })
+            .count();
+        assert_eq!(chunk_begins, 4, "expected one chunk span per chunk");
     }
 
     #[test]

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Refresh the committed benchmark-trend baseline.
+#
+# Usage: scripts/refresh_baseline.sh [baseline.jsonl]
+#   (default: results/history/baseline.jsonl)
+#
+# Reruns the history-producing bench binaries (tables + pardispatch) twice
+# in quick mode against the given baseline file, replacing its contents.
+# Two same-revision passes are what gives the trend gate its noise floor;
+# all records carry git_rev "baseline" so fresh CI runs never pool with
+# them. Run this (and commit the result) whenever a bench binary grows new
+# per-variant kernel names — the trend gate exits 2 and prints this
+# command when the baseline is missing kernels the current run measured.
+#
+# Knobs (all optional): MF_BLAS_THREADS (pinned to 1 by default so the
+# kernel set matches the single-threaded CI gate), MF_PLATFORM_LABEL.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-results/history/baseline.jsonl}"
+mkdir -p "$(dirname "$BASELINE")"
+
+export MF_BENCH_QUICK=1
+export MF_GIT_REV=baseline
+export MF_HISTORY="$BASELINE"
+export MF_BLAS_THREADS="${MF_BLAS_THREADS:-1}"
+export MF_PLATFORM_LABEL="${MF_PLATFORM_LABEL:-baseline-container}"
+
+# Telemetry build: baseline records should carry the same feature set the
+# CI trend job measures with.
+cargo build --release -p mf-bench --features telemetry
+
+: > "$BASELINE"
+for pass in 1 2; do
+  echo "=== baseline pass $pass/2: tables ===" >&2
+  ./target/release/tables --manifest results/manifest_baseline_tables.json >/dev/null
+  echo "=== baseline pass $pass/2: pardispatch ===" >&2
+  ./target/release/pardispatch --manifest results/manifest_baseline_pardispatch.json >/dev/null
+done
+
+echo "wrote $(wc -l < "$BASELINE") record(s) to $BASELINE" >&2
+echo "now commit it: git add $BASELINE" >&2
