@@ -211,6 +211,40 @@ fn telemetry_overhead_ablation(c: &mut Criterion) {
                 black_box(ys[0]);
             })
         });
+        // Exposition-endpoint cost on the same workload. Armed = the TCP
+        // endpoint is bound but idle: the kernel path is untouched (probes
+        // already run; the endpoint only reads on scrape), so this must
+        // match the span-armed number. Scraped = a background client
+        // hammering /metrics as fast as it can while the kernel runs — the
+        // worst case for snapshot-lock contention on the probe registry.
+        let exporter = mf_telemetry::expose::serve("127.0.0.1:0").ok();
+        if let Some(addr) = exporter {
+            g.bench_function("axpy_N2_exporter_armed", |bch| {
+                bch.iter(|| {
+                    let _s = trace::span("ablation.axpy", n as u64);
+                    kernels::axpy(black_box(alpha), black_box(&xs), black_box(&mut ys));
+                    black_box(ys[0]);
+                })
+            });
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let scraper = {
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let _ = mf_telemetry::expose::scrape(&addr, "/metrics");
+                    }
+                })
+            };
+            g.bench_function("axpy_N2_exporter_scraped", |bch| {
+                bch.iter(|| {
+                    let _s = trace::span("ablation.axpy", n as u64);
+                    kernels::axpy(black_box(alpha), black_box(&xs), black_box(&mut ys));
+                    black_box(ys[0]);
+                })
+            });
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let _ = scraper.join();
+        }
     }
     g.finish();
 }

@@ -103,6 +103,7 @@ fn main() {
     }
     let trace = cli::trace_path(trace_flag);
     cli::trace_arm(&trace);
+    cli::metrics_init();
 
     println!("Differential conformance sweep: {cases} cases/class, seed {seed:#x}");
     println!(
@@ -184,7 +185,8 @@ fn main() {
     let manifest = RunManifest::collect("conformance", config, 0, started)
         .with_extra("cases_per_class", Json::u64(cases as u64))
         .with_extra("seed", Json::u64(seed))
-        .with_extra("divergences", Json::Obj(counts));
+        .with_extra("divergences", Json::Obj(counts))
+        .with_extra("registry", mf_telemetry::registry::snapshot_json());
     cli::write_manifest(&manifest, &manifest_path);
     history::record_wall_ms("conformance", started.elapsed().as_secs_f64() * 1e3);
     history::append_run("conformance", &history::platform_label());

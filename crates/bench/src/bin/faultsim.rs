@@ -304,6 +304,7 @@ fn main() {
     }
     let trace = cli::trace_path(trace_flag);
     cli::trace_arm(&trace);
+    cli::metrics_init();
 
     println!(
         "Fault-injection campaign: {cases} cases/net, {flips} bit flips + exhaustive dropout, \
@@ -375,7 +376,8 @@ fn main() {
             .with_extra("tol_bits", Json::u64(tol_bits as u64))
             .with_extra("per_net", Json::Obj(per_net))
             .with_extra("total", stats_json(&total))
-            .with_extra("guard_overhead", Json::Obj(overheads));
+            .with_extra("guard_overhead", Json::Obj(overheads))
+            .with_extra("registry", mf_telemetry::registry::snapshot_json());
     cli::write_manifest(&manifest, &manifest_path);
     history::record_wall_ms("faultsim", started.elapsed().as_secs_f64() * 1e3);
     history::append_run("faultsim", &history::platform_label());

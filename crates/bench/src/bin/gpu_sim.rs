@@ -203,6 +203,7 @@ fn main() {
 
     let trace = cli::trace_path(trace_flag);
     cli::trace_arm(&trace);
+    cli::metrics_init();
 
     let sizes = Sizes::from_env();
     let mut cells = Vec::new();

@@ -1,0 +1,211 @@
+//! `mfstat` — a `top`-style live view of a running mf process.
+//!
+//! Polls the Prometheus exposition endpoint a bench (or future `mf-serve`)
+//! process opened via `MF_METRICS_ADDR` (see `mf_telemetry::expose`) and
+//! renders counters with per-interval rates, pool utilization gauges, and
+//! per-section latency quantiles, refreshing in place.
+//!
+//! Usage:
+//!   mfstat <host:port> [--period <secs>] [--once] [--raw]
+//!
+//! `--period` defaults to the `MF_METRICS_PERIOD` environment variable,
+//! then to 2 seconds. `--once` prints a single snapshot and exits (useful
+//! in scripts and CI smoke tests); `--raw` dumps the exposition text
+//! verbatim instead of the rendered view.
+//!
+//! Example:
+//!   MF_METRICS_ADDR=127.0.0.1:9184 tables --quick &
+//!   mfstat 127.0.0.1:9184
+//!
+//! The view needs nothing but the text format, so it also works against
+//! any other Prometheus-compatible exporter.
+
+use mf_bench::{cli, promtext};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const USAGE: &str = "<host:port> [--period <secs>] [--once] [--raw]";
+
+fn scrape(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("send {addr}: {e}"))?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    Ok(text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(text))
+}
+
+/// Render one refresh of the live view. `prev` holds the previous scrape's
+/// counter values for the per-interval rate column.
+fn render(
+    doc: &promtext::Exposition,
+    prev: &BTreeMap<String, f64>,
+    period: f64,
+) -> (String, BTreeMap<String, f64>) {
+    let mut out = String::new();
+    let mut counters = BTreeMap::new();
+
+    // Gauges first: the "what is happening right now" block.
+    let gauges: Vec<_> = doc
+        .samples
+        .iter()
+        .filter(|s| doc.types.get(&s.name).map(String::as_str) == Some("gauge"))
+        .collect();
+    if !gauges.is_empty() {
+        out.push_str("gauges\n");
+        for g in &gauges {
+            out.push_str(&format!("  {:<40} {:>14}\n", g.name, g.value));
+        }
+    }
+
+    let counter_samples: Vec<_> = doc
+        .samples
+        .iter()
+        .filter(|s| doc.types.get(&s.name).map(String::as_str) == Some("counter"))
+        .collect();
+    if !counter_samples.is_empty() {
+        out.push_str("counters                                            total        per-sec\n");
+        for c in &counter_samples {
+            counters.insert(c.name.clone(), c.value);
+            let rate = prev
+                .get(&c.name)
+                .map(|p| (c.value - p).max(0.0) / period.max(1e-9));
+            match rate {
+                Some(r) => out.push_str(&format!("  {:<40} {:>14} {:>14.1}\n", c.name, c.value, r)),
+                None => out.push_str(&format!("  {:<40} {:>14} {:>14}\n", c.name, c.value, "-")),
+            }
+        }
+    }
+
+    // Sections: group the summary quantile samples by section label.
+    let mut sections: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for s in doc.family("mf_section_seconds") {
+        if let (Some(section), Some(q)) = (s.label("section"), s.label("quantile")) {
+            sections
+                .entry(section.to_string())
+                .or_default()
+                .insert(q.to_string(), s.value);
+        }
+    }
+    let counts: BTreeMap<&str, f64> = doc
+        .family("mf_section_seconds_count")
+        .iter()
+        .filter_map(|s| Some((s.label("section")?, s.value)))
+        .collect();
+    if !sections.is_empty() {
+        out.push_str(
+            "sections                                           calls     p50_ms     p90_ms     p99_ms\n",
+        );
+        for (name, qs) in &sections {
+            let ms = |q: &str| {
+                qs.get(q)
+                    .map(|v| format!("{:.4}", v * 1e3))
+                    .unwrap_or_else(|| "-".into())
+            };
+            out.push_str(&format!(
+                "  {:<46} {:>8} {:>10} {:>10} {:>10}\n",
+                name,
+                counts.get(name.as_str()).copied().unwrap_or(0.0),
+                ms("0.5"),
+                ms("0.9"),
+                ms("0.99"),
+            ));
+        }
+    }
+    (out, counters)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut addr: Option<String> = None;
+    let mut period: Option<f64> = None;
+    let mut once = false;
+    let mut raw = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--period" => {
+                let v = cli::flag_value(&args, i, "mfstat", USAGE);
+                period = match v.parse::<f64>() {
+                    Ok(p) if p > 0.0 => Some(p),
+                    _ => cli::usage_error("mfstat", USAGE, &format!("bad --period '{v}'")),
+                };
+                i += 2;
+            }
+            "--once" => {
+                once = true;
+                i += 1;
+            }
+            "--raw" => {
+                raw = true;
+                i += 1;
+            }
+            other if addr.is_none() && !other.starts_with('-') => {
+                addr = Some(other.to_string());
+                i += 1;
+            }
+            other => cli::usage_error("mfstat", USAGE, &format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(addr) = addr else {
+        cli::usage_error("mfstat", USAGE, "missing <host:port>");
+    };
+    let period = period
+        .or_else(|| {
+            std::env::var("MF_METRICS_PERIOD")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|p: &f64| *p > 0.0)
+        })
+        .unwrap_or(2.0);
+
+    let mut prev: BTreeMap<String, f64> = BTreeMap::new();
+    let mut failures = 0u32;
+    loop {
+        match scrape(&addr) {
+            Ok(text) => {
+                failures = 0;
+                if raw {
+                    print!("{text}");
+                } else {
+                    let doc = promtext::parse(&text);
+                    let (view, counters) = render(&doc, &prev, period);
+                    if !once {
+                        // ANSI clear + home: refresh in place, top-style.
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    println!("mfstat {addr}  (refresh {period}s, Ctrl-C to quit)\n");
+                    print!("{view}");
+                    prev = counters;
+                }
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("mfstat: {e}");
+                // In watch mode the target may simply have exited; give up
+                // after a few consecutive failures rather than spinning.
+                if once || failures >= 3 {
+                    std::process::exit(1);
+                }
+            }
+        }
+        if once {
+            return;
+        }
+        std::thread::sleep(Duration::from_secs_f64(period));
+    }
+}

@@ -25,7 +25,7 @@ use mf_blas::parallel;
 use mf_core::F64x2;
 use std::time::Instant;
 
-const USAGE: &str = "[--threads <n>] [--manifest <json>] [--trace <json>]";
+const USAGE: &str = "[--threads <n>] [--manifest <json>] [--trace <json>] [--profile <folded>]";
 const SIZES: [usize; 3] = [128, 1024, 16384];
 const MODES: [&str; 2] = ["scoped", "pool"];
 
@@ -74,6 +74,7 @@ fn main() {
     let mut threads = parallel::default_threads().max(2);
     let mut manifest_path = String::from("results/manifest_pardispatch.json");
     let mut trace_flag: Option<String> = None;
+    let mut profile_flag: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -97,11 +98,18 @@ fn main() {
                 trace_flag = Some(cli::flag_value(&args, i, "pardispatch", USAGE).to_string());
                 i += 2;
             }
+            "--profile" => {
+                profile_flag = Some(cli::flag_value(&args, i, "pardispatch", USAGE).to_string());
+                i += 2;
+            }
             other => cli::usage_error("pardispatch", USAGE, &format!("unknown argument '{other}'")),
         }
     }
     let trace = cli::trace_path(trace_flag);
     cli::trace_arm(&trace);
+    let profile = cli::profile_path(profile_flag);
+    cli::profile_arm(&profile);
+    cli::metrics_init();
 
     // Size the pool like the dispatch: MF_BLAS_THREADS wins if the caller
     // set it, otherwise match --threads so both executors use the same
@@ -173,4 +181,5 @@ fn main() {
     cli::write_manifest(&manifest, &manifest_path);
     history::append_run("pardispatch", &platform);
     cli::trace_finish(&trace);
+    cli::profile_finish(&profile);
 }

@@ -129,6 +129,12 @@ fn main() {
                 println!("    {name:<32} {v:>12}");
             }
         }
+        if !m.snapshot.gauges.is_empty() {
+            println!("  gauges (levels at manifest time):");
+            for (name, v) in &m.snapshot.gauges {
+                println!("    {name:<32} {v:>12}");
+            }
+        }
         for h in &m.snapshot.histograms {
             if h.count == 0 {
                 continue;
@@ -149,6 +155,20 @@ fn main() {
                 m.snapshot.dropped_events
             );
         }
+    }
+
+    // Fleet view: merge every manifest's per-section latency sketches into
+    // one distribution per section (sketches merge losslessly — see
+    // mf_bench::digest), so cross-run p50/p90/p99 needs no eyeballing.
+    let merged_sections = mf_bench::digest::merge_sections(
+        &manifests.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>(),
+    );
+    if !merged_sections.is_empty() {
+        println!(
+            "\nMerged section latency across {} manifest(s):",
+            manifests.len()
+        );
+        print!("{}", mf_bench::digest::render(&merged_sections));
     }
 
     // Dropped events mean the digest above is *incomplete*: the buffer

@@ -36,7 +36,7 @@ const KERNELS: [&str; 4] = ["AXPY", "DOT", "GEMV", "GEMM"];
 const BITS: [u32; 4] = [53, 103, 156, 208];
 
 const USAGE: &str =
-    "[--config wide|narrow] [--label <text>] [--out <json>] [--manifest <json>] [--trace <json>]";
+    "[--config wide|narrow] [--label <text>] [--out <json>] [--manifest <json>] [--trace <json>] [--profile <folded>]";
 
 static SEC_MULTIFLOATS: Section = Section::new("tables.multifloats");
 static SEC_MPSOFT: Section = Section::new("tables.mpsoft");
@@ -294,6 +294,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut manifest_path = String::from("results/manifest_tables.json");
     let mut trace_flag: Option<String> = None;
+    let mut profile_flag: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -324,11 +325,18 @@ fn main() {
                 trace_flag = Some(cli::flag_value(&args, i, "tables", USAGE).to_string());
                 i += 2;
             }
+            "--profile" => {
+                profile_flag = Some(cli::flag_value(&args, i, "tables", USAGE).to_string());
+                i += 2;
+            }
             other => cli::usage_error("tables", USAGE, &format!("unknown argument '{other}'")),
         }
     }
     let trace = cli::trace_path(trace_flag);
     cli::trace_arm(&trace);
+    let profile = cli::profile_path(profile_flag);
+    cli::profile_arm(&profile);
+    cli::metrics_init();
     let label = label.unwrap_or_else(|| {
         format!(
             "{} ({}, {} threads)",
@@ -445,4 +453,5 @@ fn main() {
     cli::write_manifest(&manifest, &manifest_path);
     history::append_run("tables", &run.platform);
     cli::trace_finish(&trace);
+    cli::profile_finish(&profile);
 }

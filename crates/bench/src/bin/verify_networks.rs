@@ -64,6 +64,7 @@ fn main() {
 
     let trace = cli::trace_path(trace_flag);
     cli::trace_arm(&trace);
+    cli::metrics_init();
 
     println!("Empirical FPAN verification ({trials} adversarial trials per network)");
     println!(

@@ -1,0 +1,171 @@
+//! Cross-manifest section digest: merge the per-section latency sketches of
+//! many run manifests into one distribution per section name.
+//!
+//! Each manifest already carries per-call latency sketches (count/min/max +
+//! log2 buckets) per instrumented section; the sketches are mergeable by
+//! construction (buckets add, min/max combine — see
+//! `mf_telemetry::SketchSnapshot::merge`), so the `report` binary can show
+//! fleet-wide p50/p90/p99 per section across everything under `results/`
+//! instead of making the reader eyeball one manifest at a time.
+
+use mf_telemetry::manifest::RunManifest;
+use mf_telemetry::SketchSnapshot;
+
+/// One section's merged statistics across a set of manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionDigest {
+    pub name: String,
+    /// Manifests that contained this section.
+    pub runs: usize,
+    /// Summed cumulative wall time across runs.
+    pub total_ns: u64,
+    /// Merged per-call latency sketch (empty if no run carried sketch data,
+    /// e.g. pre-sketch manifests).
+    pub sketch: SketchSnapshot,
+}
+
+/// Merge every section across `manifests`, sorted by name.
+pub fn merge_sections(manifests: &[RunManifest]) -> Vec<SectionDigest> {
+    let mut merged: Vec<SectionDigest> = Vec::new();
+    for m in manifests {
+        for s in &m.snapshot.sections {
+            let entry = match merged.iter_mut().find(|d| d.name == s.name) {
+                Some(d) => d,
+                None => {
+                    merged.push(SectionDigest {
+                        name: s.name.clone(),
+                        runs: 0,
+                        total_ns: 0,
+                        sketch: SketchSnapshot::default(),
+                    });
+                    merged.last_mut().unwrap()
+                }
+            };
+            entry.runs += 1;
+            entry.total_ns = entry.total_ns.saturating_add(s.total_ns);
+            entry.sketch.merge(&s.sketch);
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    merged
+}
+
+/// Render the merged digest as an aligned table (ms-scale quantiles).
+pub fn render(digests: &[SectionDigest]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>5} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
+        "section", "runs", "calls", "total_ms", "p50_ms", "p90_ms", "p99_ms"
+    ));
+    for d in digests {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        if d.sketch.count == 0 {
+            out.push_str(&format!(
+                "{:<34} {:>5} {:>10} {:>12.3} {:>10} {:>10} {:>10}\n",
+                d.name,
+                d.runs,
+                "-",
+                ms(d.total_ns),
+                "-",
+                "-",
+                "-"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<34} {:>5} {:>10} {:>12.3} {:>10.4} {:>10.4} {:>10.4}\n",
+                d.name,
+                d.runs,
+                d.sketch.count,
+                ms(d.total_ns),
+                ms(d.sketch.p50()),
+                ms(d.sketch.p90()),
+                ms(d.sketch.p99()),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_telemetry::json::Json;
+    use mf_telemetry::manifest::Platform;
+    use mf_telemetry::{SectionSnapshot, Snapshot};
+
+    /// A fixture manifest with the given per-section samples, exercised
+    /// through the real JSON round trip so the test covers what `report`
+    /// actually reads off disk.
+    fn fixture(sections: &[(&str, &[u64])]) -> RunManifest {
+        let m = RunManifest {
+            tool: "fixture".into(),
+            config: "default".into(),
+            telemetry_enabled: true,
+            platform: Platform::detect(),
+            threads: 1,
+            unix_time: 0,
+            wall_ms: 1.0,
+            snapshot: Snapshot {
+                sections: sections
+                    .iter()
+                    .map(|(name, samples)| SectionSnapshot {
+                        name: (*name).into(),
+                        total_ns: samples.iter().sum(),
+                        count: samples.len() as u64,
+                        sketch: SketchSnapshot::from_samples(samples.iter().copied()),
+                    })
+                    .collect(),
+                ..Snapshot::default()
+            },
+            extra: Vec::new(),
+        };
+        let text = m.to_json().render_pretty();
+        RunManifest::from_json(&Json::parse(&text).unwrap()).unwrap()
+    }
+
+    /// Satellite: merged per-section p50/p90/p99 across fixture manifests.
+    #[test]
+    fn merges_sections_across_manifests() {
+        let a = fixture(&[
+            ("bench.axpy", &[1_000, 2_000, 4_000]),
+            ("pool.queue_wait", &[100]),
+        ]);
+        let b = fixture(&[("bench.axpy", &[1_000_000])]);
+        let merged = merge_sections(&[a, b]);
+        assert_eq!(merged.len(), 2);
+
+        let axpy = &merged[0];
+        assert_eq!(axpy.name, "bench.axpy");
+        assert_eq!(axpy.runs, 2);
+        assert_eq!(axpy.sketch.count, 4);
+        assert_eq!(axpy.total_ns, 7_000 + 1_000_000);
+        // Identical to sketching the union of samples directly.
+        let direct = SketchSnapshot::from_samples([1_000u64, 2_000, 4_000, 1_000_000]);
+        assert_eq!(axpy.sketch, direct);
+        assert_eq!(axpy.sketch.p50(), direct.p50());
+        assert_eq!(axpy.sketch.p99(), direct.p99());
+        // p99 walks into the top sample's bucket, tightened by exact max.
+        assert_eq!(axpy.sketch.p99(), 1_000_000);
+
+        let qw = &merged[1];
+        assert_eq!((qw.runs, qw.sketch.count), (1, 1));
+
+        let table = render(&merged);
+        assert!(table.contains("bench.axpy"));
+        assert!(table.contains("p99_ms"));
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per section");
+    }
+
+    #[test]
+    fn sections_without_sketches_render_dashes() {
+        let mut m = fixture(&[("old.section", &[5_000])]);
+        // Simulate a pre-sketch manifest: count present, sketch empty.
+        m.snapshot.sections[0].sketch = SketchSnapshot::default();
+        let merged = merge_sections(&[m]);
+        assert_eq!(merged[0].sketch.count, 0);
+        let table = render(&merged);
+        assert!(table.contains("old.section"));
+        assert!(table.lines().nth(1).unwrap().contains('-'));
+    }
+}

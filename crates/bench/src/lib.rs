@@ -31,7 +31,9 @@ use mf_telemetry::json::Json;
 use std::hint::black_box;
 use std::time::Instant;
 
+pub mod digest;
 pub mod history;
+pub mod promtext;
 pub mod trend;
 pub mod workloads;
 
@@ -309,6 +311,58 @@ pub mod cli {
             return;
         }
         mf_telemetry::trace::arm();
+    }
+
+    /// Start the live metrics endpoint when `MF_METRICS_ADDR` is set (see
+    /// `mf_telemetry::expose`). Call once, early, from every bench binary:
+    /// a no-op without the env var or without the `telemetry` feature
+    /// (with a one-line warning for the latter so a silent scrape failure
+    /// is explainable).
+    pub fn metrics_init() {
+        let requested = std::env::var("MF_METRICS_ADDR")
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
+        if requested && !mf_telemetry::ENABLED {
+            eprintln!("warning: MF_METRICS_ADDR set but this binary was built without --features telemetry; no metrics endpoint will be served");
+            return;
+        }
+        mf_telemetry::expose::serve_from_env();
+    }
+
+    /// Resolve the self-profile output path: an explicit `--profile` value
+    /// wins, otherwise the `MF_PROFILE` environment variable.
+    pub fn profile_path(flag: Option<String>) -> Option<String> {
+        flag.or_else(|| std::env::var("MF_PROFILE").ok().filter(|s| !s.is_empty()))
+    }
+
+    /// Arm span collection when a self-profile was requested (the profiler
+    /// folds the same ring buffers tracing fills).
+    pub fn profile_arm(path: &Option<String>) {
+        if path.is_none() {
+            return;
+        }
+        if !mf_telemetry::ENABLED {
+            eprintln!("warning: profiling requested but this binary was built without --features telemetry; no profile will be written");
+            return;
+        }
+        mf_telemetry::trace::arm();
+    }
+
+    /// Export the span-derived self-profile as flamegraph folded stacks
+    /// (`path;to;span <self_ns>` per line — feed to flamegraph.pl /
+    /// inferno-flamegraph / speedscope).
+    pub fn profile_finish(path: &Option<String>) {
+        let Some(p) = path else { return };
+        if !mf_telemetry::ENABLED {
+            return; // profile_arm already warned
+        }
+        match mf_telemetry::profile::export_folded(std::path::Path::new(p)) {
+            Ok(()) => eprintln!(
+                "wrote {p} ({} span paths)",
+                mf_telemetry::profile::aggregate().len()
+            ),
+            Err(e) => eprintln!("warning: could not write profile {p}: {e}"),
+        }
     }
 
     /// Export the collected spans as Chrome `trace_event` JSON (load in

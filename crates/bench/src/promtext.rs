@@ -1,0 +1,244 @@
+//! Minimal parser for the Prometheus text exposition format v0.0.4 — the
+//! consumer half of `mf_telemetry::expose`, used by the `mfstat` live view.
+//!
+//! Scope: exactly what our own exporter emits (and what real exporters
+//! commonly produce) — `# TYPE` comments, samples of the form
+//! `name{label="value",...} value`, label values with `\\`, `\"`, and `\n`
+//! escapes. Unparseable lines are skipped, not fatal: a live view must
+//! survive a half-written scrape.
+
+use std::collections::BTreeMap;
+
+/// One sample line: metric name, labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition document: samples in input order plus the declared
+/// `# TYPE` of each metric family.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    pub samples: Vec<Sample>,
+    pub types: BTreeMap<String, String>,
+}
+
+impl Exposition {
+    /// First sample with this exact metric name (ignoring labels).
+    pub fn get(&self, name: &str) -> Option<&Sample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// Value of the first sample with this exact metric name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.get(name).map(|s| s.value)
+    }
+
+    /// All samples of one metric family (exact name match).
+    pub fn family(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+/// Unescape a label value: `\\` → `\`, `\"` → `"`, `\n` → newline.
+fn unescape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Parse the `{label="value",...}` block starting after `{`. Returns the
+/// labels and the byte offset one past the closing `}`, or `None` on a
+/// malformed block.
+fn parse_labels(s: &str) -> Option<(Vec<(String, String)>, usize)> {
+    let bytes = s.as_bytes();
+    let mut labels = Vec::new();
+    let mut i = 0;
+    loop {
+        while i < bytes.len() && (bytes[i] == b',' || bytes[i] == b' ') {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'}' {
+            return Some((labels, i + 1));
+        }
+        let eq = s[i..].find('=')? + i;
+        let key = s[i..eq].trim().to_string();
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return None;
+        }
+        // Scan the quoted value, honoring backslash escapes.
+        let mut j = eq + 2;
+        let mut raw = String::new();
+        loop {
+            let c = *bytes.get(j)?;
+            if c == b'\\' {
+                raw.push('\\');
+                raw.push(*bytes.get(j + 1)? as char);
+                j += 2;
+            } else if c == b'"' {
+                j += 1;
+                break;
+            } else {
+                // The exposition format never puts raw multi-byte UTF-8 in
+                // an escape position, so byte-wise scanning is safe; slice
+                // the original str to keep non-ASCII values intact.
+                let start = j;
+                while j < bytes.len() && bytes[j] != b'"' && bytes[j] != b'\\' {
+                    j += 1;
+                }
+                raw.push_str(&s[start..j]);
+                continue;
+            }
+        }
+        labels.push((key, unescape(&raw)));
+        i = j;
+    }
+}
+
+/// Parse a full exposition document. Malformed lines are skipped.
+pub fn parse(text: &str) -> Exposition {
+    let mut doc = Exposition::default();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            if let (Some(name), Some(ty)) = (parts.next(), parts.next()) {
+                doc.types.insert(name.to_string(), ty.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some(sample) = parse_sample(line) else {
+            continue;
+        };
+        doc.samples.push(sample);
+    }
+    doc
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    let (name, labels, rest) = match line.find('{') {
+        Some(brace) => {
+            let (labels, used) = parse_labels(&line[brace + 1..])?;
+            (line[..brace].to_string(), labels, &line[brace + 1 + used..])
+        }
+        None => {
+            let sp = line.find(' ')?;
+            (line[..sp].to_string(), Vec::new(), &line[sp..])
+        }
+    };
+    if name.is_empty() {
+        return None;
+    }
+    // `rest` is ` value [timestamp]`; we take the first token as the value.
+    let mut parts = rest.split_whitespace();
+    let value = match parts.next()? {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse().ok()?,
+    };
+    Some(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_labeled_samples() {
+        let doc = parse(
+            "# HELP mf_pool_jobs_total Telemetry counter pool.jobs\n\
+             # TYPE mf_pool_jobs_total counter\n\
+             mf_pool_jobs_total 42\n\
+             # TYPE mf_section_seconds summary\n\
+             mf_section_seconds{section=\"pool.queue_wait\",quantile=\"0.5\"} 1.5e-06\n\
+             mf_section_seconds_count{section=\"pool.queue_wait\"} 3\n\
+             mf_values_bucket{name=\"h\",le=\"+Inf\"} 7\n",
+        );
+        assert_eq!(doc.value("mf_pool_jobs_total"), Some(42.0));
+        assert_eq!(doc.types.get("mf_pool_jobs_total").unwrap(), "counter");
+        let q = doc.get("mf_section_seconds").unwrap();
+        assert_eq!(q.label("section"), Some("pool.queue_wait"));
+        assert_eq!(q.label("quantile"), Some("0.5"));
+        assert!((q.value - 1.5e-6).abs() < 1e-15);
+        let inf = doc.get("mf_values_bucket").unwrap();
+        assert_eq!(inf.label("le"), Some("+Inf"));
+        assert_eq!(inf.value, 7.0);
+    }
+
+    #[test]
+    fn unescapes_label_values() {
+        let doc = parse(r#"m{v="a\\b\"c\nd"} 1"#);
+        assert_eq!(doc.get("m").unwrap().label("v"), Some("a\\b\"c\nd"));
+    }
+
+    #[test]
+    fn round_trips_exporter_output() {
+        use mf_telemetry::{SectionSnapshot, SketchSnapshot, Snapshot};
+        let snap = Snapshot {
+            counters: vec![("pool.jobs".into(), 9)],
+            gauges: vec![("pool.queue_depth".into(), -1)],
+            sections: vec![SectionSnapshot {
+                name: "we\\ird\"name\nx".into(),
+                total_ns: 100,
+                count: 1,
+                sketch: SketchSnapshot::from_samples([100u64]),
+            }],
+            ..Snapshot::default()
+        };
+        let doc = parse(&mf_telemetry::expose::render(&snap));
+        assert_eq!(doc.value("mf_pool_jobs_total"), Some(9.0));
+        assert_eq!(doc.value("mf_pool_queue_depth"), Some(-1.0));
+        // The escaped label value parses back to the original name.
+        let s = doc.get("mf_section_seconds_count").unwrap();
+        assert_eq!(s.label("section"), Some("we\\ird\"name\nx"));
+        assert_eq!(s.value, 1.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let doc = parse("nonsense\nm 1\nbroken{x=\"unterminated 2\nm2{} 3\n");
+        assert_eq!(doc.value("m"), Some(1.0));
+        assert_eq!(doc.value("m2"), Some(3.0));
+        assert!(doc.get("broken").is_none());
+        assert_eq!(doc.samples.len(), 2);
+    }
+}

@@ -42,9 +42,13 @@
 //! Telemetry (feature-gated, no-ops otherwise): `pool.jobs` counts
 //! dispatches through the pool, `pool.park`/`pool.unpark` count worker
 //! sleep/wake transitions, and the `pool.queue_wait` section sketches the
-//! latency from job publication to its first claimed chunk.
+//! latency from job publication to its first claimed chunk. Live gauges for
+//! the observability hub: `pool.queue_depth` (jobs with unclaimed chunks),
+//! `pool.workers_live` (spawned and not retired), `pool.workers_busy`
+//! (currently executing chunks), `pool.jobs_inflight` (dispatches between
+//! publication and completion, nested dispatches included).
 
-use mf_telemetry::{Counter, Section};
+use mf_telemetry::{Counter, Gauge, Section};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
@@ -56,6 +60,10 @@ static POOL_PARK: Counter = Counter::new("pool.park");
 static POOL_UNPARK: Counter = Counter::new("pool.unpark");
 static POOL_TASK_PANICS: Counter = Counter::new("pool.task_panics");
 static POOL_QUEUE_WAIT: Section = Section::new("pool.queue_wait");
+static POOL_QUEUE_DEPTH: Gauge = Gauge::new("pool.queue_depth");
+static POOL_WORKERS_LIVE: Gauge = Gauge::new("pool.workers_live");
+static POOL_WORKERS_BUSY: Gauge = Gauge::new("pool.workers_busy");
+static POOL_JOBS_INFLIGHT: Gauge = Gauge::new("pool.jobs_inflight");
 
 /// Whether the pool path is selected: `MF_BLAS_POOL` unset or anything
 /// but `off`/`0` uses the pool; `off` (or `0`) restores the scoped-spawn
@@ -194,6 +202,7 @@ fn reconfigure(st: &mut MutexGuard<'_, State>) {
     }
     // Shrinking: workers observe `workers > target` when they next hold
     // the lock and retire themselves (see worker_loop).
+    POOL_WORKERS_LIVE.set(st.workers as i64);
 }
 
 fn worker_loop() {
@@ -203,6 +212,7 @@ fn worker_loop() {
             loop {
                 if st.shutdown || st.workers > st.target {
                     st.workers -= 1;
+                    POOL_WORKERS_LIVE.set(st.workers as i64);
                     pool().exited.notify_all();
                     return;
                 }
@@ -216,6 +226,7 @@ fn worker_loop() {
                         break;
                     }
                 }
+                POOL_QUEUE_DEPTH.set(st.queue.len() as i64);
                 if let Some(j) = st.queue.front() {
                     break Arc::clone(j);
                 }
@@ -224,7 +235,9 @@ fn worker_loop() {
                 POOL_UNPARK.incr();
             }
         };
+        POOL_WORKERS_BUSY.incr();
         job.execute();
+        POOL_WORKERS_BUSY.decr();
     }
 }
 
@@ -250,14 +263,17 @@ pub(crate) fn run(nchunks: usize, task: &(dyn Fn(usize) + Sync)) {
         claimed: AtomicBool::new(false),
         enqueued: Instant::now(),
     });
+    POOL_JOBS_INFLIGHT.incr();
     {
         let mut st = lock_state();
         reconfigure(&mut st);
         st.queue.push_back(Arc::clone(&job));
+        POOL_QUEUE_DEPTH.set(st.queue.len() as i64);
     }
     pool().work.notify_all();
     job.execute();
     job.wait();
+    POOL_JOBS_INFLIGHT.decr();
 }
 
 /// Live pool workers (0 before the first dispatch or after [`shutdown`]).

@@ -47,11 +47,36 @@ static GUARD_POST_DETECTED: Counter = Counter::new("core.guard.post_detected");
 static GUARD_RESCALE_RETRIES: Counter = Counter::new("core.guard.rescale_retries");
 static GUARD_RESCALE_RECOVERED: Counter = Counter::new("core.guard.rescale_recovered");
 static GUARD_ORACLE_FALLBACKS: Counter = Counter::new("core.guard.oracle_fallbacks");
+// Per-flag and per-policy trip breakdown for the live observability hub:
+// scraping two snapshots and dividing the counter deltas by the
+// `core.guard.checks` delta gives trip/recovery *rates* by flag and policy.
+static GUARD_FLAG_PRE_RANGE: Counter = Counter::new("core.guard.flag.pre_range");
+static GUARD_FLAG_POST_NONFINITE: Counter = Counter::new("core.guard.flag.post_nonfinite");
+static GUARD_FLAG_POST_NONCANONICAL: Counter = Counter::new("core.guard.flag.post_noncanonical");
+static GUARD_FAST_ONLY_TRIPS: Counter = Counter::new("core.guard.trips.fast_only");
 
 #[inline]
 fn record(c: &'static Counter) {
     if mf_telemetry::ENABLED {
         c.incr();
+    }
+}
+
+/// Per-flag trip accounting: one increment per guarded operation per flag
+/// raised (final flag set, recovery outcomes included).
+#[inline]
+fn record_flags(flags: GuardFlags) {
+    if !mf_telemetry::ENABLED || !flags.any() {
+        return;
+    }
+    if flags.contains(GuardFlags::PRE_RANGE) {
+        GUARD_FLAG_PRE_RANGE.incr();
+    }
+    if flags.contains(GuardFlags::POST_NONFINITE) {
+        GUARD_FLAG_POST_NONFINITE.incr();
+    }
+    if flags.contains(GuardFlags::POST_NONCANONICAL) {
+        GUARD_FLAG_POST_NONCANONICAL.incr();
     }
 }
 
@@ -420,6 +445,13 @@ impl<T: GuardBase, const N: usize> MultiFloat<T, N> {
                 {
                     record(&GUARD_POST_DETECTED);
                 }
+                record_flags(flags);
+                if flags.any() {
+                    // A detection shipped unrecovered: the FastOnly trip
+                    // rate is the live signal that a workload needs a
+                    // recovery policy.
+                    record(&GUARD_FAST_ONLY_TRIPS);
+                }
             }
             return Guarded {
                 value: r,
@@ -486,6 +518,7 @@ impl<T: GuardBase, const N: usize> MultiFloat<T, N> {
                 if !post.any() {
                     record(&GUARD_RESCALE_RECOVERED);
                 }
+                record_flags(flags);
                 Guarded {
                     value: r,
                     path: GuardPath::Rescaled,
@@ -494,6 +527,7 @@ impl<T: GuardBase, const N: usize> MultiFloat<T, N> {
             }
             GuardPolicy::OracleFallback => {
                 record(&GUARD_ORACLE_FALLBACKS);
+                record_flags(flags);
                 Guarded {
                     value: oracle(),
                     path: GuardPath::Oracle,

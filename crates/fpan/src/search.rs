@@ -15,19 +15,28 @@
 
 use crate::verify::{self, Config as VerifyConfig};
 use crate::{Fpan, Gate, GateKind};
-use mf_telemetry::Counter;
+use mf_telemetry::{Counter, Gauge};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 static SEARCH_ITERS: Counter = Counter::new("fpan.search.iters");
 static SEARCH_ACCEPTED: Counter = Counter::new("fpan.search.accepted");
 static SEARCH_IMPROVEMENTS: Counter = Counter::new("fpan.search.improvements");
+// Live levels for the observability hub: the current round and the best
+// candidate's cost (size + depth/4, scaled by 100 to keep it integral) let
+// a scraper watch a long anneal converge without waiting for the manifest.
+static SEARCH_ROUND: Gauge = Gauge::new("fpan.search.round");
+static SEARCH_BEST_SIZE: Gauge = Gauge::new("fpan.search.best_size");
+static SEARCH_BEST_COST: Gauge = Gauge::new("fpan.search.best_cost_x100");
 
 /// Emit a `search.progress` telemetry event for a new best candidate.
 /// (Run with `MF_TELEMETRY_LOG=1` to stream these to stderr live; they
 /// also land in the run manifest's event list.)
 fn report_progress(phase: &str, iter: usize, best: &Fpan, temperature: f64) {
     SEARCH_IMPROVEMENTS.incr();
+    SEARCH_BEST_SIZE.set(best.size() as i64);
+    // cost = size + depth/4, so cost*100 = 100*size + 25*depth exactly.
+    SEARCH_BEST_COST.set(100 * best.size() as i64 + 25 * best.depth() as i64);
     mf_telemetry::event(
         "search.progress",
         &[
@@ -150,6 +159,7 @@ pub fn search_addition(cfg: SearchConfig) -> (Fpan, bool) {
         }
         let _round = mf_telemetry::trace::span("fpan.grow.round", iter as u64);
         SEARCH_ITERS.incr();
+        SEARCH_ROUND.set(iter as i64);
         let mut cand = current.clone();
         let hi = rng.gen_range(0..cand.n_wires);
         let mut lo = rng.gen_range(0..cand.n_wires);
@@ -195,6 +205,7 @@ pub fn search_addition(cfg: SearchConfig) -> (Fpan, bool) {
     for iter in 0..cfg.iters {
         let _round = mf_telemetry::trace::span("fpan.anneal.round", iter as u64);
         SEARCH_ITERS.incr();
+        SEARCH_ROUND.set(iter as i64);
         // Exponential cooling from 4.0 down to 0.05.
         let t = 4.0 * (0.05f64 / 4.0).powf(iter as f64 / cfg.iters.max(1) as f64);
         let cand = mutate(&current, &mut rng);
@@ -286,6 +297,7 @@ pub fn search_multiplication(cfg: SearchConfig) -> (Fpan, bool) {
     for iter in 0..cfg.iters {
         let _round = mf_telemetry::trace::span("fpan.anneal.round", iter as u64);
         SEARCH_ITERS.incr();
+        SEARCH_ROUND.set(iter as i64);
         let t = 4.0 * (0.05f64 / 4.0).powf(iter as f64 / cfg.iters.max(1) as f64);
         // Mutate only beyond the frozen prefix.
         let mut cand = current.clone();

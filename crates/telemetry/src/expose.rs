@@ -1,0 +1,468 @@
+//! Live metrics exposition: a std-only TCP endpoint serving the registry
+//! snapshot in Prometheus text exposition format v0.0.4.
+//!
+//! Everything the telemetry layer records was previously post-mortem —
+//! visible only in the manifest written at process exit. This module makes
+//! it scrapeable *while the process runs*: set `MF_METRICS_ADDR` (e.g.
+//! `127.0.0.1:9184`, or port `0` for an OS-assigned port) and any HTTP
+//! client — `curl`, a Prometheus server, the `mfstat` live viewer in
+//! `mf-bench` — can read the current counters, gauges, and latency-sketch
+//! quantiles. Each scrape takes a fresh [`crate::snapshot`], so the data is
+//! always live; nothing is buffered between scrapes.
+//!
+//! Design constraints, same as the rest of the crate:
+//!
+//! * **no new dependencies** — the "HTTP" layer is the minimal subset a
+//!   scraper needs: read one request head, answer one `200 OK` with
+//!   `Connection: close`, close;
+//! * **bounded** — connections are handled serially on one background
+//!   thread with read/write timeouts, so a stalled or malicious client can
+//!   delay other scrapers but never wedge the process or accumulate
+//!   threads; request heads are capped at [`MAX_REQUEST_BYTES`];
+//! * **zero-cost when disabled** — with the `telemetry` feature off,
+//!   [`serve_from_env`] is an inert `None` and no socket is ever bound.
+//!
+//! Routes: `/metrics` (any unknown path also answers metrics, so plain
+//! `curl host:port` works) and `/profile`, which serves the span-derived
+//! folded stacks from [`crate::profile`] (empty until tracing is armed).
+//!
+//! Metric name mapping (Prometheus names allow `[a-zA-Z0-9_:]` only):
+//!
+//! * counter `pool.jobs` → `mf_pool_jobs_total`;
+//! * gauge `pool.queue_depth` → `mf_pool_queue_depth`;
+//! * every [`Section`](crate::Section) → one `summary` family
+//!   `mf_section_seconds{section="<name>",quantile="0.5|0.9|0.99"}` plus
+//!   `_sum`/`_count` (quantiles are the sketch's factor-of-2 upper bounds);
+//! * every [`Histogram`](crate::Histogram) → one `histogram` family
+//!   `mf_values_bucket{name="<name>",le="2^k-1"}` with cumulative counts.
+//!
+//! Label values are escaped per the exposition format (`\\`, `\"`, `\n`).
+
+use crate::{Counter, Snapshot};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Cap on the request head read from a client (a scraper's GET line plus
+/// headers fits in a fraction of this).
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket timeout: a client that stalls longer is dropped.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+static SCRAPES: Counter = Counter::new("telemetry.exposition.scrapes");
+
+/// Escape a label value per the text exposition format: backslash, double
+/// quote, and line feed.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Map a probe name to a Prometheus metric name: prefix `mf_`, every
+/// character outside `[a-zA-Z0-9_]` becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("mf_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a value the exposition format accepts (`f64`, with non-finite
+/// values spelled Prometheus-style).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a [`Snapshot`] as Prometheus text exposition format v0.0.4.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let m = format!("{}_total", sanitize_metric_name(name));
+        out.push_str(&format!(
+            "# HELP {m} Telemetry counter {}\n# TYPE {m} counter\n{m} {v}\n",
+            escape_label_value(name)
+        ));
+    }
+    for (name, v) in &snap.gauges {
+        let m = sanitize_metric_name(name);
+        out.push_str(&format!(
+            "# HELP {m} Telemetry gauge {}\n# TYPE {m} gauge\n{m} {v}\n",
+            escape_label_value(name)
+        ));
+    }
+    if !snap.sections.is_empty() {
+        out.push_str("# HELP mf_section_seconds Per-call latency by instrumented section (quantiles are log2-sketch upper bounds)\n");
+        out.push_str("# TYPE mf_section_seconds summary\n");
+        for s in &snap.sections {
+            let label = escape_label_value(&s.name);
+            if s.sketch.count > 0 {
+                for (q, v) in [
+                    ("0.5", s.sketch.p50()),
+                    ("0.9", s.sketch.p90()),
+                    ("0.99", s.sketch.p99()),
+                ] {
+                    out.push_str(&format!(
+                        "mf_section_seconds{{section=\"{label}\",quantile=\"{q}\"}} {}\n",
+                        fmt_value(v as f64 / 1e9)
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "mf_section_seconds_sum{{section=\"{label}\"}} {}\n",
+                fmt_value(s.total_ns as f64 / 1e9)
+            ));
+            out.push_str(&format!(
+                "mf_section_seconds_count{{section=\"{label}\"}} {}\n",
+                s.count
+            ));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("# HELP mf_values Telemetry value histograms (log2 buckets)\n");
+        out.push_str("# TYPE mf_values histogram\n");
+        for h in &snap.histograms {
+            let label = escape_label_value(&h.name);
+            let mut cumulative = 0u64;
+            for (k, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                // Bucket 0 holds zeros; bucket k holds [2^(k-1), 2^k), so
+                // the inclusive upper bound is 2^k - 1.
+                let le = if k == 0 {
+                    0.0
+                } else {
+                    ((1u128 << k) - 1) as f64
+                };
+                out.push_str(&format!(
+                    "mf_values_bucket{{name=\"{label}\",le=\"{}\"}} {cumulative}\n",
+                    fmt_value(le)
+                ));
+            }
+            out.push_str(&format!(
+                "mf_values_bucket{{name=\"{label}\",le=\"+Inf\"}} {}\n",
+                h.count
+            ));
+            out.push_str(&format!("mf_values_sum{{name=\"{label}\"}} {}\n", h.sum));
+            out.push_str(&format!(
+                "mf_values_count{{name=\"{label}\"}} {}\n",
+                h.count
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "# HELP mf_telemetry_dropped_events_total Events dropped past the retention cap\n# TYPE mf_telemetry_dropped_events_total counter\nmf_telemetry_dropped_events_total {}\n",
+        snap.dropped_events
+    ));
+    out.push_str(&format!(
+        "# HELP mf_trace_dropped_spans_total Spans dropped on full trace ring buffers\n# TYPE mf_trace_dropped_spans_total counter\nmf_trace_dropped_spans_total {}\n",
+        crate::trace::dropped_spans()
+    ));
+    out
+}
+
+/// Read the request head (through the blank line) and return the request
+/// path, or `None` for anything malformed/oversized.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return None;
+                }
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next()?.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(path) = read_request_path(&mut stream) else {
+        respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain",
+            "bad request\n",
+        );
+        return;
+    };
+    SCRAPES.incr();
+    match path.split('?').next().unwrap_or("") {
+        "/profile" => {
+            let body = crate::profile::folded_stacks();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; charset=utf-8",
+                if body.is_empty() {
+                    "# no closed spans (run with --trace / arm tracing)\n"
+                } else {
+                    &body
+                },
+            );
+        }
+        "/registry" => {
+            let body = crate::registry::snapshot_json().render_pretty();
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        // `/metrics` and anything else: the exposition document, so plain
+        // `curl host:port` works.
+        _ => {
+            let body = render(&crate::snapshot());
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+    }
+}
+
+/// Bind `addr` and serve scrapes on a background thread for the rest of
+/// the process lifetime. Returns the bound address (resolves port `0`).
+/// Callable in any build — a disabled-feature build serves an exposition
+/// document containing only the meta counters — but production binaries
+/// should go through [`serve_from_env`], which never binds when the
+/// feature is off.
+pub fn serve(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("mf-metrics".into())
+        .spawn(move || {
+            // Serial accept loop: one connection at a time bounds resource
+            // use; the listener backlog absorbs concurrent scrapers.
+            for stream in listener.incoming() {
+                match stream {
+                    Ok(s) => handle(s),
+                    Err(_) => continue,
+                }
+            }
+        })?;
+    Ok(bound)
+}
+
+/// Start the endpoint if `MF_METRICS_ADDR` is set (once per process; later
+/// calls return the first bound address). With the `telemetry` feature off
+/// this is an inert `None`: no socket, no thread, nothing to observe.
+pub fn serve_from_env() -> Option<SocketAddr> {
+    if !crate::ENABLED {
+        return None;
+    }
+    static BOUND: OnceLock<Option<SocketAddr>> = OnceLock::new();
+    *BOUND.get_or_init(|| {
+        let addr = std::env::var("MF_METRICS_ADDR")
+            .ok()
+            .filter(|a| !a.is_empty())?;
+        match serve(&addr) {
+            Ok(bound) => {
+                // The "serving on" line is the contract the CI smoke script
+                // and `mfstat` rely on to discover an OS-assigned port.
+                eprintln!("mf-metrics: serving on {bound}");
+                Some(bound)
+            }
+            Err(e) => {
+                eprintln!("warning: mf-metrics: cannot bind {addr}: {e}");
+                None
+            }
+        }
+    })
+}
+
+/// Scrape helper used by tests and `mfstat`: issue one GET and return the
+/// response body.
+pub fn scrape(addr: &SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(text);
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, HistogramSnapshot, SectionSnapshot, SketchSnapshot};
+
+    fn synthetic_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![("pool.jobs".into(), 42), ("core.guard.checks".into(), 7)],
+            gauges: vec![("pool.queue_depth".into(), 3), ("net.level".into(), -2)],
+            histograms: vec![HistogramSnapshot {
+                name: "core.renorm.cancellation_bits".into(),
+                count: 4,
+                sum: 19,
+                buckets: {
+                    let mut b = [0u64; 65];
+                    b[0] = 1;
+                    b[3] = 2;
+                    b[4] = 1;
+                    b
+                },
+            }],
+            sections: vec![SectionSnapshot {
+                name: "pool.queue_wait".into(),
+                total_ns: 5_000,
+                count: 3,
+                sketch: SketchSnapshot::from_samples([1_000u64, 1_500, 2_500]),
+            }],
+            events: vec![Event {
+                name: "x".into(),
+                fields: vec![],
+            }],
+            dropped_events: 1,
+        }
+    }
+
+    #[test]
+    fn render_produces_wellformed_families() {
+        let text = render(&synthetic_snapshot());
+        assert!(text.contains("# TYPE mf_pool_jobs_total counter"));
+        assert!(text.contains("mf_pool_jobs_total 42"));
+        assert!(text.contains("# TYPE mf_pool_queue_depth gauge"));
+        assert!(text.contains("mf_pool_queue_depth 3"));
+        assert!(text.contains("mf_net_level -2"));
+        assert!(text.contains("mf_section_seconds{section=\"pool.queue_wait\",quantile=\"0.5\"}"));
+        assert!(text.contains("mf_section_seconds_count{section=\"pool.queue_wait\"} 3"));
+        // Histogram: cumulative le buckets ending in +Inf == count.
+        assert!(
+            text.contains("mf_values_bucket{name=\"core.renorm.cancellation_bits\",le=\"0\"} 1")
+        );
+        assert!(
+            text.contains("mf_values_bucket{name=\"core.renorm.cancellation_bits\",le=\"7\"} 3")
+        );
+        assert!(
+            text.contains("mf_values_bucket{name=\"core.renorm.cancellation_bits\",le=\"+Inf\"} 4")
+        );
+        assert!(text.contains("mf_telemetry_dropped_events_total 1"));
+        // Every non-comment line is `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable value in line: {line}"
+            );
+        }
+    }
+
+    /// Satellite: exposition-format escaping for label values containing
+    /// backslash, double quote, and newline.
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        let snap = Snapshot {
+            sections: vec![SectionSnapshot {
+                name: "we\\ird\"name\nwith everything".into(),
+                total_ns: 10,
+                count: 1,
+                sketch: SketchSnapshot::from_samples([10u64]),
+            }],
+            ..Snapshot::default()
+        };
+        let text = render(&snap);
+        assert!(
+            text.contains(r#"section="we\\ird\"name\nwith everything""#),
+            "escaped label missing in: {text}"
+        );
+        // The raw (unescaped) newline must not survive inside any line.
+        for line in text.lines() {
+            assert!(!line.contains("with everything") || line.contains("\\n"));
+        }
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("pool.jobs"), "mf_pool_jobs");
+        assert_eq!(
+            sanitize_metric_name("core.guard.pre-detected!"),
+            "mf_core_guard_pre_detected_"
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn endpoint_serves_live_scrapes() {
+        static C: crate::Counter = crate::Counter::new("test.expose.live");
+        C.add(5);
+        let addr = serve("127.0.0.1:0").expect("bind loopback");
+        let body = scrape(&addr, "/metrics").expect("scrape");
+        assert!(body.contains("mf_test_expose_live_total 5"));
+        // Live, not buffered: a second scrape sees the new value.
+        C.add(2);
+        let body = scrape(&addr, "/metrics").expect("scrape 2");
+        assert!(body.contains("mf_test_expose_live_total 7"));
+        // The meta counter counts our scrapes.
+        assert!(SCRAPES.get() >= 2);
+        // /registry serves parseable JSON.
+        let reg = scrape(&addr, "/registry").expect("registry");
+        let j = crate::json::Json::parse(&reg).expect("json");
+        assert!(j.get("counters").is_some());
+        // Unknown path falls back to metrics.
+        let body = scrape(&addr, "/").expect("root");
+        assert!(body.contains("mf_test_expose_live_total"));
+    }
+}

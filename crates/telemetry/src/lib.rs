@@ -18,6 +18,8 @@
 //! Building blocks:
 //!
 //! * [`Counter`] — a named `AtomicU64`, declared `static` at the call site;
+//! * [`Gauge`] — a named signed level (`AtomicI64`) for quantities that go
+//!   both ways: queue depth, busy workers, in-flight jobs (see [`registry`]);
 //! * [`Histogram`] — 65 log2-bucketed counts (`bucket 0` = zero values,
 //!   bucket `k` = values in `[2^(k-1), 2^k)`), plus exact count/sum;
 //! * [`Section`] — a named accumulating timer; [`Section::start`] returns a
@@ -29,7 +31,12 @@
 //!   Chrome `trace_event` export for Perfetto);
 //! * [`event`] — a bounded structured event stream (e.g. annealing search
 //!   progress), mirrored to stderr when `MF_TELEMETRY_LOG=1`;
-//! * [`snapshot`] — a point-in-time copy of every registered probe;
+//! * [`snapshot`] — a point-in-time copy of every registered probe, with
+//!   window deltas via [`Snapshot::delta_since`];
+//! * [`expose`] — a std-only TCP endpoint serving the live snapshot in
+//!   Prometheus text exposition format (`MF_METRICS_ADDR`);
+//! * [`profile`] — a span-derived self-profiler folding the [`trace`] ring
+//!   buffers into flamegraph-compatible folded stacks;
 //! * [`manifest::RunManifest`] — the JSON "run manifest" every bench binary
 //!   emits (platform, build, thread count, wall time, per-section timings,
 //!   counter/histogram snapshot, events), with a parser so the `report`
@@ -39,9 +46,14 @@
 //! independent of the feature flag (the bench harness uses it for its table
 //! output too).
 
+pub mod expose;
 pub mod json;
 pub mod manifest;
+pub mod profile;
+pub mod registry;
 pub mod trace;
+
+pub use registry::Gauge;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Mutex, OnceLock};
@@ -59,18 +71,20 @@ pub fn enabled() -> bool {
 /// Maximum retained events; later events are counted but dropped.
 pub const MAX_EVENTS: usize = 8192;
 
-struct Registry {
+pub(crate) struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
+    pub(crate) gauges: Mutex<Vec<&'static Gauge>>,
     histograms: Mutex<Vec<&'static Histogram>>,
     sections: Mutex<Vec<&'static Section>>,
     events: Mutex<Vec<Event>>,
     dropped_events: AtomicUsize,
 }
 
-fn registry() -> &'static Registry {
+pub(crate) fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
         sections: Mutex::new(Vec::new()),
         events: Mutex::new(Vec::new()),
@@ -495,6 +509,8 @@ fn event_slow(name: &str, fields: &[(&str, f64)]) {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
+    /// Signed level probes ([`Gauge`]): instantaneous values, not monotone.
+    pub gauges: Vec<(String, i64)>,
     pub histograms: Vec<HistogramSnapshot>,
     pub sections: Vec<SectionSnapshot>,
     pub events: Vec<Event>,
@@ -524,6 +540,14 @@ pub fn snapshot() -> Snapshot {
         .map(|c| (c.name.to_string(), c.get()))
         .collect();
     counters.sort();
+    let mut gauges: Vec<(String, i64)> = reg
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|g| (g.name().to_string(), g.get()))
+        .collect();
+    gauges.sort();
     let mut histograms: Vec<HistogramSnapshot> = reg
         .histograms
         .lock()
@@ -547,6 +571,7 @@ pub fn snapshot() -> Snapshot {
     sections.sort_by(|a, b| a.name.cmp(&b.name));
     Snapshot {
         counters,
+        gauges,
         histograms,
         sections,
         events: reg.events.lock().unwrap().clone(),
@@ -722,6 +747,7 @@ mod tests {
             assert_eq!(S.sketch().count, 0);
             let snap = snapshot();
             assert!(snap.counters.is_empty());
+            assert!(snap.gauges.is_empty());
             assert!(snap.histograms.is_empty());
             assert!(snap.sections.is_empty());
             assert!(snap.events.is_empty());

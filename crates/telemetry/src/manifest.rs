@@ -129,6 +129,13 @@ impl RunManifest {
                 .map(|(name, v)| (name.clone(), Json::u64(*v)))
                 .collect(),
         );
+        let gauges = Json::Obj(
+            self.snapshot
+                .gauges
+                .iter()
+                .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
         let histograms = Json::Arr(
             self.snapshot
                 .histograms
@@ -207,6 +214,7 @@ impl RunManifest {
             ("unix_time".into(), Json::u64(self.unix_time)),
             ("wall_ms".into(), Json::Num(self.wall_ms)),
             ("counters".into(), counters),
+            ("gauges".into(), gauges),
             ("histograms".into(), histograms),
             ("sections".into(), sections),
             ("events".into(), events),
@@ -232,6 +240,17 @@ impl RunManifest {
             .iter()
             .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
             .collect();
+        // Optional: pre-gauge manifests (schema v1 before the live hub)
+        // parse to an empty gauge list.
+        let gauges = j
+            .get("gauges")
+            .and_then(|g| g.as_obj())
+            .map(|obj| {
+                obj.iter()
+                    .filter_map(|(k, v)| Some((k.clone(), v.as_f64()? as i64)))
+                    .collect()
+            })
+            .unwrap_or_default();
         let histograms = j
             .get("histograms")?
             .as_arr()?
@@ -306,6 +325,7 @@ impl RunManifest {
             "unix_time",
             "wall_ms",
             "counters",
+            "gauges",
             "histograms",
             "sections",
             "events",
@@ -327,6 +347,7 @@ impl RunManifest {
             wall_ms: j.get("wall_ms")?.as_f64()?,
             snapshot: Snapshot {
                 counters,
+                gauges,
                 histograms,
                 sections,
                 events,
@@ -395,6 +416,10 @@ mod tests {
                 counters: vec![
                     ("core.renorm.calls".into(), 42),
                     ("fpan.exec.two_sum".into(), 1000),
+                ],
+                gauges: vec![
+                    ("pool.queue_depth".into(), 3),
+                    ("pool.workers_busy".into(), -1),
                 ],
                 histograms: vec![HistogramSnapshot {
                     name: "core.renorm.cancellation_bits".into(),

@@ -1,0 +1,384 @@
+//! The live metrics registry: the process-wide aggregation point the
+//! observability hub ([`crate::expose`], `mfstat`, and run manifests) reads
+//! from.
+//!
+//! The counter/histogram/section probes in [`crate`] already self-register
+//! and [`crate::snapshot`] already rolls them up into a point-in-time
+//! [`Snapshot`]. This module adds the two pieces a *live* consumer needs:
+//!
+//! * [`Gauge`] — a lock-free signed level probe (queue depth, busy workers,
+//!   in-flight jobs, current annealing round). Counters only ever go up;
+//!   gauges track the instantaneous value of something that goes both ways.
+//!   Same cost model as [`Counter`](crate::Counter): a relaxed atomic op
+//!   when the `telemetry` feature is on, a const-folded no-op otherwise.
+//! * **Delta support** — [`Snapshot::delta_since`] subtracts an earlier
+//!   snapshot from a later one, yielding the activity *window* between two
+//!   scrapes. Because every underlying probe is monotone (counters and
+//!   section/histogram buckets only increase), successive snapshots are
+//!   monotone too and deltas are always non-negative; concurrent increments
+//!   during the snapshot walk can only land in the next window, never
+//!   vanish. Gauges are levels, not rates, so a delta carries the *later*
+//!   snapshot's gauge values unchanged.
+//!
+//! [`snapshot_json`] serializes the counter + gauge end-state as a compact
+//! JSON object; the `conformance` and `faultsim` bench binaries attach it
+//! to their manifests so guard/pool gauge end-state is captured in the
+//! artifacts CI already uploads.
+
+use crate::json::Json;
+use crate::{Snapshot, ENABLED};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering::Relaxed};
+
+/// A named signed level probe. Declare as `static` next to the code it
+/// instruments:
+///
+/// ```
+/// use mf_telemetry::Gauge;
+/// static QUEUE_DEPTH: Gauge = Gauge::new("pool.queue_depth");
+/// QUEUE_DEPTH.incr();
+/// QUEUE_DEPTH.set(3);
+/// QUEUE_DEPTH.decr();
+/// ```
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Set the level (registers the gauge even when the value is 0, so a
+    /// probe that legitimately sits at zero still shows up in scrapes).
+    #[inline(always)]
+    pub fn set(&'static self, v: i64) {
+        if !ENABLED {
+            return;
+        }
+        self.value.store(v, Relaxed);
+        if !self.registered.load(Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    #[inline(always)]
+    pub fn add(&'static self, n: i64) {
+        if !ENABLED {
+            return;
+        }
+        self.value.fetch_add(n, Relaxed);
+        if !self.registered.load(Relaxed) {
+            self.register_slow();
+        }
+    }
+
+    #[inline(always)]
+    pub fn sub(&'static self, n: i64) {
+        self.add(-n);
+    }
+
+    #[inline(always)]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    #[inline(always)]
+    pub fn decr(&'static self) {
+        self.add(-1);
+    }
+
+    #[cold]
+    fn register_slow(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Relaxed, Relaxed)
+            .is_ok()
+        {
+            crate::registry().gauges.lock().unwrap().push(self);
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+}
+
+impl Snapshot {
+    /// The activity window between `base` (earlier) and `self` (later):
+    /// counter increments, section/histogram growth, the events retained
+    /// since `base`. Monotone probes guarantee non-negative deltas; the
+    /// subtraction still saturates defensively so a mismatched pair (e.g.
+    /// snapshots from different processes) cannot underflow.
+    ///
+    /// Window semantics per probe kind:
+    ///
+    /// * **counters** — increment over the window;
+    /// * **gauges** — levels, not rates: the later snapshot's value;
+    /// * **sections/histograms** — count/sum/bucket growth over the window.
+    ///   `min`/`max` remain *lifetime* extremes (the atomics fold min/max
+    ///   over the whole process; a window-local extreme is not recoverable);
+    /// * **events** — the suffix retained after `base`'s retained events.
+    pub fn delta_since(&self, base: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let b = base
+                    .counters
+                    .iter()
+                    .find(|(bn, _)| bn == name)
+                    .map(|(_, bv)| *bv)
+                    .unwrap_or(0);
+                (name.clone(), v.saturating_sub(b))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let mut h = h.clone();
+                if let Some(b) = base.histograms.iter().find(|b| b.name == h.name) {
+                    h.count = h.count.saturating_sub(b.count);
+                    h.sum = h.sum.saturating_sub(b.sum);
+                    for (hb, bb) in h.buckets.iter_mut().zip(&b.buckets) {
+                        *hb = hb.saturating_sub(*bb);
+                    }
+                }
+                h
+            })
+            .collect();
+        let sections = self
+            .sections
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                if let Some(b) = base.sections.iter().find(|b| b.name == s.name) {
+                    s.total_ns = s.total_ns.saturating_sub(b.total_ns);
+                    s.count = s.count.saturating_sub(b.count);
+                    s.sketch.count = s.sketch.count.saturating_sub(b.sketch.count);
+                    for (sb, bb) in s.sketch.buckets.iter_mut().zip(&b.sketch.buckets) {
+                        *sb = sb.saturating_sub(*bb);
+                    }
+                }
+                s
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            sections,
+            events: self.events.get(base.events.len()..).unwrap_or(&[]).to_vec(),
+            dropped_events: self.dropped_events.saturating_sub(base.dropped_events),
+        }
+    }
+}
+
+/// Compact JSON of the registry's counter + gauge end-state, for embedding
+/// in run-manifest `extra` fields:
+/// `{"counters": {...}, "gauges": {...}}`.
+pub fn snapshot_json() -> Json {
+    let snap = crate::snapshot();
+    Json::Obj(vec![
+        (
+            "counters".into(),
+            Json::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::u64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".into(),
+            Json::Obj(
+                snap.gauges
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(feature = "telemetry")]
+    mod enabled {
+        use crate::*;
+
+        #[test]
+        fn gauge_levels_move_both_ways() {
+            static G: Gauge = Gauge::new("test.gauge.levels");
+            G.set(5);
+            G.add(3);
+            G.sub(2);
+            G.incr();
+            G.decr();
+            assert_eq!(G.get(), 6);
+            let snap = snapshot();
+            assert_eq!(
+                snap.gauges
+                    .iter()
+                    .find(|(n, _)| n == "test.gauge.levels")
+                    .map(|(_, v)| *v),
+                Some(6)
+            );
+        }
+
+        #[test]
+        fn gauge_set_zero_still_registers() {
+            static G: Gauge = Gauge::new("test.gauge.zero");
+            G.set(0);
+            assert!(snapshot()
+                .gauges
+                .iter()
+                .any(|(n, _)| n == "test.gauge.zero"));
+        }
+
+        /// Satellite: snapshot/delta monotonicity under concurrent
+        /// increments. Snapshots taken while writers hammer the probes must
+        /// be monotone (each window non-negative) and the windows must tile:
+        /// they sum to exactly last - first.
+        #[test]
+        fn snapshots_are_monotone_under_concurrent_increments() {
+            static C: Counter = Counter::new("test.registry.monotone.counter");
+            static S: Section = Section::new("test.registry.monotone.section");
+            C.incr(); // ensure registration before the first snapshot
+            S.add_ns(1);
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            C.add(3);
+                            S.add_ns(17);
+                        }
+                    });
+                }
+                let mut snaps = Vec::new();
+                for _ in 0..50 {
+                    snaps.push(snapshot());
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+                let value = |s: &Snapshot| {
+                    s.counters
+                        .iter()
+                        .find(|(n, _)| n == "test.registry.monotone.counter")
+                        .map(|(_, v)| *v)
+                        .unwrap()
+                };
+                let sketch_count = |s: &Snapshot| {
+                    s.sections
+                        .iter()
+                        .find(|x| x.name == "test.registry.monotone.section")
+                        .map(|x| x.sketch.count)
+                        .unwrap()
+                };
+                let mut summed = 0;
+                for w in snaps.windows(2) {
+                    assert!(value(&w[1]) >= value(&w[0]), "counter not monotone");
+                    assert!(
+                        sketch_count(&w[1]) >= sketch_count(&w[0]),
+                        "sketch not monotone"
+                    );
+                    let d = w[1].delta_since(&w[0]);
+                    summed += value(&d);
+                    // Window sketch growth matches the bucket growth.
+                    let ds = d
+                        .sections
+                        .iter()
+                        .find(|x| x.name == "test.registry.monotone.section")
+                        .unwrap();
+                    assert_eq!(
+                        ds.sketch.buckets.iter().sum::<u64>(),
+                        ds.sketch.count,
+                        "delta buckets must tile the delta count"
+                    );
+                }
+                assert_eq!(
+                    summed,
+                    value(snaps.last().unwrap()) - value(&snaps[0]),
+                    "windows must tile exactly"
+                );
+            });
+        }
+
+        #[test]
+        fn delta_keeps_gauge_levels_and_event_suffix() {
+            static G: Gauge = Gauge::new("test.registry.delta.gauge");
+            G.set(7);
+            let base = snapshot();
+            G.set(3);
+            event("test.registry.delta.event", &[("x", 1.0)]);
+            let later = snapshot();
+            let d = later.delta_since(&base);
+            assert_eq!(
+                d.gauges
+                    .iter()
+                    .find(|(n, _)| n == "test.registry.delta.gauge")
+                    .map(|(_, v)| *v),
+                Some(3),
+                "gauges are levels: the later snapshot's value"
+            );
+            assert!(d
+                .events
+                .iter()
+                .any(|e| e.name == "test.registry.delta.event"));
+            assert_eq!(d.events.len(), later.events.len() - base.events.len());
+        }
+
+        #[test]
+        fn snapshot_json_carries_counters_and_gauges() {
+            static C: Counter = Counter::new("test.registry.json.counter");
+            static G: Gauge = Gauge::new("test.registry.json.gauge");
+            C.add(11);
+            G.set(-4);
+            let j = registry::snapshot_json();
+            assert_eq!(
+                j.get("counters")
+                    .unwrap()
+                    .get("test.registry.json.counter")
+                    .unwrap()
+                    .as_u64(),
+                Some(11)
+            );
+            assert_eq!(
+                j.get("gauges")
+                    .unwrap()
+                    .get("test.registry.json.gauge")
+                    .unwrap()
+                    .as_f64(),
+                Some(-4.0)
+            );
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    mod disabled {
+        use crate::*;
+
+        #[test]
+        fn gauges_are_noops() {
+            static G: Gauge = Gauge::new("test.gauge.disabled");
+            G.set(5);
+            G.add(3);
+            G.incr();
+            assert_eq!(G.get(), 0);
+            assert!(snapshot().gauges.is_empty());
+            let j = registry::snapshot_json();
+            assert_eq!(j.get("gauges").unwrap().as_obj().unwrap().len(), 0);
+        }
+    }
+}

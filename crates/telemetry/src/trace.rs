@@ -50,11 +50,11 @@ pub const TRACE_CAP: usize = 1 << 16;
 /// caller's u64 payload (chunk length, trial count, flag bits, …), carried
 /// on the begin record only.
 #[derive(Clone, Copy)]
-struct Record {
-    name: &'static str,
-    arg: u64,
-    ts_ns: u64,
-    end: bool,
+pub(crate) struct Record {
+    pub(crate) name: &'static str,
+    pub(crate) arg: u64,
+    pub(crate) ts_ns: u64,
+    pub(crate) end: bool,
 }
 
 const EMPTY_RECORD: Record = Record {
@@ -257,6 +257,26 @@ pub fn recorded_events() -> u64 {
         .sum()
 }
 
+/// Copy every thread's published records (slots below an Acquire-loaded
+/// `written`), sorted by internal thread id. Shared walk for the Chrome
+/// exporter below and the folded-stack profiler ([`crate::profile`]).
+pub(crate) fn thread_records() -> Vec<(u32, Vec<Record>)> {
+    if !crate::ENABLED {
+        return Vec::new();
+    }
+    let mut bufs: Vec<Arc<ThreadBuf>> = registry().lock().unwrap().clone();
+    bufs.sort_by_key(|b| b.tid);
+    bufs.iter()
+        .map(|buf| {
+            let n = buf.written.load(Acquire).min(TRACE_CAP);
+            // SAFETY: i < written (Acquire), so the slot write
+            // happened-before this read and is never overwritten.
+            let records = (0..n).map(|i| unsafe { *buf.slots[i].get() }).collect();
+            (buf.tid, records)
+        })
+        .collect()
+}
+
 /// Render every collected span as a Chrome `trace_event` JSON document
 /// (the object form: `{"traceEvents": [...], ...}`), suitable for
 /// Perfetto / `chrome://tracing`. Timestamps are microseconds with
@@ -264,30 +284,22 @@ pub fn recorded_events() -> u64 {
 /// per-thread buffer id (stable within a process).
 pub fn chrome_trace() -> Json {
     let mut events: Vec<Json> = Vec::new();
-    if crate::ENABLED {
-        let mut bufs: Vec<Arc<ThreadBuf>> = registry().lock().unwrap().clone();
-        bufs.sort_by_key(|b| b.tid);
-        for buf in &bufs {
-            let n = buf.written.load(Acquire).min(TRACE_CAP);
-            for i in 0..n {
-                // SAFETY: i < written (Acquire), so the slot write
-                // happened-before this read and is never overwritten.
-                let r = unsafe { *buf.slots[i].get() };
-                let mut obj = vec![
-                    ("name".into(), Json::str(r.name)),
-                    ("ph".into(), Json::str(if r.end { "E" } else { "B" })),
-                    ("ts".into(), Json::Num(r.ts_ns as f64 / 1000.0)),
-                    ("pid".into(), Json::u64(1)),
-                    ("tid".into(), Json::u64(buf.tid as u64)),
-                ];
-                if !r.end {
-                    obj.push((
-                        "args".into(),
-                        Json::Obj(vec![("arg".into(), Json::u64(r.arg))]),
-                    ));
-                }
-                events.push(Json::Obj(obj));
+    for (tid, records) in thread_records() {
+        for r in records {
+            let mut obj = vec![
+                ("name".into(), Json::str(r.name)),
+                ("ph".into(), Json::str(if r.end { "E" } else { "B" })),
+                ("ts".into(), Json::Num(r.ts_ns as f64 / 1000.0)),
+                ("pid".into(), Json::u64(1)),
+                ("tid".into(), Json::u64(tid as u64)),
+            ];
+            if !r.end {
+                obj.push((
+                    "args".into(),
+                    Json::Obj(vec![("arg".into(), Json::u64(r.arg))]),
+                ));
             }
+            events.push(Json::Obj(obj));
         }
     }
     Json::Obj(vec![

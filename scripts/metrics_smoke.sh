@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# CI smoke test for the live metrics endpoint (mf_telemetry::expose).
+#
+# Launches `tables --quick` with MF_METRICS_ADDR=127.0.0.1:0 (OS-assigned
+# port), discovers the bound address from the binary's "mf-metrics: serving
+# on <addr>" stderr line, scrapes /metrics while the bench runs, and asserts
+# the response is well-formed Prometheus text exposition with a nonzero
+# mf_pool_jobs_total (i.e. live pool probes, not an empty document).
+#
+# Requires a telemetry-featured release build of mf-bench (run
+# `cargo build --release -p mf-bench --features telemetry` first — the
+# script uses the binaries directly to stay off cargo's build lock).
+#
+# Outputs land in results/metrics_smoke/ (uploaded as a CI failure
+# artifact): tables stderr log and every scrape body.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/tables
+MFSTAT=target/release/mfstat
+OUT=results/metrics_smoke
+mkdir -p "$OUT"
+: >"$OUT/tables.log"
+
+[ -x "$BIN" ] || { echo "metrics_smoke: $BIN not built" >&2; exit 1; }
+[ -x "$MFSTAT" ] || { echo "metrics_smoke: $MFSTAT not built" >&2; exit 1; }
+
+# MF_BLAS_THREADS=2 guarantees the parallel kernels dispatch through the
+# worker pool (serial runs never bump pool.jobs).
+MF_METRICS_ADDR=127.0.0.1:0 MF_BENCH_QUICK=1 MF_HISTORY=off MF_BLAS_THREADS=2 \
+  "$BIN" --config wide --manifest "$OUT/manifest_tables.json" \
+  2>"$OUT/tables.log" >/dev/null &
+TABLES_PID=$!
+trap 'kill "$TABLES_PID" 2>/dev/null || true; wait "$TABLES_PID" 2>/dev/null || true' EXIT
+
+# Discover the OS-assigned port from the serving line.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^mf-metrics: serving on //p' "$OUT/tables.log" | head -n1)
+  [ -n "$ADDR" ] && break
+  kill -0 "$TABLES_PID" 2>/dev/null || { echo "metrics_smoke: tables exited before serving" >&2; cat "$OUT/tables.log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "metrics_smoke: no serving line after 10s" >&2; cat "$OUT/tables.log" >&2; exit 1; }
+echo "metrics_smoke: endpoint at $ADDR"
+
+# Scrape until the pool has dispatched jobs (the parallel kernels run early
+# in the bench, but give a loaded CI box time). mfstat --once --raw is the
+# scraper: the same code path a user's live view takes.
+JOBS=0
+for i in $(seq 1 150); do
+  if "$MFSTAT" "$ADDR" --once --raw >"$OUT/scrape_$i.txt" 2>/dev/null; then
+    JOBS=$(awk '$1 == "mf_pool_jobs_total" { print int($2) }' "$OUT/scrape_$i.txt")
+    JOBS=${JOBS:-0}
+    [ "$JOBS" -gt 0 ] && { cp "$OUT/scrape_$i.txt" "$OUT/scrape_final.txt"; break; }
+  fi
+  kill -0 "$TABLES_PID" 2>/dev/null || break
+  sleep 0.2
+done
+
+[ -f "$OUT/scrape_final.txt" ] || { echo "metrics_smoke: never saw mf_pool_jobs_total > 0" >&2; exit 1; }
+echo "metrics_smoke: mf_pool_jobs_total = $JOBS"
+
+# Well-formedness: every non-comment line is `name[{labels}] value`, and the
+# families the live view depends on are declared.
+awk '
+  /^#/ { next }
+  NF == 0 { next }
+  !/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? -?([0-9]|\+Inf|-Inf|NaN)/ {
+    print "malformed line: " $0; bad = 1
+  }
+  END { exit bad }
+' "$OUT/scrape_final.txt"
+for family in "# TYPE mf_pool_jobs_total counter" "# TYPE mf_pool_workers_live gauge" "# TYPE mf_section_seconds summary"; do
+  grep -qF "$family" "$OUT/scrape_final.txt" \
+    || { echo "metrics_smoke: missing '$family' in exposition" >&2; exit 1; }
+done
+
+# Gauges present and sane while the run is live.
+WORKERS=$(awk '$1 == "mf_pool_workers_live" { print int($2) }' "$OUT/scrape_final.txt")
+echo "metrics_smoke: mf_pool_workers_live = ${WORKERS:-missing}"
+[ "${WORKERS:-0}" -ge 1 ] || { echo "metrics_smoke: expected live pool workers during the run" >&2; exit 1; }
+
+wait "$TABLES_PID"
+trap - EXIT
+echo "metrics_smoke: OK"
