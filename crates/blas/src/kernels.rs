@@ -26,12 +26,22 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
 }
 
 /// `y <- alpha * A * x + beta * y`, `ij` loop order (row-major `A`).
+///
+/// Standard BLAS semantics: `beta == 0` *overwrites* `y` without reading
+/// it, so NaN/Inf in an uninitialized output buffer never propagates. The
+/// branch is hoisted out of the row loop; the loop bodies stay branch-free.
 pub fn gemv<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, y: &mut [S]) {
     assert_eq!(a.cols, x.len());
     assert_eq!(a.rows, y.len());
-    for i in 0..a.rows {
-        let acc = dot(a.row(i), x);
-        y[i] = beta.s_mul(y[i]).s_add(alpha.s_mul(acc));
+    if beta.s_is_zero() {
+        for i in 0..a.rows {
+            y[i] = alpha.s_mul(dot(a.row(i), x));
+        }
+    } else {
+        for i in 0..a.rows {
+            let acc = dot(a.row(i), x);
+            y[i] = beta.s_mul(y[i]).s_add(alpha.s_mul(acc));
+        }
     }
 }
 
@@ -40,9 +50,17 @@ pub fn gemm<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut 
     assert_eq!(a.cols, b.rows);
     assert_eq!(c.rows, a.rows);
     assert_eq!(c.cols, b.cols);
-    // Scale C by beta first (ikj accumulates into C).
-    for v in &mut c.data {
-        *v = beta.s_mul(*v);
+    // Scale C by beta first (ikj accumulates into C). beta == 0 overwrites
+    // instead of scaling (standard BLAS semantics: garbage/NaN in C must
+    // not propagate); the branch is per-call, the loops stay branch-free.
+    if beta.s_is_zero() {
+        for v in &mut c.data {
+            *v = S::s_zero();
+        }
+    } else {
+        for v in &mut c.data {
+            *v = beta.s_mul(*v);
+        }
     }
     let n = b.cols;
     for i in 0..a.rows {
@@ -181,6 +199,44 @@ mod tests {
                 let d = c.at(i, j).sub(yj[i]).abs().to_f64();
                 assert!(d <= 1e-26, "c[{i}][{j}] d={d:e}");
             }
+        }
+    }
+
+    /// Regression: `beta == 0` must overwrite the output, never read it.
+    /// The old kernels computed `beta * y[i]` / `beta * C` unconditionally,
+    /// so a NaN-poisoned (uninitialized/garbage) output buffer produced
+    /// `0 * NaN = NaN` and the result was destroyed.
+    #[test]
+    fn beta_zero_overwrites_poisoned_output() {
+        let mut rng = SmallRng::seed_from_u64(905);
+        let (m, k, n) = (7, 9, 5);
+        let a = Matrix::from_fn(m, k, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let b = Matrix::from_fn(k, n, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let x: Vec<F64x2> = (0..k)
+            .map(|_| F64x2::from(rng.gen_range(-1.0..1.0)))
+            .collect();
+        let alpha = F64x2::from(1.5);
+        let beta = F64x2::from(0.0);
+
+        // gemv: y poisoned with NaN and Inf.
+        let mut y = vec![F64x2::from(f64::NAN); m];
+        y[1] = F64x2::from(f64::INFINITY);
+        gemv(alpha, &a, &x, beta, &mut y);
+        let mut y_clean = vec![F64x2::ZERO; m];
+        gemv(alpha, &a, &x, beta, &mut y_clean);
+        for i in 0..m {
+            assert!(y[i].to_f64().is_finite(), "gemv row {i} kept the poison");
+            assert_eq!(y[i].components(), y_clean[i].components(), "row {i}");
+        }
+
+        // gemm: C poisoned with NaN.
+        let mut c = Matrix::from_fn(m, n, |_, _| F64x2::from(f64::NAN));
+        gemm(alpha, &a, &b, beta, &mut c);
+        let mut c_clean = Matrix::from_fn(m, n, |_, _| F64x2::ZERO);
+        gemm(alpha, &a, &b, beta, &mut c_clean);
+        for i in 0..m * n {
+            assert!(c.data[i].to_f64().is_finite(), "gemm elem {i} kept NaN");
+            assert_eq!(c.data[i].components(), c_clean.data[i].components());
         }
     }
 

@@ -79,10 +79,24 @@ impl<T: FloatBase, const L: usize> fmt::LowerExp for Lanes<T, L> {
 }
 
 impl<T: FloatBase, const L: usize> PartialOrd for Lanes<T, L> {
-    /// Lane-0 ordering (predicates are not meaningful lane-wise; the
-    /// arithmetic kernels never branch on them).
+    /// A *partial* order consistent with the derived `PartialEq`
+    /// (all-lanes equality): `Some(Equal)` iff every lane compares equal,
+    /// `Less`/`Greater` by lane-0 when lane 0 strictly orders, and `None`
+    /// when lane 0 ties but some other lane differs (no single ordering is
+    /// meaningful lane-wise; the arithmetic kernels never branch on
+    /// comparisons — that is the entire point of branch-free algorithms —
+    /// so this only affects debug assertions and generic callers).
     fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        self.0[0].partial_cmp(&other.0[0])
+        match self.0[0].partial_cmp(&other.0[0]) {
+            Some(core::cmp::Ordering::Equal) => {
+                if self == other {
+                    Some(core::cmp::Ordering::Equal)
+                } else {
+                    None
+                }
+            }
+            ord => ord,
+        }
     }
 }
 
@@ -282,12 +296,18 @@ pub fn dot_lockstep_l<T: FloatBase, const N: usize, const L: usize>(
             lanes_out[l][k] = acc[k].0[l];
         }
     }
+    // Ceil-half tree reduction: lane l pairs with lane l + ceil(width/2),
+    // and an odd top lane rides down to the next round unpaired. The
+    // previous floor-half version (`width /= 2` then add `l + width`)
+    // silently dropped the top lane(s) whenever `L` was not a power of
+    // two — e.g. at L=3, lanes_out[2] was never added.
     let mut width = L;
     while width > 1 {
-        width /= 2;
-        for l in 0..width {
-            lanes_out[l] = addition::add(&lanes_out[l], &lanes_out[l + width]);
+        let half = width.div_ceil(2);
+        for l in 0..width / 2 {
+            lanes_out[l] = addition::add(&lanes_out[l], &lanes_out[l + half]);
         }
+        width = half;
     }
     // Tail elements (scalar).
     let mut total = lanes_out[0];
@@ -433,6 +453,67 @@ mod tests {
             let err = got.to_mp(400).rel_error_vs(&exact);
             assert!(err <= 2.0f64.powi(-190), "n={n} err 2^{:.1}", err.log2());
         }
+    }
+
+    /// Regression for the non-power-of-two lane reduction: the old
+    /// floor-half tree (`width /= 2; add l + width`) never added the top
+    /// lane(s) for L ∈ {3, 5, 6}, so with small-integer inputs (where every
+    /// summation order is exact and any dropped term shifts the result by
+    /// a whole integer) the dot product came out wrong bitwise. Each L is
+    /// checked against the scalar AoS kernel.
+    #[test]
+    fn dot_lockstep_covers_all_lanes_at_odd_l() {
+        fn check<const L: usize>() {
+            let mut rng = SmallRng::seed_from_u64(1704 + L as u64);
+            // n spans several full lane blocks plus a scalar tail.
+            for n in [L, 2 * L, 5 * L + L - 1, 64] {
+                let x64: Vec<f64> = (0..n).map(|_| rng.gen_range(-64..64i32) as f64).collect();
+                let y64: Vec<f64> = (0..n).map(|_| rng.gen_range(-64..64i32) as f64).collect();
+                let xs: Vec<F64x4> = x64.iter().map(|&v| F64x4::from(v)).collect();
+                let ys: Vec<F64x4> = y64.iter().map(|&v| F64x4::from(v)).collect();
+                let sx = SoaVec::from_slice(&xs);
+                let sy = SoaVec::from_slice(&ys);
+                let got = dot_lockstep_l::<f64, 4, L>(&sx.comps, 0, &sy.comps, 0, n);
+                let want = crate::kernels::dot(&xs, &ys);
+                assert_eq!(
+                    got.components(),
+                    want.components(),
+                    "L={L} n={n}: lane reduction dropped a lane"
+                );
+            }
+        }
+        check::<3>();
+        check::<5>();
+        check::<6>();
+        // Power-of-two widths keep their old (already correct) behaviour.
+        check::<4>();
+        check::<8>();
+    }
+
+    /// `PartialOrd` must agree with the derived all-lanes `PartialEq`:
+    /// `partial_cmp == Some(Equal)` exactly when `==` holds. Lane-0 ties
+    /// with differing tail lanes are unordered, never falsely `Equal`.
+    #[test]
+    fn partial_ord_consistent_with_partial_eq() {
+        let a = Lanes::<f64, 3>([1.0, 2.0, 3.0]);
+        let b = Lanes::<f64, 3>([1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.partial_cmp(&b), Some(core::cmp::Ordering::Equal));
+
+        // Lane 0 equal, lane 2 differs: the old lane-0-only ordering
+        // returned Some(Equal) here while `==` was false.
+        let c = Lanes::<f64, 3>([1.0, 2.0, 99.0]);
+        assert_ne!(a, c);
+        assert_eq!(a.partial_cmp(&c), None);
+
+        // Lane-0 strict ordering is preserved.
+        let d = Lanes::<f64, 3>([0.5, 9.0, 9.0]);
+        assert_eq!(d.partial_cmp(&a), Some(core::cmp::Ordering::Less));
+        assert_eq!(a.partial_cmp(&d), Some(core::cmp::Ordering::Greater));
+
+        // NaN lanes stay unordered.
+        let n = Lanes::<f64, 3>([f64::NAN, 2.0, 3.0]);
+        assert_eq!(n.partial_cmp(&a), None);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod mp;
 pub mod parallel;
 pub mod pool;
 pub mod soa;
+pub mod tile;
 
 use mf_baselines::campary::Expansion;
 use mf_baselines::dd::DoubleDouble;
@@ -49,6 +50,11 @@ pub trait Scalar: Copy + Send + Sync + Default + 'static {
     fn s_mul(self, o: Self) -> Self;
     fn s_from_f64(x: f64) -> Self;
     fn s_to_f64(self) -> f64;
+    /// Exact zero test, used by the kernels to select the BLAS
+    /// `beta == 0` overwrite path (outputs are *written*, never read, so
+    /// NaN/Inf in an uninitialized buffer cannot propagate). Must be an
+    /// exact representation test — never a lossy round-trip through `f64`.
+    fn s_is_zero(self) -> bool;
     /// `acc + a*b`; types with cheaper fused paths may override.
     #[inline(always)]
     fn s_mul_acc(self, a: Self, b: Self) -> Self {
@@ -79,6 +85,10 @@ macro_rules! scalar_native {
             fn s_to_f64(self) -> f64 {
                 self as f64
             }
+            #[inline(always)]
+            fn s_is_zero(self) -> bool {
+                self == 0.0
+            }
         }
     };
 }
@@ -106,6 +116,10 @@ impl<T: FloatBase, const N: usize> Scalar for MultiFloat<T, N> {
     fn s_to_f64(self) -> f64 {
         self.to_f64()
     }
+    #[inline(always)]
+    fn s_is_zero(self) -> bool {
+        self.is_zero()
+    }
 }
 
 impl Scalar for DoubleDouble {
@@ -128,6 +142,10 @@ impl Scalar for DoubleDouble {
     #[inline(always)]
     fn s_to_f64(self) -> f64 {
         self.to_f64()
+    }
+    #[inline(always)]
+    fn s_is_zero(self) -> bool {
+        self.hi == 0.0 && self.lo == 0.0
     }
 }
 
@@ -152,6 +170,10 @@ impl Scalar for QuadDouble {
     fn s_to_f64(self) -> f64 {
         self.to_f64()
     }
+    #[inline(always)]
+    fn s_is_zero(self) -> bool {
+        self.0.iter().all(|&c| c == 0.0)
+    }
 }
 
 impl<const N: usize> Scalar for Expansion<N> {
@@ -174,6 +196,10 @@ impl<const N: usize> Scalar for Expansion<N> {
     #[inline(always)]
     fn s_to_f64(self) -> f64 {
         self.to_f64()
+    }
+    #[inline(always)]
+    fn s_is_zero(self) -> bool {
+        self.0.iter().all(|&c| c == 0.0)
     }
 }
 

@@ -67,7 +67,7 @@ fn record_dispatch(ranges: &[(usize, usize)]) {
 }
 
 #[inline]
-fn record_degraded(chunks: usize) {
+pub(crate) fn record_degraded(chunks: usize) {
     if !mf_telemetry::ENABLED || chunks == 0 {
         return;
     }
@@ -91,7 +91,7 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+pub(crate) fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
     let parts = parts.max(1).min(len.max(1));
     let base = len / parts;
     let extra = len % parts;
@@ -161,7 +161,7 @@ impl<'a, S> ChunkedMut<'a, S> {
 /// kernel panics and report them through the return value — both executors
 /// treat an unwinding task as a contract violation (the pool swallows it
 /// defensively; see `pool.task_panics`).
-fn dispatch_chunks(nchunks: usize, task: &(dyn Fn(usize) -> bool + Sync)) -> Vec<usize> {
+pub(crate) fn dispatch_chunks(nchunks: usize, task: &(dyn Fn(usize) -> bool + Sync)) -> Vec<usize> {
     let failed = Mutex::new(Vec::new());
     let run = |ci: usize| {
         if !task(ci) {
@@ -203,7 +203,7 @@ fn isolated<S: Scalar>(out: &mut [S], f: impl FnOnce(&mut [S])) -> bool {
 
 /// Serial retry of a degraded chunk. A second (deterministic) panic
 /// propagates with the kernel name and chunk range attached.
-fn degraded_rerun(kernel: &str, lo: usize, hi: usize, f: impl FnOnce()) {
+pub(crate) fn degraded_rerun(kernel: &str, lo: usize, hi: usize, f: impl FnOnce()) {
     // On the timeline a degrade shows as a serial span on the dispatching
     // thread *after* the worker spans — the visual signature of a panic
     // falling back to the serial kernel.
@@ -288,11 +288,18 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S], threads: usize) -> S {
 }
 
 /// GEMV row block `lo..hi` into `head` (shared by workers and the serial
-/// degrade path).
+/// degrade path). `beta == 0` overwrites without reading `head`, exactly
+/// like the serial kernel, so the parallel path stays bitwise identical.
 fn gemv_rows<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, head: &mut [S], lo: usize) {
-    for (r, yi) in (lo..).zip(head.iter_mut()) {
-        let acc = kernels::dot(a.row(r), x);
-        *yi = beta.s_mul(*yi).s_add(alpha.s_mul(acc));
+    if beta.s_is_zero() {
+        for (r, yi) in (lo..).zip(head.iter_mut()) {
+            *yi = alpha.s_mul(kernels::dot(a.row(r), x));
+        }
+    } else {
+        for (r, yi) in (lo..).zip(head.iter_mut()) {
+            let acc = kernels::dot(a.row(r), x);
+            *yi = beta.s_mul(*yi).s_add(alpha.s_mul(acc));
+        }
     }
 }
 
@@ -352,8 +359,16 @@ fn gemm_rows<S: Scalar>(
 ) {
     let n = b.cols;
     let kdim = a.cols;
-    for v in head.iter_mut() {
-        *v = beta.s_mul(*v);
+    // Same per-call beta == 0 overwrite as the serial kernel (bitwise
+    // identical parallel path, no NaN propagation from garbage C).
+    if beta.s_is_zero() {
+        for v in head.iter_mut() {
+            *v = S::s_zero();
+        }
+    } else {
+        for v in head.iter_mut() {
+            *v = beta.s_mul(*v);
+        }
     }
     for (bi, i) in (lo..hi).enumerate() {
         for k in 0..kdim {
@@ -656,6 +671,9 @@ mod tests {
         }
         fn s_to_f64(self) -> f64 {
             self.0
+        }
+        fn s_is_zero(self) -> bool {
+            self.0 == 0.0
         }
     }
 

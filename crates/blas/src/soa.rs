@@ -258,13 +258,15 @@ fn dot_lanes<T: FloatBase, const N: usize, const L: usize>(
         let p = multiplication::mul(&xi, &yi);
         acc[0] = addition::add(&acc[0], &p);
     }
-    // Tree-reduce the lanes.
+    // Tree-reduce the lanes (ceil-half pairing so non-power-of-two L
+    // would be covered too — see the same fix in `lanes::dot_lockstep_l`).
     let mut width = L;
     while width > 1 {
-        width /= 2;
-        for l in 0..width {
-            acc[l] = addition::add(&acc[l], &acc[l + width]);
+        let half = width.div_ceil(2);
+        for l in 0..width / 2 {
+            acc[l] = addition::add(&acc[l], &acc[l + half]);
         }
+        width = half;
     }
     MultiFloat::from_components(acc[0])
 }
@@ -279,10 +281,19 @@ pub fn gemv<T: FloatBase, const N: usize>(
 ) {
     assert_eq!(a.cols, x.len());
     assert_eq!(a.rows, y.len());
-    for i in 0..a.rows {
-        let row = dot_raw::<T, N>(&a.comps, i * a.cols, &x.comps, 0, a.cols);
-        let yi = y.get(i);
-        y.set(i, beta.mul(yi).add(alpha.mul(row)));
+    // beta == 0 overwrites y without reading it (standard BLAS semantics;
+    // matches the AoS kernels' fix — no NaN propagation from garbage y).
+    if beta.is_zero() {
+        for i in 0..a.rows {
+            let row = dot_raw::<T, N>(&a.comps, i * a.cols, &x.comps, 0, a.cols);
+            y.set(i, alpha.mul(row));
+        }
+    } else {
+        for i in 0..a.rows {
+            let row = dot_raw::<T, N>(&a.comps, i * a.cols, &x.comps, 0, a.cols);
+            let yi = y.get(i);
+            y.set(i, beta.mul(yi).add(alpha.mul(row)));
+        }
     }
 }
 
@@ -299,11 +310,19 @@ pub fn gemm<T: FloatBase, const N: usize>(
     assert_eq!(c.rows, a.rows);
     assert_eq!(c.cols, b.cols);
     let n = b.cols;
-    // Scale C by beta.
-    for i in 0..c.rows {
-        for j in 0..n {
-            let v = c.get(i, j);
-            c.set(i, j, beta.mul(v));
+    // Scale C by beta; beta == 0 overwrites (no read of possibly-garbage C).
+    if beta.is_zero() {
+        for comp in c.comps.iter_mut() {
+            for v in comp.iter_mut() {
+                *v = T::ZERO;
+            }
+        }
+    } else {
+        for i in 0..c.rows {
+            for j in 0..n {
+                let v = c.get(i, j);
+                c.set(i, j, beta.mul(v));
+            }
         }
     }
     for i in 0..a.rows {

@@ -6,7 +6,8 @@ use crate::gen::{round_to_bits, ulp, valid_expansion};
 use crate::{Case, Divergence};
 use core::cmp::Ordering;
 use mf_baselines::{campary::Expansion, dd::DoubleDouble, qd::QuadDouble};
-use mf_blas::{kernels, parallel, Matrix};
+use mf_blas::soa::SoaMatrix;
+use mf_blas::{kernels, parallel, tile, Matrix};
 use mf_core::{FloatBase, GuardPolicy, MultiFloat};
 use mf_mpsoft::MpFloat;
 use mf_softfloat::SoftFloat;
@@ -993,6 +994,16 @@ fn parse_vec<const N: usize>(flat: &[f64]) -> Option<Vec<MultiFloat<f64, N>>> {
     Some(out)
 }
 
+/// Like [`parse_vec`] but with no validity requirement on the components:
+/// used for the `beta == 0` overwrite checks, where the prior contents of
+/// `C`/`y` are deliberately NaN-poisoned and must not affect the result.
+fn parse_vec_raw<const N: usize>(flat: &[f64]) -> Option<Vec<MultiFloat<f64, N>>> {
+    if flat.is_empty() || !flat.len().is_multiple_of(N) {
+        return None;
+    }
+    Some(flat.chunks(N).map(mf::<N>).collect())
+}
+
 /// Error scale for a fused multiply-accumulate chain of `terms` products:
 /// each partial contributes at most its own rounding on top of the
 /// magnitude sum.
@@ -1135,8 +1146,19 @@ fn check_matrix_kernel<const N: usize>(case: &Case) -> Vec<Divergence> {
     let Some(b) = parse_vec::<N>(&case.operands[4]) else {
         return out;
     };
-    let Some(c0) = parse_vec::<N>(&case.operands[5]) else {
-        return out;
+    // `beta == 0` is the overwrite path: C's prior contents must be
+    // ignored entirely, so the generator poisons them with NaN and the
+    // parse is lenient (any component values accepted).
+    let c0 = if beta.is_zero() {
+        match parse_vec_raw::<N>(&case.operands[5]) {
+            Some(v) => v,
+            None => return out,
+        }
+    } else {
+        match parse_vec::<N>(&case.operands[5]) {
+            Some(v) => v,
+            None => return out,
+        }
     };
     if a.len() != m * k {
         return out;
@@ -1180,9 +1202,31 @@ fn check_matrix_kernel<const N: usize>(case: &Case) -> Vec<Divergence> {
                 return out;
             }
         }
+        // Cache-blocked path: bit-identical to serial at any tiling.
+        let sa = SoaMatrix::from_fn(m, k, |i, j| a[i * k + j]);
+        let sb = SoaMatrix::from_fn(k, p, |i, j| b[i * p + j]);
+        let mut sc = SoaMatrix::from_fn(m, p, |i, j| c0[i * p + j]);
+        tile::gemm_tiled(alpha, &sa, &sb, beta, &mut sc, 3);
         for i in 0..m {
             for j in 0..p {
-                let mut exact = be.mul(&c0[i * p + j].to_mp(ORACLE_PREC), ORACLE_PREC);
+                if sc.get(i, j).components() != cs.data[i * p + j].components() {
+                    out.push(diverge(
+                        case,
+                        "blas-tiled",
+                        format!("gemm[{i},{j}] differs from serial"),
+                    ));
+                    return out;
+                }
+            }
+        }
+        for i in 0..m {
+            for j in 0..p {
+                let mut exact = if beta.is_zero() {
+                    // Overwrite semantics: prior C (possibly NaN) ignored.
+                    MpFloat::zero(ORACLE_PREC)
+                } else {
+                    be.mul(&c0[i * p + j].to_mp(ORACLE_PREC), ORACLE_PREC)
+                };
                 let mut mag = exact.abs();
                 for t in 0..k {
                     let term = al
@@ -1205,10 +1249,11 @@ fn check_matrix_kernel<const N: usize>(case: &Case) -> Vec<Divergence> {
             Some(v) if v.len() == k => v,
             _ => return out,
         };
-        let y0 = match parse_vec::<N>(&case.operands[5]) {
-            Some(v) if v.len() == m => v,
-            _ => return out,
-        };
+        // operands[5] was already parsed above (leniently when beta == 0).
+        let y0 = c0;
+        if y0.len() != m {
+            return out;
+        }
         let ma = Matrix {
             rows: m,
             cols: k,
@@ -1227,7 +1272,12 @@ fn check_matrix_kernel<const N: usize>(case: &Case) -> Vec<Divergence> {
                 ));
                 return out;
             }
-            let mut exact = be.mul(&y0[i].to_mp(ORACLE_PREC), ORACLE_PREC);
+            let mut exact = if beta.is_zero() {
+                // Overwrite semantics: prior y (possibly NaN) ignored.
+                MpFloat::zero(ORACLE_PREC)
+            } else {
+                be.mul(&y0[i].to_mp(ORACLE_PREC), ORACLE_PREC)
+            };
             let mut mag = exact.abs();
             for t in 0..k {
                 let term = al

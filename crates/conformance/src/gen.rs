@@ -287,14 +287,22 @@ impl CaseGen {
                     }
                     other => other,
                 };
+                // Every third matrix case pins `beta == 0` and poisons the
+                // output operand with NaN: the overwrite path must ignore
+                // the prior contents entirely (checked against an oracle
+                // accumulation that starts from zero).
+                let poison = self.counter % 48 < 16;
                 match op {
                     "gemv" => {
                         let (m, k) = (self.rng.gen_range(1..=5), self.rng.gen_range(1..=5));
                         let a = self.flat_vec(m * k, n, r);
                         let x = self.flat_vec(k, n, r);
-                        let y = self.flat_vec(m, n, r);
                         let alpha = self.expansion(n, Regime::Random);
-                        let beta = self.expansion(n, Regime::Random);
+                        let (beta, y) = if poison {
+                            (vec![0.0; n], nan_poisoned(m, n))
+                        } else {
+                            (self.expansion(n, Regime::Random), self.flat_vec(m, n, r))
+                        };
                         let dims = vec![m as f64, k as f64];
                         Case::new("gemv", n, vec![dims, alpha, beta, a, x, y])
                     }
@@ -306,9 +314,15 @@ impl CaseGen {
                         );
                         let a = self.flat_vec(m * k, n, r);
                         let b = self.flat_vec(k * c, n, r);
-                        let cm = self.flat_vec(m * c, n, r);
                         let alpha = self.expansion(n, Regime::Random);
-                        let beta = self.expansion(n, Regime::Random);
+                        let (beta, cm) = if poison {
+                            (vec![0.0; n], nan_poisoned(m * c, n))
+                        } else {
+                            (
+                                self.expansion(n, Regime::Random),
+                                self.flat_vec(m * c, n, r),
+                            )
+                        };
                         let dims = vec![m as f64, k as f64, c as f64];
                         Case::new("gemm", n, vec![dims, alpha, beta, a, b, cm])
                     }
@@ -358,6 +372,12 @@ impl CaseGen {
         }
         out
     }
+}
+
+/// A flat `len`-element vector of N-component expansions with every
+/// component NaN, for the `beta == 0` overwrite checks.
+fn nan_poisoned(len: usize, n: usize) -> Vec<f64> {
+    vec![f64::NAN; len * n]
 }
 
 /// 2^e as f64 (handles the subnormal range; saturates outside it).

@@ -1,0 +1,219 @@
+//! `f64` LU factorization with partial pivoting and triangular solves.
+//!
+//! The factorization is the textbook right-looking elimination with row
+//! pivoting, stored packed (`L` strictly below the diagonal with unit
+//! diagonal implied, `U` on and above). Pivoting *is* data-dependent
+//! branching — that is fine here: the paper's branch-free discipline
+//! applies to the extended-precision arithmetic kernels, and this solver
+//! deliberately keeps the O(n³) factorization in plain hardware `f64`
+//! (the mixed-precision pattern; see [`crate::refine`]).
+
+use crate::{MatrixF64, SolveError};
+
+/// Packed LU factors with the pivoting permutation.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Packed `L\U` (row-major, `n x n`).
+    pub lu: MatrixF64,
+    /// Row permutation: elimination step `k` swapped rows `k` and
+    /// `perm[k]` of the working matrix (LAPACK `ipiv` convention applied
+    /// eagerly — `perm` maps output rows to original rows).
+    pub perm: Vec<usize>,
+}
+
+/// Factor a square matrix. Returns [`SolveError::SingularPivot`] when the
+/// best available pivot at some step is zero or non-finite (singular to
+/// working precision).
+pub fn lu_factor(a: &MatrixF64) -> Result<LuFactors, SolveError> {
+    if a.rows != a.cols {
+        return Err(SolveError::Shape(format!(
+            "lu_factor needs a square matrix, got {}x{}",
+            a.rows, a.cols
+        )));
+    }
+    let n = a.rows;
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for k in 0..n {
+        // Partial pivot: largest |entry| in column k at or below the
+        // diagonal.
+        let (mut pi, mut pv) = (k, lu.at(k, k).abs());
+        for i in k + 1..n {
+            let v = lu.at(i, k).abs();
+            if v > pv {
+                pi = i;
+                pv = v;
+            }
+        }
+        if pv == 0.0 || !pv.is_finite() {
+            return Err(SolveError::SingularPivot {
+                step: k,
+                pivot: lu.at(pi, k),
+            });
+        }
+        if pi != k {
+            for j in 0..n {
+                let t = lu.at(k, j);
+                lu.set(k, j, lu.at(pi, j));
+                lu.set(pi, j, t);
+            }
+            perm.swap(k, pi);
+        }
+        // Eliminate below the pivot.
+        let pivot = lu.at(k, k);
+        for i in k + 1..n {
+            let f = lu.at(i, k) / pivot;
+            lu.set(i, k, f);
+            for j in k + 1..n {
+                let v = lu.at(i, j) - f * lu.at(k, j);
+                lu.set(i, j, v);
+            }
+        }
+    }
+    Ok(LuFactors { lu, perm })
+}
+
+impl LuFactors {
+    /// Solve `A x = b` from the packed factors (permute, forward-, then
+    /// back-substitute).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n, "lu solve: b has {} elements, need {n}", b.len());
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        forward_substitute_unit(&self.lu, &mut x);
+        back_substitute(&self.lu, &mut x);
+        x
+    }
+}
+
+/// In-place `L y = b` with the unit-diagonal `L` packed strictly below the
+/// diagonal of `m`.
+pub fn forward_substitute_unit(m: &MatrixF64, x: &mut [f64]) {
+    let n = m.rows;
+    for i in 1..n {
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= m.at(i, j) * x[j];
+        }
+        x[i] = acc;
+    }
+}
+
+/// In-place `U x = y` with `U` packed on and above the diagonal of `m`.
+pub fn back_substitute(m: &MatrixF64, x: &mut [f64]) {
+    let n = m.rows;
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in i + 1..n {
+            acc -= m.at(i, j) * x[j];
+        }
+        x[i] = acc / m.at(i, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mat_vec(a: &MatrixF64, x: &[f64]) -> Vec<f64> {
+        (0..a.rows)
+            .map(|i| a.row(i).iter().zip(x).map(|(&aij, &xj)| aij * xj).sum())
+            .collect()
+    }
+
+    #[test]
+    fn lu_recovers_random_solution() {
+        let mut rng = SmallRng::seed_from_u64(7100);
+        for n in [1usize, 2, 5, 20, 64] {
+            // Diagonally dominant => well-conditioned and non-singular.
+            let a = MatrixF64::from_fn(n, n, |i, j| {
+                if i == j {
+                    n as f64 + 1.0
+                } else {
+                    rng.gen_range(-1.0..1.0)
+                }
+            });
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b = mat_vec(&a, &x_true);
+            let f = lu_factor(&a).expect("non-singular");
+            let x = f.solve(&b);
+            for i in 0..n {
+                assert!(
+                    (x[i] - x_true[i]).abs() <= 1e-10 * x_true[i].abs().max(1.0),
+                    "n={n} i={i}: {} vs {}",
+                    x[i],
+                    x_true[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lu_pivots_past_zero_leading_entry() {
+        // a[0][0] = 0 forces a pivot swap immediately.
+        let a = MatrixF64 {
+            rows: 2,
+            cols: 2,
+            data: vec![0.0, 1.0, 1.0, 0.0],
+        };
+        let f = lu_factor(&a).expect("permutation matrix is non-singular");
+        let x = f.solve(&[3.0, 4.0]);
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = MatrixF64 {
+            rows: 2,
+            cols: 2,
+            data: vec![1.0, 2.0, 2.0, 4.0],
+        };
+        match lu_factor(&a) {
+            Err(SolveError::SingularPivot { step, .. }) => assert_eq!(step, 1),
+            other => panic!("expected SingularPivot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lu_rejects_non_square() {
+        let a = MatrixF64::zeros(2, 3);
+        assert!(matches!(lu_factor(&a), Err(SolveError::Shape(_))));
+    }
+
+    #[test]
+    fn triangular_solves_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(7101);
+        let n = 9;
+        // A packed L\U with a safely bounded-away diagonal.
+        let m = MatrixF64::from_fn(n, n, |i, j| {
+            if i == j {
+                rng.gen_range(1.0..2.0)
+            } else {
+                rng.gen_range(-0.5..0.5)
+            }
+        });
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Forward: compute b = L y, then solve back to y.
+        let mut b = y.clone();
+        for i in (0..n).rev() {
+            for j in 0..i {
+                b[i] += m.at(i, j) * b[j]; // b = L y computed in place
+            }
+        }
+        let mut x = b;
+        forward_substitute_unit(&m, &mut x);
+        for i in 0..n {
+            assert!((x[i] - y[i]).abs() <= 1e-12, "forward i={i}");
+        }
+        // Back: b = U y, solve back.
+        let mut b: Vec<f64> = (0..n)
+            .map(|i| (i..n).map(|j| m.at(i, j) * y[j]).sum())
+            .collect();
+        back_substitute(&m, &mut b);
+        for i in 0..n {
+            assert!((b[i] - y[i]).abs() <= 1e-12, "back i={i}");
+        }
+    }
+}

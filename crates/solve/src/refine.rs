@@ -1,0 +1,378 @@
+//! Mixed-precision iterative refinement (Higham & Mary 2022; the paper's
+//! §1 motivating scenario).
+//!
+//! The O(n³) factorization stays in hardware `f64`; only the O(n²)
+//! residual `r = b − A·x` is computed in `MultiFloat<f64, N>` (one
+//! branch-free extended-precision DOT per row, via
+//! [`mf_blas::kernels::dot`]). Each step solves `A d = r` from the cached
+//! factors and updates `x += d`; with an extended-precision residual the
+//! iteration converges to a forward error near working precision whenever
+//! `cond(A) · ε_f64` is comfortably below 1, instead of stalling at the
+//! condition-number floor the way an `f64` residual does.
+
+use crate::lu::{lu_factor, LuFactors};
+use crate::{norm_inf, MatrixF64, SolveError};
+use mf_blas::kernels;
+use mf_core::MultiFloat;
+use mf_telemetry::{trace, Gauge};
+
+/// Iteration count of the most recent refinement (live-view gauge).
+static REFINE_ITERS: Gauge = Gauge::new("solve.refine.iterations");
+
+/// Knobs for [`refine_lu`].
+#[derive(Debug, Clone, Copy)]
+pub struct RefineOptions {
+    /// Hard cap on refinement steps.
+    pub max_iters: usize,
+    /// Convergence: stop once the correction is negligible,
+    /// `||d||_inf <= tol_factor * eps * ||x||_inf`. A residual-based test
+    /// would be useless here — LU with partial pivoting is already
+    /// normwise backward stable, so the *residual* of the unrefined
+    /// solution sits at the `n·eps` level even when its *forward* error is
+    /// `cond(A)·eps`; it is the correction norm that tracks the remaining
+    /// forward error (Higham & Mary 2022; same criterion as LAPACK's
+    /// `dsgesv`).
+    pub tol_factor: f64,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            max_iters: 40,
+            tol_factor: 4.0,
+        }
+    }
+}
+
+/// Refinement outcome. `residual_norms[k]` is `||b − A·x_k||_inf`
+/// (extended-precision residual, rounded to `f64`) *before* correction
+/// step `k`; the final entry is the converged/last residual, so the vector
+/// has `iterations + 1` entries.
+#[derive(Debug, Clone)]
+pub struct Refinement {
+    pub x: Vec<f64>,
+    pub residual_norms: Vec<f64>,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+/// Residual `r = b − A·x` with every row dot product accumulated in
+/// `MultiFloat<f64, N>`, rounded to `f64` on return.
+pub fn residual_extended<const N: usize>(a: &MatrixF64, b: &[f64], x: &[f64]) -> Vec<f64>
+where
+    MultiFloat<f64, N>: mf_blas::Scalar,
+{
+    let n = b.len();
+    let xe: Vec<MultiFloat<f64, N>> = x.iter().map(|&v| MultiFloat::from(v)).collect();
+    let mut row = vec![MultiFloat::<f64, N>::ZERO; a.cols];
+    let mut r = Vec::with_capacity(n);
+    for i in 0..n {
+        for (dst, &src) in row.iter_mut().zip(a.row(i)) {
+            *dst = MultiFloat::from(src);
+        }
+        let ax = kernels::dot(&row, &xe);
+        r.push(MultiFloat::<f64, N>::from(b[i]).sub(ax).to_f64());
+    }
+    r
+}
+
+/// Solve `A x = b` by `f64` LU + mixed-precision iterative refinement with
+/// `MultiFloat<f64, N>` residuals. `N = 1` degrades to plain `f64`
+/// refinement (useful as the ablation baseline); `N = 2` (quad) already
+/// recovers working-precision solutions at condition numbers ~1e12–1e14,
+/// `N = 4` (octuple) at ~1e16.
+pub fn refine_lu<const N: usize>(
+    a: &MatrixF64,
+    b: &[f64],
+    opts: RefineOptions,
+) -> Result<Refinement, SolveError>
+where
+    MultiFloat<f64, N>: mf_blas::Scalar,
+{
+    let factors = lu_factor(a)?;
+    refine_with_factors::<N>(a, &factors, b, opts)
+}
+
+/// Refinement against pre-computed factors (reuse one factorization across
+/// many right-hand sides).
+pub fn refine_with_factors<const N: usize>(
+    a: &MatrixF64,
+    factors: &LuFactors,
+    b: &[f64],
+    opts: RefineOptions,
+) -> Result<Refinement, SolveError>
+where
+    MultiFloat<f64, N>: mf_blas::Scalar,
+{
+    if a.rows != b.len() {
+        return Err(SolveError::Shape(format!(
+            "refine: A is {}x{} but b has {} elements",
+            a.rows,
+            a.cols,
+            b.len()
+        )));
+    }
+    let n = a.rows;
+    let mut x = factors.solve(b);
+    let mut residual_norms = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    for _ in 0..opts.max_iters {
+        let _sp = trace::span("solve.refine.step", n as u64);
+        let r = residual_extended::<N>(a, b, &x);
+        residual_norms.push(norm_inf(&r));
+        let d = factors.solve(&r);
+        for (xi, di) in x.iter_mut().zip(&d) {
+            *xi += di;
+        }
+        iterations += 1;
+        if norm_inf(&d) <= opts.tol_factor * f64::EPSILON * norm_inf(&x) {
+            converged = true;
+            break;
+        }
+    }
+    // One final residual so the caller always sees iterations + 1 norms,
+    // the last reflecting the returned x.
+    let r = residual_extended::<N>(a, b, &x);
+    residual_norms.push(norm_inf(&r));
+    REFINE_ITERS.set(iterations as i64);
+    Ok(Refinement {
+        x,
+        residual_norms,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hilbert, matrix_norm_inf};
+    use mf_mpsoft::MpFloat;
+
+    /// Right-hand side `b = H * ones` with every entry computed through
+    /// the exact MpFloat dot oracle, rounded once to `f64` — the ground
+    /// truth is solid even where the matrix is nearly singular.
+    fn hilbert_rhs_ones(h: &MatrixF64) -> Vec<f64> {
+        let ones = vec![1.0f64; h.cols];
+        (0..h.rows)
+            .map(|i| MpFloat::exact_dot(h.row(i), &ones).to_f64())
+            .collect()
+    }
+
+    const ORACLE_PREC: u32 = 512;
+
+    /// Oracle solve of the *stored* `f64` system at 512-bit precision.
+    /// This is the right reference: rounding `b = H·ones` to `f64` already
+    /// perturbs the true solution of the stored system away from `ones` by
+    /// ~`cond(H)·eps` (O(1) at n = 12!), so refinement must be judged
+    /// against the exact solution of what it was actually given, not
+    /// against `ones`. Hilbert matrices are SPD, so elimination without
+    /// pivoting is fine at this precision.
+    fn oracle_solve(h: &MatrixF64, b: &[f64]) -> Vec<f64> {
+        let (n, p) = (h.rows, ORACLE_PREC);
+        let mut m: Vec<Vec<MpFloat>> = (0..n)
+            .map(|i| {
+                h.row(i)
+                    .iter()
+                    .chain(std::iter::once(&b[i]))
+                    .map(|&v| MpFloat::from_f64(v, p))
+                    .collect()
+            })
+            .collect();
+        for k in 0..n {
+            let pivot_row = m[k].clone();
+            for row in m.iter_mut().skip(k + 1) {
+                let f = row[k].div(&pivot_row[k], p);
+                for (dst, src) in row.iter_mut().zip(&pivot_row).skip(k) {
+                    *dst = dst.sub(&f.mul(src, p), p);
+                }
+            }
+        }
+        let mut xs: Vec<MpFloat> = vec![MpFloat::zero(p); n];
+        for i in (0..n).rev() {
+            let mut acc = m[i][n].clone();
+            for j in i + 1..n {
+                acc = acc.sub(&m[i][j].mul(&xs[j], p), p);
+            }
+            xs[i] = acc.div(&m[i][i], p);
+        }
+        xs.iter().map(|v| v.to_f64()).collect()
+    }
+
+    fn ferr_vs(x: &[f64], x_ref: &[f64]) -> f64 {
+        x.iter()
+            .zip(x_ref)
+            .fold(0.0f64, |m, (&xi, &ri)| m.max((xi - ri).abs()))
+    }
+
+    /// Exact residual norm via MpFloat: `||b − H·x||_inf` with the dot
+    /// products computed exactly (r_i = exact_dot([row, b_i], [-x, 1])).
+    fn exact_residual_norm(h: &MatrixF64, b: &[f64], x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..h.rows {
+            let mut xs = h.row(i).to_vec();
+            xs.push(b[i]);
+            let mut ys: Vec<f64> = x.iter().map(|&v| -v).collect();
+            ys.push(1.0);
+            worst = worst.max(MpFloat::exact_dot(&xs, &ys).to_f64().abs());
+        }
+        worst
+    }
+
+    /// The headline claim (paper §1, Higham & Mary 2022): on Hilbert
+    /// systems with condition numbers up to ~1e16, F64x4-residual
+    /// refinement converges to the residual bound — verified against the
+    /// exact MpFloat oracle, not against the refinement's own arithmetic —
+    /// and recovers the solution to near machine accuracy, while the
+    /// factorization alone is orders of magnitude off.
+    #[test]
+    fn refine_converges_to_f64x4_residual_bound_on_hilbert_vs_oracle() {
+        for n in [8usize, 10, 12] {
+            let h = hilbert(n);
+            let b = hilbert_rhs_ones(&h);
+            let out = refine_lu::<4>(&h, &b, RefineOptions::default()).unwrap();
+            assert!(
+                out.converged,
+                "n={n}: did not converge: {:?}",
+                out.residual_norms
+            );
+
+            // Forward error vs the 512-bit oracle solution of the stored
+            // system: refinement reaches near machine accuracy where the
+            // plain LU solve is off by ~cond(H)*eps (≈1e-6 at n=8, O(1) at
+            // n=12).
+            let x_ref = oracle_solve(&h, &b);
+            let ferr = ferr_vs(&out.x, &x_ref);
+            let xnorm = norm_inf(&x_ref);
+            assert!(
+                ferr <= 1e-12 * xnorm,
+                "n={n}: forward error {ferr:e} (||x|| = {xnorm:e})"
+            );
+            let plain = lu_factor(&h).unwrap().solve(&b);
+            let plain_err = ferr_vs(&plain, &x_ref);
+            assert!(
+                plain_err > 100.0 * ferr.max(1e-15),
+                "n={n}: refinement should beat plain LU ({plain_err:e} vs {ferr:e})"
+            );
+
+            // Residual bound, judged by the *oracle*: the true residual of
+            // the refined x sits at the scaled backward-error level the
+            // F64x4 residual reported, not above it.
+            let r_exact = exact_residual_norm(&h, &b, &out.x);
+            let scale = matrix_norm_inf(&h) * norm_inf(&out.x) + norm_inf(&b);
+            let bound = RefineOptions::default().tol_factor * n as f64 * f64::EPSILON * scale;
+            assert!(
+                r_exact <= bound,
+                "n={n}: exact residual {r_exact:e} above bound {bound:e}"
+            );
+            // And the F64x4 residual agreed with the oracle when it
+            // declared convergence (same bound, so they can differ by at
+            // most rounding in the extended dot).
+            let reported = *out.residual_norms.last().unwrap();
+            assert!(
+                (reported - r_exact).abs() <= 1e-3 * r_exact.max(f64::EPSILON * scale),
+                "n={n}: reported {reported:e} vs exact {r_exact:e}"
+            );
+
+            // Residual norms decrease until convergence.
+            for w in out.residual_norms.windows(2) {
+                assert!(
+                    w[1] <= w[0] * 0.9 || w[1] <= bound,
+                    "n={n}: non-decreasing residuals {:?}",
+                    out.residual_norms
+                );
+            }
+        }
+    }
+
+    /// F64x2 residuals suffice at moderate conditioning, and the f64
+    /// (`N = 1`) baseline stalls at the condition-number floor where the
+    /// extended residual does not — the mixed-precision ablation.
+    #[test]
+    fn residual_precision_ablation() {
+        let n = 10;
+        let h = hilbert(n);
+        let b = hilbert_rhs_ones(&h);
+        let x_ref = oracle_solve(&h, &b);
+        let x2 = refine_lu::<2>(&h, &b, RefineOptions::default()).unwrap();
+        assert!(x2.converged, "F64x2 at cond ~1e13 must converge");
+        let ferr2 = ferr_vs(&x2.x, &x_ref);
+        assert!(ferr2 <= 1e-12, "F64x2 forward error {ferr2:e}");
+
+        let x1 = refine_lu::<1>(
+            &h,
+            &b,
+            RefineOptions {
+                max_iters: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ferr1 = ferr_vs(&x1.x, &x_ref);
+        assert!(
+            ferr1 > 100.0 * ferr2.max(1e-15),
+            "f64 residual should stall ({ferr1:e}) vs F64x2 ({ferr2:e})"
+        );
+    }
+
+    #[test]
+    fn residual_extended_matches_oracle_rounding() {
+        let n = 9;
+        let h = hilbert(n);
+        let b = hilbert_rhs_ones(&h);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 1e-9).collect();
+        let r4 = residual_extended::<4>(&h, &b, &x);
+        for i in 0..n {
+            let mut xs = h.row(i).to_vec();
+            xs.push(b[i]);
+            let mut ys: Vec<f64> = x.iter().map(|&v| -v).collect();
+            ys.push(1.0);
+            let exact = MpFloat::exact_dot(&xs, &ys).to_f64();
+            let tol = 1e-3 * exact.abs().max(1e-300);
+            assert!(
+                (r4[i] - exact).abs() <= tol,
+                "row {i}: {:-e} vs {exact:e}",
+                r4[i]
+            );
+        }
+    }
+
+    #[test]
+    fn refine_reuses_factors_across_rhs() {
+        let n = 8;
+        let h = hilbert(n);
+        let f = lu_factor(&h).unwrap();
+        let b1 = hilbert_rhs_ones(&h);
+        let x_ref = oracle_solve(&h, &b1);
+        // Power-of-two scalings of b are exact in f64, so the stored
+        // system's solution scales exactly too.
+        for scale in [1.0f64, -2.0, 0.5] {
+            let b: Vec<f64> = b1.iter().map(|v| v * scale).collect();
+            let out = refine_with_factors::<4>(&h, &f, &b, RefineOptions::default()).unwrap();
+            assert!(out.converged);
+            for (xi, ri) in out.x.iter().zip(&x_ref) {
+                assert!((xi - scale * ri).abs() <= 1e-12, "{xi} vs {}", scale * ri);
+            }
+        }
+    }
+
+    #[test]
+    fn refine_shape_mismatch() {
+        let h = hilbert(4);
+        let b = vec![1.0; 5];
+        assert!(matches!(
+            refine_lu::<2>(&h, &b, RefineOptions::default()),
+            Err(SolveError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn refine_singular_matrix_reports() {
+        let a = MatrixF64::zeros(3, 3);
+        assert!(matches!(
+            refine_lu::<2>(&a, &[1.0, 2.0, 3.0], RefineOptions::default()),
+            Err(SolveError::SingularPivot { .. })
+        ));
+    }
+}

@@ -4,8 +4,9 @@
 # Usage: scripts/refresh_baseline.sh [baseline.jsonl]
 #   (default: results/history/baseline.jsonl)
 #
-# Reruns the history-producing bench binaries (tables + pardispatch) twice
-# in quick mode against the given baseline file, replacing its contents.
+# Reruns the history-producing bench binaries (tables + pardispatch +
+# solve) twice in quick mode against the given baseline file, replacing
+# its contents.
 # Two same-revision passes are what gives the trend gate its noise floor;
 # all records carry git_rev "baseline" so fresh CI runs never pool with
 # them. Run this (and commit the result) whenever a bench binary grows new
@@ -36,6 +37,8 @@ for pass in 1 2; do
   ./target/release/tables --manifest results/manifest_baseline_tables.json >/dev/null
   echo "=== baseline pass $pass/2: pardispatch ===" >&2
   ./target/release/pardispatch --manifest results/manifest_baseline_pardispatch.json >/dev/null
+  echo "=== baseline pass $pass/2: solve ===" >&2
+  ./target/release/solve --manifest results/manifest_baseline_solve.json >/dev/null
 done
 
 echo "wrote $(wc -l < "$BASELINE") record(s) to $BASELINE" >&2

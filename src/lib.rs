@@ -27,7 +27,8 @@
 //! | [`softfloat`] | `mf-softfloat` | bit-exact soft float for small-precision verification |
 //! | [`mpsoft`] | `mf-mpsoft` | limb-based arbitrary precision: baseline and exact oracle |
 //! | [`baselines`] | `mf-baselines` | QD and CAMPARY ports |
-//! | [`blas`] | `mf-blas` | extended-precision AXPY/DOT/GEMV/GEMM (AoS, SoA, parallel) |
+//! | [`blas`] | `mf-blas` | extended-precision AXPY/DOT/GEMV/GEMM (AoS, SoA, parallel, tiled) |
+//! | [`solve`] | `mf-solve` | f64 LU/QR + mixed-precision iterative refinement |
 
 pub use mf_core::{F32x2, F32x3, F32x4, F64x2, F64x3, F64x4, FloatBase, MultiFloat};
 pub use mf_core::{GuardFlags, GuardPath, GuardPolicy, Guarded};
@@ -39,6 +40,7 @@ pub use mf_eft as eft;
 pub use mf_fpan as fpan;
 pub use mf_mpsoft as mpsoft;
 pub use mf_softfloat as softfloat;
+pub use mf_solve as solve;
 
 pub use mf_mpsoft::MpFloat;
 pub use mf_softfloat::SoftFloat;
