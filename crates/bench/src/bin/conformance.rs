@@ -7,19 +7,23 @@
 //! `cargo test -p mf-conformance`. Exit status 1 means divergences were
 //! found, 0 means the sweep was clean.
 //!
+//! `--guarded` adds a lockstep sweep of the `checked_*` API under each
+//! recovery policy; `--adaptive` adds a lockstep sweep of the `Adaptive`
+//! ladder engine, whose escalated results must match the MpFloat oracle.
+//!
 //! Usage:
 //!   cargo run --release -p mf-bench --bin conformance -- \
 //!       [--ops arith,cmp,convert,io,blas,soft] [--cases N] [--seed S] \
-//!       [--corpus <dir>] [--manifest <json>]
+//!       [--guarded] [--adaptive] [--corpus <dir>] [--manifest <json>]
 
 use mf_bench::{cli, history, RunManifest};
-use mf_conformance::{corpus, run_class, run_guarded, OpClass};
+use mf_conformance::{corpus, run_adaptive, run_class, run_guarded, OpClass};
 use mf_core::GuardPolicy;
 use mf_telemetry::json::Json;
 use std::time::Instant;
 
-const USAGE: &str = "[--ops <class,..>] [--cases N] [--seed S] [--guarded] [--corpus <dir>] \
-                     [--manifest <json>] [--trace <json>]";
+const USAGE: &str = "[--ops <class,..>] [--cases N] [--seed S] [--guarded] [--adaptive] \
+                     [--corpus <dir>] [--manifest <json>] [--trace <json>]";
 
 fn main() {
     let started = Instant::now();
@@ -32,6 +36,7 @@ fn main() {
     };
     let mut seed: u64 = 0x5EED_CAFE;
     let mut guarded = false;
+    let mut adaptive = false;
     let mut corpus_dir = String::from("results/conformance");
     let mut manifest_path = String::from("results/manifest_conformance.json");
     let mut trace_flag: Option<String> = None;
@@ -84,6 +89,10 @@ fn main() {
             }
             "--guarded" => {
                 guarded = true;
+                i += 1;
+            }
+            "--adaptive" => {
+                adaptive = true;
                 i += 1;
             }
             "--corpus" => {
@@ -151,6 +160,38 @@ fn main() {
         }
     }
 
+    // Adaptive lockstep: the same adversarial generator drives the
+    // `Adaptive` ladder engine; escalated results must land on the MpFloat
+    // oracle at the F64x2 representation bound, with no collapse excuses
+    // short of genuine overflow.
+    let mut adaptive_extra: Option<Json> = None;
+    if adaptive {
+        let t = Instant::now();
+        let (divs, stats) = run_adaptive(cases, seed);
+        println!(
+            "{:<10} {:>10} {:>12} {:>10.1}   ({} escalations, {} oracle, rate {:.4})",
+            "adaptive",
+            cases,
+            divs.len(),
+            t.elapsed().as_secs_f64(),
+            stats.escalations,
+            stats.oracle_falls,
+            stats.escalation_rate(),
+        );
+        counts.push(("adaptive".to_string(), Json::u64(divs.len() as u64)));
+        adaptive_extra = Some(Json::Obj(vec![
+            ("ops".to_string(), Json::u64(stats.ops)),
+            ("escalations".to_string(), Json::u64(stats.escalations)),
+            ("oracle_falls".to_string(), Json::u64(stats.oracle_falls)),
+            ("degraded_ops".to_string(), Json::u64(stats.degraded_ops)),
+            (
+                "escalation_rate".to_string(),
+                Json::Num(stats.escalation_rate()),
+            ),
+        ]));
+        all.extend(divs);
+    }
+
     if !all.is_empty() {
         println!("\n{} divergence(s); minimal reproducers:", all.len());
         for d in &all {
@@ -181,12 +222,20 @@ fn main() {
         }
     }
 
-    let config = if guarded { "sweep+guarded" } else { "sweep" };
-    let manifest = RunManifest::collect("conformance", config, 0, started)
+    let config = match (guarded, adaptive) {
+        (true, true) => "sweep+guarded+adaptive",
+        (true, false) => "sweep+guarded",
+        (false, true) => "sweep+adaptive",
+        (false, false) => "sweep",
+    };
+    let mut manifest = RunManifest::collect("conformance", config, 0, started)
         .with_extra("cases_per_class", Json::u64(cases as u64))
         .with_extra("seed", Json::u64(seed))
         .with_extra("divergences", Json::Obj(counts))
         .with_extra("registry", mf_telemetry::registry::snapshot_json());
+    if let Some(extra) = adaptive_extra {
+        manifest = manifest.with_extra("adaptive", extra);
+    }
     cli::write_manifest(&manifest, &manifest_path);
     history::record_wall_ms("conformance", started.elapsed().as_secs_f64() * 1e3);
     history::append_run("conformance", &history::platform_label());

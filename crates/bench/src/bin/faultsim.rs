@@ -14,14 +14,22 @@
 //! `GuardPolicy::FastOnly` against the raw operators on clean inputs: the
 //! guard-overhead ablation recorded in EXPERIMENTS.md (target ≤5%).
 //!
+//! With `--adaptive` the tool runs the closed-loop campaign instead:
+//! every effective fault must trip a detector (tier 1 or the re-execution
+//! cross-check), enter the recovery ladder (re-run, then exact-oracle
+//! reconstruction), and end within the network's verified bound. Reported
+//! per network as masked / missed / escalated / recovered / unrecovered;
+//! the run fails below a 99% detect-and-recover rate or on any escalation
+//! from a clean input.
+//!
 //! Usage:
 //!   cargo run --release -p mf-bench --bin faultsim -- \
-//!       [--nets add2,add3,add4,mul2,mul3,mul4] [--cases N] [--flips N] \
-//!       [--seed S] [--tol BITS] [--manifest <json>]
+//!       [--adaptive] [--nets add2,add3,add4,mul2,mul3,mul4] [--cases N] \
+//!       [--flips N] [--seed S] [--tol BITS] [--manifest <json>]
 
 use mf_bench::{cli, history, sink, RunManifest};
 use mf_core::{GuardPolicy, MultiFloat};
-use mf_fpan::fault::{self, FaultStats};
+use mf_fpan::fault::{self, AdaptiveFaultStats, FaultStats};
 use mf_fpan::verify::random_expansion;
 use mf_fpan::{networks, Fpan};
 use mf_telemetry::json::Json;
@@ -30,7 +38,7 @@ use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 const USAGE: &str =
-    "[--nets <net,..>] [--cases N] [--flips N] [--seed S] [--tol BITS] [--manifest <json>] [--trace <json>]";
+    "[--adaptive] [--nets <net,..>] [--cases N] [--flips N] [--seed S] [--tol BITS] [--manifest <json>] [--trace <json>]";
 
 /// One campaign target: a network plus its verified error bound and a
 /// case generator producing valid (in-contract) input vectors.
@@ -84,6 +92,127 @@ fn gen_case(name: &str, rng: &mut SmallRng) -> Vec<f64> {
     } else {
         networks::mul_expansion_step(&x, &y)
     }
+}
+
+fn adaptive_stats_json(st: &AdaptiveFaultStats) -> Json {
+    Json::Obj(vec![
+        ("cases".into(), Json::u64(st.cases)),
+        ("clean_escalations".into(), Json::u64(st.clean_escalations)),
+        ("injected".into(), Json::u64(st.injected)),
+        ("masked".into(), Json::u64(st.masked)),
+        ("missed".into(), Json::u64(st.missed)),
+        ("escalated".into(), Json::u64(st.escalated)),
+        ("rerun_recovered".into(), Json::u64(st.rerun_recovered)),
+        ("oracle_recovered".into(), Json::u64(st.oracle_recovered)),
+        ("recovered".into(), Json::u64(st.recovered)),
+        ("unrecovered".into(), Json::u64(st.unrecovered)),
+        ("escalation_rate".into(), Json::Num(st.escalation_rate())),
+        ("recovery_rate".into(), Json::Num(st.recovery_rate())),
+    ])
+}
+
+/// The closed-loop campaign: detect → escalate → recover → verify, per
+/// network; fails the run if the combined detect-and-recover rate over
+/// effective faults drops below 99% or anything escalates on a clean run.
+#[allow(clippy::too_many_arguments)]
+fn run_adaptive(
+    nets: &[String],
+    cases: usize,
+    flips: usize,
+    seed: u64,
+    tol_bits: u32,
+    manifest_path: &str,
+    quick: bool,
+    started: Instant,
+) {
+    println!(
+        "Adaptive fault campaign (detect-escalate-recover): {cases} cases/net, {flips} bit \
+         flips + exhaustive dropout, seed {seed:#x}, tol 2^-{tol_bits}"
+    );
+    println!(
+        "{:<6} {:>9} {:>8} {:>7} {:>10} {:>10} {:>12} {:>9}",
+        "net", "injected", "masked", "missed", "escalated", "recovered", "unrecovered", "recovery"
+    );
+    println!("{}", "-".repeat(78));
+    let mut per_net = Vec::new();
+    let mut parts = Vec::new();
+    for (ni, name) in nets.iter().enumerate() {
+        let t = target(name).expect("validated above");
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(ni as u64));
+        let inputs: Vec<Vec<f64>> = (0..cases).map(|_| gen_case(name, &mut rng)).collect();
+        let mut faults = fault::sample_bit_flips(&t.net, flips, seed ^ (ni as u64) << 8);
+        faults.extend(fault::all_dropouts(&t.net));
+        let st = fault::adaptive_campaign(&t.net, &inputs, &faults, t.q, tol_bits);
+        println!(
+            "{:<6} {:>9} {:>8} {:>7} {:>10} {:>10} {:>12} {:>8.2}%",
+            t.name,
+            st.injected,
+            st.masked,
+            st.missed,
+            st.escalated,
+            st.recovered,
+            st.unrecovered,
+            100.0 * st.recovery_rate(),
+        );
+        per_net.push((t.name.to_string(), adaptive_stats_json(&st)));
+        parts.push(st);
+    }
+    let total = fault::merge_adaptive_stats(&parts);
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:<6} {:>9} {:>8} {:>7} {:>10} {:>10} {:>12} {:>8.2}%",
+        "total",
+        total.injected,
+        total.masked,
+        total.missed,
+        total.escalated,
+        total.recovered,
+        total.unrecovered,
+        100.0 * total.recovery_rate(),
+    );
+
+    let manifest = RunManifest::collect(
+        "faultsim-adaptive",
+        if quick { "quick" } else { "full" },
+        0,
+        started,
+    )
+    .with_extra("cases_per_net", Json::u64(cases as u64))
+    .with_extra("bit_flips_per_net", Json::u64(flips as u64))
+    .with_extra("seed", Json::u64(seed))
+    .with_extra("tol_bits", Json::u64(tol_bits as u64))
+    .with_extra("per_net", Json::Obj(per_net))
+    .with_extra("total", adaptive_stats_json(&total))
+    .with_extra("registry", mf_telemetry::registry::snapshot_json());
+    cli::write_manifest(&manifest, manifest_path);
+    history::record_wall_ms("faultsim-adaptive", started.elapsed().as_secs_f64() * 1e3);
+    history::append_run("faultsim-adaptive", &history::platform_label());
+
+    let mut failed = false;
+    if total.recovery_rate() < 0.99 {
+        eprintln!(
+            "FAIL: combined detect-and-recover rate {:.4} below the 0.99 floor",
+            total.recovery_rate()
+        );
+        failed = true;
+    }
+    if total.clean_escalations > 0 {
+        eprintln!(
+            "FAIL: {} false escalation(s) on clean runs",
+            total.clean_escalations
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "\nok: {:.2}% of effective faults detected and recovered \
+         ({} via re-run, {} via exact oracle), no false escalations",
+        100.0 * total.recovery_rate(),
+        total.rerun_recovered,
+        total.oracle_recovered,
+    );
 }
 
 fn stats_json(st: &FaultStats) -> Json {
@@ -219,9 +348,14 @@ fn main() {
     let mut tol_bits: u32 = 40;
     let mut manifest_path = String::from("results/manifest_faultsim.json");
     let mut trace_flag: Option<String> = None;
+    let mut adaptive = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--adaptive" => {
+                adaptive = true;
+                i += 1;
+            }
             "--nets" => {
                 let v = cli::flag_value(&args, i, "faultsim", USAGE);
                 nets = v
@@ -305,6 +439,24 @@ fn main() {
     let trace = cli::trace_path(trace_flag);
     cli::trace_arm(&trace);
     cli::metrics_init();
+
+    if adaptive {
+        if manifest_path == "results/manifest_faultsim.json" {
+            manifest_path = String::from("results/manifest_faultsim_adaptive.json");
+        }
+        run_adaptive(
+            &nets,
+            cases,
+            flips,
+            seed,
+            tol_bits,
+            &manifest_path,
+            quick,
+            started,
+        );
+        cli::trace_finish(&trace);
+        return;
+    }
 
     println!(
         "Fault-injection campaign: {cases} cases/net, {flips} bit flips + exhaustive dropout, \

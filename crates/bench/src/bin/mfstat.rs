@@ -90,6 +90,51 @@ fn render(
         }
     }
 
+    // Adaptive ladder: escalation rates derived from the engine counters
+    // (cumulative, plus the per-interval rate over escalation deltas).
+    let val = |name: &str| counters.get(name).copied();
+    let mut adaptive = String::new();
+    for (layer, ops_key, esc_key, oracle_key) in [
+        (
+            "core",
+            "mf_core_adaptive_ops_total",
+            "mf_core_adaptive_escalations_total",
+            "mf_core_adaptive_oracle_falls_total",
+        ),
+        (
+            "blas",
+            "mf_blas_adaptive_chunks_total",
+            "mf_blas_adaptive_escalations_total",
+            "mf_blas_adaptive_oracle_falls_total",
+        ),
+    ] {
+        if let (Some(ops), Some(esc)) = (val(ops_key), val(esc_key)) {
+            if ops > 0.0 {
+                let d_ops = prev.get(ops_key).map(|p| (ops - p).max(0.0));
+                let d_esc = prev.get(esc_key).map(|p| (esc - p).max(0.0));
+                let interval = match (d_ops, d_esc) {
+                    (Some(o), Some(e)) if o > 0.0 => format!("{:.4}", e / o),
+                    _ => "-".into(),
+                };
+                adaptive.push_str(&format!(
+                    "  {:<14} {:>14} {:>14} {:>10} {:>10.4} {:>10}\n",
+                    layer,
+                    ops,
+                    esc,
+                    val(oracle_key).unwrap_or(0.0),
+                    esc / ops,
+                    interval,
+                ));
+            }
+        }
+    }
+    if !adaptive.is_empty() {
+        out.push_str(
+            "adaptive                  ops/chunks    escalations     oracle       rate   interval\n",
+        );
+        out.push_str(&adaptive);
+    }
+
     // Sections: group the summary quantile samples by section label.
     let mut sections: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     for s in doc.family("mf_section_seconds") {

@@ -171,6 +171,58 @@ fn main() {
         print!("{}", mf_bench::digest::render(&merged_sections));
     }
 
+    // Escalation view: any manifest whose counters carry the adaptive
+    // engines' tallies gets a rate row (ladder climbs per op / per chunk).
+    let mut adaptive_rows: Vec<(String, &str, u64, u64, u64)> = Vec::new();
+    for (_, m) in &manifests {
+        let get = |name: &str| {
+            m.snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        for (layer, ops_key, esc_key, oracle_key) in [
+            (
+                "core",
+                "core.adaptive.ops",
+                "core.adaptive.escalations",
+                "core.adaptive.oracle_falls",
+            ),
+            (
+                "blas",
+                "blas.adaptive.chunks",
+                "blas.adaptive.escalations",
+                "blas.adaptive.oracle_falls",
+            ),
+        ] {
+            if let (Some(ops), Some(esc)) = (get(ops_key), get(esc_key)) {
+                if ops > 0 {
+                    adaptive_rows.push((
+                        m.tool.clone(),
+                        layer,
+                        ops,
+                        esc,
+                        get(oracle_key).unwrap_or(0),
+                    ));
+                }
+            }
+        }
+    }
+    if !adaptive_rows.is_empty() {
+        println!("\nAdaptive escalation rates:");
+        println!(
+            "  {:<16} {:<6} {:>12} {:>12} {:>10} {:>8}",
+            "tool", "layer", "ops", "escalations", "oracle", "rate"
+        );
+        for (tool, layer, ops, esc, oracle) in adaptive_rows {
+            println!(
+                "  {tool:<16} {layer:<6} {ops:>12} {esc:>12} {oracle:>10} {:>8.4}",
+                esc as f64 / ops as f64
+            );
+        }
+    }
+
     // Dropped events mean the digest above is *incomplete*: the buffer
     // overflowed and later events were discarded. Make that loud.
     let total_dropped: u64 = manifests

@@ -4,72 +4,136 @@
 //! with (the paper compiles each library's kernels "with identical
 //! parallelization strategies, using ij loop ordering for GEMV and ikj
 //! loop ordering for GEMM").
+//!
+//! Every public kernel is runtime-dispatched the same way as the tiled
+//! GEMM path ([`crate::tile`]): on x86-64 with AVX2+FMA detected the loop
+//! body is compiled with those features enabled, so the EFT `mul_add`s
+//! lower to `vfmadd` instructions instead of soft-float libm calls. Both
+//! lowerings are correctly rounded, so the dispatched and portable builds
+//! produce bit-identical results; the check itself is one cached atomic
+//! load per kernel call.
 
 use crate::{Matrix, Scalar};
 
-/// `y <- alpha * x + y`.
-pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
-    assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi = yi.s_mul_acc(alpha, xi);
+/// Expand one kernel into the portable `*_body`, the AVX2+FMA
+/// `#[target_feature]` instantiation of that body, and the dispatching
+/// public wrapper (the tile.rs pattern, applied to the flat kernels).
+/// The `#[inline(always)]` body plus `#[inline]` EFT primitives guarantee
+/// the whole hot loop lands inside the feature-enabled frame.
+macro_rules! fma_dispatched {
+    ($(#[$doc:meta])* pub fn $name:ident / $body:ident / $fma:ident
+     <S: Scalar>($($arg:ident: $ty:ty),* $(,)?) $(-> $ret:ty)? $code:block) => {
+        #[inline(always)]
+        fn $body<S: Scalar>($($arg: $ty),*) $(-> $ret)? $code
+
+        /// AVX2+FMA instantiation of the kernel body.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure the `avx2` and `fma` CPU features are present.
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn $fma<S: Scalar>($($arg: $ty),*) $(-> $ret)? {
+            $body($($arg),*)
+        }
+
+        $(#[$doc])*
+        pub fn $name<S: Scalar>($($arg: $ty),*) $(-> $ret)? {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                // SAFETY: the required CPU features were just detected.
+                return unsafe { $fma($($arg),*) };
+            }
+            $body($($arg),*)
+        }
+    };
+}
+
+fma_dispatched! {
+    /// `y <- alpha * x + y`.
+    pub fn axpy / axpy_body / axpy_fma<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+        assert_eq!(x.len(), y.len());
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = yi.s_mul_acc(alpha, xi);
+        }
     }
 }
 
-/// Dot product `x · y`.
-pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
-    assert_eq!(x.len(), y.len());
-    let mut acc = S::s_zero();
-    for (&xi, &yi) in x.iter().zip(y) {
-        acc = acc.s_mul_acc(xi, yi);
+fma_dispatched! {
+    /// Dot product `x · y`.
+    pub fn dot / dot_body / dot_fma<S: Scalar>(x: &[S], y: &[S]) -> S {
+        assert_eq!(x.len(), y.len());
+        let mut acc = S::s_zero();
+        for (&xi, &yi) in x.iter().zip(y) {
+            acc = acc.s_mul_acc(xi, yi);
+        }
+        acc
     }
-    acc
 }
 
-/// `y <- alpha * A * x + beta * y`, `ij` loop order (row-major `A`).
-///
-/// Standard BLAS semantics: `beta == 0` *overwrites* `y` without reading
-/// it, so NaN/Inf in an uninitialized output buffer never propagates. The
-/// branch is hoisted out of the row loop; the loop bodies stay branch-free.
-pub fn gemv<S: Scalar>(alpha: S, a: &Matrix<S>, x: &[S], beta: S, y: &mut [S]) {
-    assert_eq!(a.cols, x.len());
-    assert_eq!(a.rows, y.len());
-    if beta.s_is_zero() {
+fma_dispatched! {
+    /// `y <- alpha * A * x + beta * y`, `ij` loop order (row-major `A`).
+    ///
+    /// Standard BLAS semantics: `beta == 0` *overwrites* `y` without reading
+    /// it, so NaN/Inf in an uninitialized output buffer never propagates. The
+    /// branch is hoisted out of the row loop; the loop bodies stay branch-free.
+    pub fn gemv / gemv_body / gemv_fma<S: Scalar>(
+        alpha: S,
+        a: &Matrix<S>,
+        x: &[S],
+        beta: S,
+        y: &mut [S],
+    ) {
+        assert_eq!(a.cols, x.len());
+        assert_eq!(a.rows, y.len());
+        if beta.s_is_zero() {
+            for i in 0..a.rows {
+                y[i] = alpha.s_mul(dot_body(a.row(i), x));
+            }
+        } else {
+            for i in 0..a.rows {
+                let acc = dot_body(a.row(i), x);
+                y[i] = beta.s_mul(y[i]).s_add(alpha.s_mul(acc));
+            }
+        }
+    }
+}
+
+fma_dispatched! {
+    /// `C <- alpha * A * B + beta * C`, `ikj` loop order.
+    pub fn gemm / gemm_body / gemm_fma<S: Scalar>(
+        alpha: S,
+        a: &Matrix<S>,
+        b: &Matrix<S>,
+        beta: S,
+        c: &mut Matrix<S>,
+    ) {
+        assert_eq!(a.cols, b.rows);
+        assert_eq!(c.rows, a.rows);
+        assert_eq!(c.cols, b.cols);
+        // Scale C by beta first (ikj accumulates into C). beta == 0 overwrites
+        // instead of scaling (standard BLAS semantics: garbage/NaN in C must
+        // not propagate); the branch is per-call, the loops stay branch-free.
+        if beta.s_is_zero() {
+            for v in &mut c.data {
+                *v = S::s_zero();
+            }
+        } else {
+            for v in &mut c.data {
+                *v = beta.s_mul(*v);
+            }
+        }
+        let n = b.cols;
         for i in 0..a.rows {
-            y[i] = alpha.s_mul(dot(a.row(i), x));
-        }
-    } else {
-        for i in 0..a.rows {
-            let acc = dot(a.row(i), x);
-            y[i] = beta.s_mul(y[i]).s_add(alpha.s_mul(acc));
-        }
-    }
-}
-
-/// `C <- alpha * A * B + beta * C`, `ikj` loop order.
-pub fn gemm<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut Matrix<S>) {
-    assert_eq!(a.cols, b.rows);
-    assert_eq!(c.rows, a.rows);
-    assert_eq!(c.cols, b.cols);
-    // Scale C by beta first (ikj accumulates into C). beta == 0 overwrites
-    // instead of scaling (standard BLAS semantics: garbage/NaN in C must
-    // not propagate); the branch is per-call, the loops stay branch-free.
-    if beta.s_is_zero() {
-        for v in &mut c.data {
-            *v = S::s_zero();
-        }
-    } else {
-        for v in &mut c.data {
-            *v = beta.s_mul(*v);
-        }
-    }
-    let n = b.cols;
-    for i in 0..a.rows {
-        for k in 0..a.cols {
-            let aik = alpha.s_mul(a.at(i, k));
-            let brow = &b.data[k * n..(k + 1) * n];
-            let crow = &mut c.data[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] = crow[j].s_mul_acc(aik, brow[j]);
+            for k in 0..a.cols {
+                let aik = alpha.s_mul(a.at(i, k));
+                let brow = &b.data[k * n..(k + 1) * n];
+                let crow = &mut c.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    crow[j] = crow[j].s_mul_acc(aik, brow[j]);
+                }
             }
         }
     }
@@ -269,5 +333,59 @@ mod tests {
         check!(QuadDouble, 1e-15);
         check!(mf_baselines::campary::Expansion<2>, 1e-15);
         check!(mf_baselines::campary::Expansion<4>, 1e-15);
+    }
+
+    /// The dispatched entry points must be bit-identical to the portable
+    /// bodies — both `mul_add` lowerings (vfmadd vs soft-float) are
+    /// correctly rounded, so the AVX2+FMA path may not change a single
+    /// bit. On non-AVX2 hosts this degenerates to body-vs-body (trivially
+    /// true); on AVX2 hosts it exercises the real claim.
+    #[test]
+    fn fma_dispatch_is_bit_identical_to_portable_body() {
+        let mut rng = SmallRng::seed_from_u64(905);
+        let (m, k, n) = (13, 17, 11);
+        let xs: Vec<F64x4> = rand_vec(&mut rng, 257)
+            .iter()
+            .map(|&v| F64x4::from(v))
+            .collect();
+        let ys: Vec<F64x4> = rand_vec(&mut rng, 257)
+            .iter()
+            .map(|&v| F64x4::from(v))
+            .collect();
+        assert_eq!(dot(&xs, &ys).components(), dot_body(&xs, &ys).components());
+
+        let alpha = F64x4::from(1.25);
+        let mut y_disp = ys.clone();
+        axpy(alpha, &xs, &mut y_disp);
+        let mut y_body = ys.clone();
+        axpy_body(alpha, &xs, &mut y_body);
+        for i in 0..xs.len() {
+            assert_eq!(y_disp[i].components(), y_body[i].components(), "i={i}");
+        }
+
+        let a = Matrix::from_fn(m, k, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let b = Matrix::from_fn(k, n, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let al = F64x2::from(-0.5);
+        let be = F64x2::from(0.25);
+        let c0 = Matrix::from_fn(m, n, |_, _| F64x2::from(rng.gen_range(-1.0..1.0f64)));
+        let mut c_disp = c0.clone();
+        gemm(al, &a, &b, be, &mut c_disp);
+        let mut c_body = c0.clone();
+        gemm_body(al, &a, &b, be, &mut c_body);
+        for i in 0..m * n {
+            assert_eq!(c_disp.data[i].components(), c_body.data[i].components());
+        }
+
+        let x: Vec<F64x2> = rand_vec(&mut rng, k)
+            .iter()
+            .map(|&v| F64x2::from(v))
+            .collect();
+        let mut yv_disp = vec![F64x2::from(0.5); m];
+        gemv(al, &a, &x, be, &mut yv_disp);
+        let mut yv_body = vec![F64x2::from(0.5); m];
+        gemv_body(al, &a, &x, be, &mut yv_body);
+        for i in 0..m {
+            assert_eq!(yv_disp[i].components(), yv_body[i].components(), "row {i}");
+        }
     }
 }

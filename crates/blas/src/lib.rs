@@ -29,6 +29,7 @@
 //!   container has one core, so the harness reports the max over
 //!   serial/parallel — see DESIGN.md T7).
 
+pub mod adaptive;
 pub mod kernels;
 pub mod lanes;
 pub mod mp;

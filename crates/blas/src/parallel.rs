@@ -124,7 +124,7 @@ fn describe_panic(p: &(dyn std::any::Any + Send)) -> String {
 /// shares the raw base pointer instead; every chunk index maps to an
 /// element range from [`chunk_ranges`], and those ranges never overlap, so
 /// no two concurrently live `slice` views alias.
-struct ChunkedMut<'a, S> {
+pub(crate) struct ChunkedMut<'a, S> {
     ptr: *mut S,
     len: usize,
     _life: PhantomData<&'a mut [S]>,
@@ -136,7 +136,7 @@ struct ChunkedMut<'a, S> {
 unsafe impl<S: Send> Sync for ChunkedMut<'_, S> {}
 
 impl<'a, S> ChunkedMut<'a, S> {
-    fn new(data: &'a mut [S]) -> Self {
+    pub(crate) fn new(data: &'a mut [S]) -> Self {
         ChunkedMut {
             ptr: data.as_mut_ptr(),
             len: data.len(),
@@ -150,7 +150,7 @@ impl<'a, S> ChunkedMut<'a, S> {
     /// a live view; each chunk index must be executed at most once per
     /// dispatch (both executors guarantee this).
     #[allow(clippy::mut_from_ref)]
-    unsafe fn slice(&self, lo: usize, hi: usize) -> &'a mut [S] {
+    pub(crate) unsafe fn slice(&self, lo: usize, hi: usize) -> &'a mut [S] {
         debug_assert!(lo <= hi && hi <= self.len);
         std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
     }

@@ -152,52 +152,99 @@ fn slices_mut<T: FloatBase, const N: usize>(
     core::array::from_fn(|_| &mut it.next().unwrap()[lo..hi])
 }
 
-/// `y <- alpha*x + y` over SoA vectors. The loop body is branch-free
-/// straight-line FPAN code; with unit-stride loads LLVM vectorizes it
-/// across `i`.
-pub fn axpy<T: FloatBase, const N: usize>(
-    alpha: MultiFloat<T, N>,
-    x: &SoaVec<T, N>,
-    y: &mut SoaVec<T, N>,
-) {
-    assert_eq!(x.len(), y.len());
-    let n = x.len();
-    // Streaming kernels: lock-step wins at N <= 2; at N >= 3 the lane
-    // state spills registers and the autovectorized form is faster
-    // (measured; see EXPERIMENTS.md ablations).
-    if N <= 2 {
-        crate::lanes::axpy_lockstep::<T, N>(alpha, &x.comps, &mut y.comps, n);
-    } else {
-        axpy_autovec(alpha, x, y);
-    }
+/// Expand one SoA entry point into the portable `*_body`, the AVX2+FMA
+/// `#[target_feature]` instantiation, and the dispatching public wrapper —
+/// the same pattern as the tiled GEMM path and the flat AoS kernels (see
+/// `kernels::fma_dispatched`). The lock-step lane primitives and `dot_raw`
+/// are all `#[inline(always)]`, so the whole hot loop lands inside the
+/// feature-enabled frame and the EFT `mul_add`s lower to `vfmadd`; both
+/// lowerings are correctly rounded, so results stay bit-identical.
+macro_rules! fma_dispatched_soa {
+    ($(#[$doc:meta])* pub fn $name:ident / $body:ident / $fma:ident
+     ($($arg:ident: $ty:ty),* $(,)?) $(-> $ret:ty)? $code:block) => {
+        #[inline(always)]
+        fn $body<T: FloatBase, const N: usize>($($arg: $ty),*) $(-> $ret)? $code
+
+        /// AVX2+FMA instantiation of the kernel body.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure the `avx2` and `fma` CPU features are present.
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn $fma<T: FloatBase, const N: usize>($($arg: $ty),*) $(-> $ret)? {
+            $body::<T, N>($($arg),*)
+        }
+
+        $(#[$doc])*
+        pub fn $name<T: FloatBase, const N: usize>($($arg: $ty),*) $(-> $ret)? {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                // SAFETY: the required CPU features were just detected.
+                return unsafe { $fma::<T, N>($($arg),*) };
+            }
+            $body::<T, N>($($arg),*)
+        }
+    };
 }
 
-/// Autovectorized AXPY variant, kept for the ablation benchmark.
-pub fn axpy_autovec<T: FloatBase, const N: usize>(
-    alpha: MultiFloat<T, N>,
-    x: &SoaVec<T, N>,
-    y: &mut SoaVec<T, N>,
-) {
-    assert_eq!(x.len(), y.len());
-    let a = alpha.components();
-    let n = x.len();
-    let xs: [&[T]; N] = slices(&x.comps, 0, n);
-    let ys: [&mut [T]; N] = slices_mut(&mut y.comps, 0, n);
-    for i in 0..n {
-        let xi: [T; N] = core::array::from_fn(|k| xs[k][i]);
-        let yi: [T; N] = core::array::from_fn(|k| ys[k][i]);
-        let p = multiplication::mul(&a, &xi);
-        let s = addition::add(&p, &yi);
-        for k in 0..N {
-            ys[k][i] = s[k];
+fma_dispatched_soa! {
+    /// `y <- alpha*x + y` over SoA vectors. The loop body is branch-free
+    /// straight-line FPAN code; with unit-stride loads LLVM vectorizes it
+    /// across `i`.
+    pub fn axpy / axpy_body / axpy_fma(
+        alpha: MultiFloat<T, N>,
+        x: &SoaVec<T, N>,
+        y: &mut SoaVec<T, N>,
+    ) {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        // Streaming kernels: lock-step wins at N <= 2; at N >= 3 the lane
+        // state spills registers and the autovectorized form is faster
+        // (measured; see EXPERIMENTS.md ablations).
+        if N <= 2 {
+            crate::lanes::axpy_lockstep::<T, N>(alpha, &x.comps, &mut y.comps, n);
+        } else {
+            axpy_autovec_body(alpha, x, y);
         }
     }
 }
 
-/// Dot product with [`lanes_for`]`(N)` independent accumulators (SIMD reduction).
-pub fn dot<T: FloatBase, const N: usize>(x: &SoaVec<T, N>, y: &SoaVec<T, N>) -> MultiFloat<T, N> {
-    assert_eq!(x.len(), y.len());
-    dot_raw::<T, N>(&x.comps, 0, &y.comps, 0, x.len())
+fma_dispatched_soa! {
+    /// Autovectorized AXPY variant, kept for the ablation benchmark.
+    pub fn axpy_autovec / axpy_autovec_body / axpy_autovec_fma(
+        alpha: MultiFloat<T, N>,
+        x: &SoaVec<T, N>,
+        y: &mut SoaVec<T, N>,
+    ) {
+        assert_eq!(x.len(), y.len());
+        let a = alpha.components();
+        let n = x.len();
+        let xs: [&[T]; N] = slices(&x.comps, 0, n);
+        let ys: [&mut [T]; N] = slices_mut(&mut y.comps, 0, n);
+        for i in 0..n {
+            let xi: [T; N] = core::array::from_fn(|k| xs[k][i]);
+            let yi: [T; N] = core::array::from_fn(|k| ys[k][i]);
+            let p = multiplication::mul(&a, &xi);
+            let s = addition::add(&p, &yi);
+            for k in 0..N {
+                ys[k][i] = s[k];
+            }
+        }
+    }
+}
+
+fma_dispatched_soa! {
+    /// Dot product with [`lanes_for`]`(N)` independent accumulators (SIMD reduction).
+    pub fn dot / dot_body / dot_fma(
+        x: &SoaVec<T, N>,
+        y: &SoaVec<T, N>,
+    ) -> MultiFloat<T, N> {
+        assert_eq!(x.len(), y.len());
+        dot_raw::<T, N>(&x.comps, 0, &y.comps, 0, x.len())
+    }
 }
 
 /// Reduction core shared by `dot` and `gemv`, operating on component
@@ -215,19 +262,20 @@ fn dot_raw<T: FloatBase, const N: usize>(
     crate::lanes::dot_lockstep::<T, N>(xc, xoff, yc, yoff, n)
 }
 
-/// Autovectorized reduction variant, kept for the SoA-vs-lockstep ablation
-/// benchmark.
-#[inline(always)]
-pub fn dot_autovec<T: FloatBase, const N: usize>(
-    x: &SoaVec<T, N>,
-    y: &SoaVec<T, N>,
-) -> MultiFloat<T, N> {
-    assert_eq!(x.len(), y.len());
-    let n = x.len();
-    match lanes_for(N) {
-        8 => dot_lanes::<T, N, 8>(&x.comps, 0, &y.comps, 0, n),
-        4 => dot_lanes::<T, N, 4>(&x.comps, 0, &y.comps, 0, n),
-        _ => dot_lanes::<T, N, 2>(&x.comps, 0, &y.comps, 0, n),
+fma_dispatched_soa! {
+    /// Autovectorized reduction variant, kept for the SoA-vs-lockstep ablation
+    /// benchmark.
+    pub fn dot_autovec / dot_autovec_body / dot_autovec_fma(
+        x: &SoaVec<T, N>,
+        y: &SoaVec<T, N>,
+    ) -> MultiFloat<T, N> {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        match lanes_for(N) {
+            8 => dot_lanes::<T, N, 8>(&x.comps, 0, &y.comps, 0, n),
+            4 => dot_lanes::<T, N, 4>(&x.comps, 0, &y.comps, 0, n),
+            _ => dot_lanes::<T, N, 2>(&x.comps, 0, &y.comps, 0, n),
+        }
     }
 }
 
@@ -271,84 +319,88 @@ fn dot_lanes<T: FloatBase, const N: usize, const L: usize>(
     MultiFloat::from_components(acc[0])
 }
 
-/// `y <- alpha*A*x + beta*y`, `ij` order, SoA layout.
-pub fn gemv<T: FloatBase, const N: usize>(
-    alpha: MultiFloat<T, N>,
-    a: &SoaMatrix<T, N>,
-    x: &SoaVec<T, N>,
-    beta: MultiFloat<T, N>,
-    y: &mut SoaVec<T, N>,
-) {
-    assert_eq!(a.cols, x.len());
-    assert_eq!(a.rows, y.len());
-    // beta == 0 overwrites y without reading it (standard BLAS semantics;
-    // matches the AoS kernels' fix — no NaN propagation from garbage y).
-    if beta.is_zero() {
-        for i in 0..a.rows {
-            let row = dot_raw::<T, N>(&a.comps, i * a.cols, &x.comps, 0, a.cols);
-            y.set(i, alpha.mul(row));
-        }
-    } else {
-        for i in 0..a.rows {
-            let row = dot_raw::<T, N>(&a.comps, i * a.cols, &x.comps, 0, a.cols);
-            let yi = y.get(i);
-            y.set(i, beta.mul(yi).add(alpha.mul(row)));
+fma_dispatched_soa! {
+    /// `y <- alpha*A*x + beta*y`, `ij` order, SoA layout.
+    pub fn gemv / gemv_body / gemv_fma(
+        alpha: MultiFloat<T, N>,
+        a: &SoaMatrix<T, N>,
+        x: &SoaVec<T, N>,
+        beta: MultiFloat<T, N>,
+        y: &mut SoaVec<T, N>,
+    ) {
+        assert_eq!(a.cols, x.len());
+        assert_eq!(a.rows, y.len());
+        // beta == 0 overwrites y without reading it (standard BLAS semantics;
+        // matches the AoS kernels' fix — no NaN propagation from garbage y).
+        if beta.is_zero() {
+            for i in 0..a.rows {
+                let row = dot_raw::<T, N>(&a.comps, i * a.cols, &x.comps, 0, a.cols);
+                y.set(i, alpha.mul(row));
+            }
+        } else {
+            for i in 0..a.rows {
+                let row = dot_raw::<T, N>(&a.comps, i * a.cols, &x.comps, 0, a.cols);
+                let yi = y.get(i);
+                y.set(i, beta.mul(yi).add(alpha.mul(row)));
+            }
         }
     }
 }
 
-/// `C <- alpha*A*B + beta*C`, `ikj` order, SoA layout (the inner `j` loop
-/// is the vectorized one).
-pub fn gemm<T: FloatBase, const N: usize>(
-    alpha: MultiFloat<T, N>,
-    a: &SoaMatrix<T, N>,
-    b: &SoaMatrix<T, N>,
-    beta: MultiFloat<T, N>,
-    c: &mut SoaMatrix<T, N>,
-) {
-    assert_eq!(a.cols, b.rows);
-    assert_eq!(c.rows, a.rows);
-    assert_eq!(c.cols, b.cols);
-    let n = b.cols;
-    // Scale C by beta; beta == 0 overwrites (no read of possibly-garbage C).
-    if beta.is_zero() {
-        for comp in c.comps.iter_mut() {
-            for v in comp.iter_mut() {
-                *v = T::ZERO;
+fma_dispatched_soa! {
+    /// `C <- alpha*A*B + beta*C`, `ikj` order, SoA layout (the inner `j` loop
+    /// is the vectorized one).
+    pub fn gemm / gemm_body / gemm_fma(
+        alpha: MultiFloat<T, N>,
+        a: &SoaMatrix<T, N>,
+        b: &SoaMatrix<T, N>,
+        beta: MultiFloat<T, N>,
+        c: &mut SoaMatrix<T, N>,
+    ) {
+        assert_eq!(a.cols, b.rows);
+        assert_eq!(c.rows, a.rows);
+        assert_eq!(c.cols, b.cols);
+        let n = b.cols;
+        // Scale C by beta; beta == 0 overwrites (no read of possibly-garbage C).
+        if beta.is_zero() {
+            for comp in c.comps.iter_mut() {
+                for v in comp.iter_mut() {
+                    *v = T::ZERO;
+                }
             }
-        }
-    } else {
-        for i in 0..c.rows {
-            for j in 0..n {
-                let v = c.get(i, j);
-                c.set(i, j, beta.mul(v));
-            }
-        }
-    }
-    for i in 0..a.rows {
-        let cbase = i * n;
-        for k in 0..a.cols {
-            let aik = alpha.mul(a.get(i, k));
-            if N <= 2 {
-                crate::lanes::axpy_lockstep_at::<T, N>(
-                    aik,
-                    &b.comps,
-                    k * n,
-                    &mut c.comps,
-                    cbase,
-                    n,
-                );
-            } else {
-                let aikc = aik.components();
-                let bs: [&[T]; N] = slices(&b.comps, k * n, k * n + n);
-                let cs: [&mut [T]; N] = slices_mut(&mut c.comps, cbase, cbase + n);
+        } else {
+            for i in 0..c.rows {
                 for j in 0..n {
-                    let bkj: [T; N] = core::array::from_fn(|q| bs[q][j]);
-                    let cij: [T; N] = core::array::from_fn(|q| cs[q][j]);
-                    let p = multiplication::mul(&aikc, &bkj);
-                    let s = addition::add(&p, &cij);
-                    for q in 0..N {
-                        cs[q][j] = s[q];
+                    let v = c.get(i, j);
+                    c.set(i, j, beta.mul(v));
+                }
+            }
+        }
+        for i in 0..a.rows {
+            let cbase = i * n;
+            for k in 0..a.cols {
+                let aik = alpha.mul(a.get(i, k));
+                if N <= 2 {
+                    crate::lanes::axpy_lockstep_at::<T, N>(
+                        aik,
+                        &b.comps,
+                        k * n,
+                        &mut c.comps,
+                        cbase,
+                        n,
+                    );
+                } else {
+                    let aikc = aik.components();
+                    let bs: [&[T]; N] = slices(&b.comps, k * n, k * n + n);
+                    let cs: [&mut [T]; N] = slices_mut(&mut c.comps, cbase, cbase + n);
+                    for j in 0..n {
+                        let bkj: [T; N] = core::array::from_fn(|q| bs[q][j]);
+                        let cij: [T; N] = core::array::from_fn(|q| cs[q][j]);
+                        let p = multiplication::mul(&aikc, &bkj);
+                        let s = addition::add(&p, &cij);
+                        for q in 0..N {
+                            cs[q][j] = s[q];
+                        }
                     }
                 }
             }
@@ -478,6 +530,67 @@ mod tests {
         for i in 0..m {
             let d = y_aos[i].sub(y_soa.get(i)).abs().to_f64();
             assert!(d <= 1e-28, "gemv row {i}: d={d:e}");
+        }
+    }
+
+    /// Same contract as the AoS kernels' dispatch test: the AVX2+FMA
+    /// instantiation may not change a single bit vs the portable body.
+    #[test]
+    fn fma_dispatch_is_bit_identical_to_portable_body() {
+        let mut rng = SmallRng::seed_from_u64(915);
+        let n = 203;
+        let xs: Vec<F64x4> = (0..n).map(|_| rand_mf(&mut rng)).collect();
+        let ys: Vec<F64x4> = (0..n).map(|_| rand_mf(&mut rng)).collect();
+        let x_soa = SoaVec::from_slice(&xs);
+        let y_soa = SoaVec::from_slice(&ys);
+        assert_eq!(
+            dot(&x_soa, &y_soa).components(),
+            dot_body(&x_soa, &y_soa).components()
+        );
+        assert_eq!(
+            dot_autovec(&x_soa, &y_soa).components(),
+            dot_autovec_body(&x_soa, &y_soa).components()
+        );
+
+        let alpha = rand_mf(&mut rng);
+        let mut y_disp = SoaVec::from_slice(&ys);
+        axpy(alpha, &x_soa, &mut y_disp);
+        let mut y_body = SoaVec::from_slice(&ys);
+        axpy_body(alpha, &x_soa, &mut y_body);
+        for k in 0..4 {
+            assert_eq!(y_disp.comps[k], y_body.comps[k], "axpy comp {k}");
+        }
+
+        let (m, kk, nn) = (9, 11, 7);
+        let a = SoaMatrix::<f64, 2>::from_fn(m, kk, |i, j| {
+            F64x2::from((i * kk + j) as f64 * 0.013 - 0.7)
+        });
+        let b = SoaMatrix::<f64, 2>::from_fn(kk, nn, |i, j| {
+            F64x2::from((i * nn + j) as f64 * 0.017 - 0.6)
+        });
+        let al = F64x2::from(1.5);
+        let be = F64x2::from(-0.25);
+        let c0 = SoaMatrix::<f64, 2>::from_fn(m, nn, |i, j| F64x2::from((i + j) as f64 * 0.1));
+        let mut c_disp = c0.clone();
+        gemm(al, &a, &b, be, &mut c_disp);
+        let mut c_body = c0.clone();
+        gemm_body(al, &a, &b, be, &mut c_body);
+        for k in 0..2 {
+            assert_eq!(c_disp.comps[k], c_body.comps[k], "gemm comp {k}");
+        }
+
+        let xv = SoaVec::<f64, 2>::from_slice(
+            &(0..kk)
+                .map(|j| F64x2::from(j as f64 * 0.05 - 0.2))
+                .collect::<Vec<_>>(),
+        );
+        let y0 = SoaVec::<f64, 2>::from_slice(&vec![F64x2::from(0.5); m]);
+        let mut yv_disp = y0.clone();
+        gemv(al, &a, &xv, be, &mut yv_disp);
+        let mut yv_body = y0.clone();
+        gemv_body(al, &a, &xv, be, &mut yv_body);
+        for k in 0..2 {
+            assert_eq!(yv_disp.comps[k], yv_body.comps[k], "gemv comp {k}");
         }
     }
 

@@ -8,7 +8,7 @@ use core::cmp::Ordering;
 use mf_baselines::{campary::Expansion, dd::DoubleDouble, qd::QuadDouble};
 use mf_blas::soa::SoaMatrix;
 use mf_blas::{kernels, parallel, tile, Matrix};
-use mf_core::{FloatBase, GuardPolicy, MultiFloat};
+use mf_core::{Adaptive, FloatBase, GuardPolicy, MultiFloat};
 use mf_mpsoft::MpFloat;
 use mf_softfloat::SoftFloat;
 
@@ -373,6 +373,146 @@ fn check_arith_guarded<const N: usize>(case: &Case, policy: GuardPolicy) -> Vec<
                 "rel err 2^{:.1} exceeds bound 2^{bexp} via {:?}",
                 rel.log2(),
                 g.path
+            ),
+        ));
+    }
+    out
+}
+
+/// Accuracy bound for results the `Adaptive` ladder escalated: any rung
+/// above the base recomputes wide (error ≤ 2^-150) and narrows back to two
+/// components (representation error ~2^-107, plus a tail-fold rounding),
+/// and the oracle rung is correctly rounded outright — so escalated
+/// results must sit at the N = 2 representation precision with a couple of
+/// bits of slack, tighter than any base-rung operation bound.
+pub const ADAPTIVE_ESCALATED_BOUND_EXP: i32 = -103;
+
+/// Lockstep entry point for the adaptive engine: the case runs through
+/// [`Adaptive`]'s `checked_*` ladder and is held to [`rel_bound_exp`] when
+/// it stayed on the base rung and to [`ADAPTIVE_ESCALATED_BOUND_EXP`] when
+/// it escalated — proving escalated results match the MpFloat oracle. As
+/// with the recovery policies, collapse regimes (tiny divisor, deep
+/// subnormal sqrt, residual-reconstruction overflow) are exactly what the
+/// ladder exists to fix, so an unrecovered collapse is a divergence unless
+/// the exact result itself is unrepresentable. The engine's base format is
+/// `F64x2`, so wider cases check the two-component truncation of their
+/// operands. Non-arithmetic ops return no findings.
+pub fn run_case_adaptive(case: &Case, engine: &Adaptive<f64>) -> Vec<Divergence> {
+    match case.op.as_str() {
+        "add" | "sub" | "mul" | "div" | "sqrt" => check_arith_adaptive(case, engine),
+        _ => Vec::new(),
+    }
+}
+
+fn check_arith_adaptive(case: &Case, engine: &Adaptive<f64>) -> Vec<Divergence> {
+    let op = case.op.as_str();
+    let name = "mf-adaptive";
+    let af = &case.operands[0];
+    let bf = &case.operands[case.operands.len() - 1];
+    if af.len() < 2 || bf.len() < 2 {
+        return Vec::new();
+    }
+    let (a, b) = (&af[..2], &bf[..2]);
+    let unary = op == "sqrt";
+    if !valid_expansion(a) || (!unary && !valid_expansion(b)) {
+        return Vec::new();
+    }
+    let xa = mf::<2>(a);
+    let xb = mf::<2>(b);
+    let ev = match op {
+        "add" => engine.checked_add(xa, xb),
+        "sub" => engine.checked_sub(xa, xb),
+        "mul" => engine.checked_mul(xa, xb),
+        "div" => engine.checked_div(xa, xb),
+        _ => engine.checked_sqrt(xa),
+    };
+    let result = ev.value;
+    let mut out = Vec::new();
+
+    // Documented special-value semantics bypass the ladder unchanged.
+    let nonfinite_in =
+        !a.iter().all(|v| v.is_finite()) || (!unary && !b.iter().all(|v| v.is_finite()));
+    if nonfinite_in {
+        if result.is_finite() {
+            out.push(diverge(
+                case,
+                name,
+                format!("non-finite input produced finite {:?}", result.components()),
+            ));
+        }
+        return out;
+    }
+    if unary && xa.is_negative() && !xa.is_zero() {
+        if !result.is_nan() {
+            out.push(diverge(case, name, "sqrt(negative) not NaN".into()));
+        }
+        return out;
+    }
+    if op == "div" && xb.is_zero() {
+        if result.is_finite() {
+            out.push(diverge(case, name, "x/0 produced a finite value".into()));
+        }
+        return out;
+    }
+
+    let a_mp = slice_to_mp(a);
+    let b_mp = slice_to_mp(b);
+    let exact = match op {
+        "add" => a_mp.add(&b_mp, ORACLE_PREC),
+        "sub" => a_mp.sub(&b_mp, ORACLE_PREC),
+        "mul" => a_mp.mul(&b_mp, ORACLE_PREC),
+        "div" => a_mp.div(&b_mp, ORACLE_PREC),
+        _ => a_mp.sqrt(ORACLE_PREC),
+    };
+    if exact.is_zero() {
+        if !result.is_zero() {
+            out.push(diverge(
+                case,
+                name,
+                format!(
+                    "exact zero result, got {:?} at rung {}",
+                    result.components(),
+                    ev.rung
+                ),
+            ));
+        }
+        return out;
+    }
+
+    // The ladder tops out at the exact oracle, so the only excuse for a
+    // non-finite result is a truly unrepresentable magnitude.
+    let e_exact = exact.exp2().unwrap_or(0);
+    let may_overflow = e_exact >= OVERFLOW_EXP;
+    if !result.is_finite() {
+        if !may_overflow {
+            out.push(diverge(
+                case,
+                name,
+                format!(
+                    "unrecovered collapse: {:?} at rung {} (exact exp2 {e_exact})",
+                    result.components(),
+                    ev.rung
+                ),
+            ));
+        }
+        return out;
+    }
+    let bexp = if ev.escalated() {
+        ADAPTIVE_ESCALATED_BOUND_EXP
+    } else {
+        rel_bound_exp(op, 2)
+    };
+    let got = result.to_mp(ORACLE_PREC);
+    let (ok, rel) = within(&got, &exact, bexp);
+    if !ok && !may_overflow && !flush_excused(op, &got, &exact, &a_mp, &b_mp) {
+        out.push(diverge(
+            case,
+            name,
+            format!(
+                "rel err 2^{:.1} exceeds bound 2^{bexp} at rung {} ({} climbs)",
+                rel.log2(),
+                ev.rung,
+                ev.escalations
             ),
         ));
     }

@@ -162,6 +162,32 @@ pub fn run_guarded(cases: usize, seed: u64, policy: mf_core::GuardPolicy) -> Vec
     out
 }
 
+/// Run `cases` generated arithmetic cases through the [`mf_core::Adaptive`]
+/// ladder engine in lockstep with the oracle (see
+/// [`check::run_case_adaptive`]): results that stayed on the base rung are
+/// held to the base bounds, escalated results to the `N = 2` representation
+/// bound — proving escalation lands on the MpFloat oracle. The engine runs
+/// in per-op (non-sticky) mode so every case is judged from the base rung
+/// and replays deterministically in isolation. Returns the divergences and
+/// the engine's escalation tally for the sweep.
+pub fn run_adaptive(cases: usize, seed: u64) -> (Vec<Divergence>, mf_core::AdaptiveStats) {
+    let policy = mf_core::EscalationPolicy {
+        sticky: false,
+        ..Default::default()
+    };
+    let engine = mf_core::Adaptive::<f64>::new(policy);
+    let mut g = gen::CaseGen::new(seed ^ 0xada7_d1ff_5eed_0ca1);
+    let mut out = Vec::new();
+    for _ in 0..cases {
+        let case = g.next_case(OpClass::Arith);
+        out.extend(check::run_case_adaptive(&case, &engine));
+        if out.len() >= 32 {
+            break; // enough evidence; don't flood the report
+        }
+    }
+    (out, engine.stats())
+}
+
 /// Run `cases` generated cases of one class and return every divergence
 /// (already shrunk to minimal reproducers).
 pub fn run_class(class: OpClass, cases: usize, seed: u64) -> Vec<Divergence> {

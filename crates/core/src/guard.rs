@@ -107,6 +107,16 @@ pub enum GuardPath {
     Oracle,
 }
 
+impl core::fmt::Display for GuardPath {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            GuardPath::Fast => "fast",
+            GuardPath::Rescaled => "rescaled",
+            GuardPath::Oracle => "oracle",
+        })
+    }
+}
+
 /// Bit-set of detector findings for one guarded operation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GuardFlags(u8);

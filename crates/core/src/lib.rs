@@ -45,6 +45,7 @@
 //! usable magnitude range is that of the base type (no extended exponent
 //! range). NaNs propagate.
 
+pub mod adaptive;
 pub mod addition;
 pub mod cmp;
 pub mod complex;
@@ -60,6 +61,7 @@ pub mod rounding;
 pub mod sqrt;
 pub mod trig;
 
+pub use adaptive::{Adaptive, AdaptiveStats, EscalationPolicy, Evaluated, Rung};
 pub use guard::{GuardFlags, GuardPath, GuardPolicy, Guarded};
 pub use mf_eft::FloatBase;
 

@@ -20,7 +20,10 @@
 //! * [`qr`] — Householder QR ([`qr::QrFactors`]) for square and
 //!   least-squares systems;
 //! * [`refine`] — mixed-precision iterative refinement
-//!   ([`refine::refine_lu`]) returning per-iteration residual norms.
+//!   ([`refine::refine_lu`]) returning per-iteration residual norms, and
+//!   its adaptive form ([`refine::refine_adaptive`]) whose residual
+//!   precision climbs a ladder (`f64 → F64x2 → F64x3 → F64x4 → exact`)
+//!   only when the correction norm stalls.
 //!
 //! Telemetry (feature-gated no-ops otherwise): the
 //! `solve.refine.iterations` gauge holds the iteration count of the most
@@ -33,7 +36,10 @@ pub mod refine;
 
 pub use lu::{lu_factor, LuFactors};
 pub use qr::{qr_factor, QrFactors};
-pub use refine::{refine_lu, refine_with_factors, RefineOptions, Refinement};
+pub use refine::{
+    refine_adaptive, refine_adaptive_with_factors, refine_lu, refine_with_factors,
+    AdaptiveRefinement, RefineOptions, Refinement, ResidualRung,
+};
 
 /// Re-exported matrix type shared with the BLAS layer (`f64` instantiation
 /// of the generic dense row-major matrix).

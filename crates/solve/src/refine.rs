@@ -13,11 +13,16 @@
 use crate::lu::{lu_factor, LuFactors};
 use crate::{norm_inf, MatrixF64, SolveError};
 use mf_blas::kernels;
-use mf_core::MultiFloat;
-use mf_telemetry::{trace, Gauge};
+use mf_core::adaptive::EscalationPolicy;
+use mf_core::{MultiFloat, Rung};
+use mf_mpsoft::MpFloat;
+use mf_telemetry::{trace, Counter, Gauge};
 
 /// Iteration count of the most recent refinement (live-view gauge).
 static REFINE_ITERS: Gauge = Gauge::new("solve.refine.iterations");
+
+/// Residual-precision climbs performed by adaptive refinement.
+static ADAPT_ESCALATIONS: Counter = Counter::new("solve.refine.adaptive.escalations");
 
 /// Knobs for [`refine_lu`].
 #[derive(Debug, Clone, Copy)]
@@ -141,6 +146,208 @@ where
         residual_norms,
         iterations,
         converged,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive refinement: ladder-driven residual precision
+// ---------------------------------------------------------------------------
+
+/// Residual-precision rungs for [`refine_adaptive`]. The refinement ladder
+/// has one rung below the scalar engine's (`f64` — the classical
+/// fixed-precision residual) and tops out at the exact `MpFloat` residual
+/// instead of a rounded oracle evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResidualRung {
+    /// Plain `f64` residual (no extended precision).
+    #[default]
+    F64,
+    /// `MultiFloat<f64, 2>` residual (~107-bit).
+    X2,
+    /// `MultiFloat<f64, 3>` residual (~161-bit).
+    X3,
+    /// `MultiFloat<f64, 4>` residual (~215-bit).
+    X4,
+    /// Exact residual through [`MpFloat::exact_dot`] (one rounding to
+    /// `f64` per entry).
+    Exact,
+}
+
+impl ResidualRung {
+    fn next(self) -> Self {
+        match self {
+            ResidualRung::F64 => ResidualRung::X2,
+            ResidualRung::X2 => ResidualRung::X3,
+            ResidualRung::X3 => ResidualRung::X4,
+            _ => ResidualRung::Exact,
+        }
+    }
+
+    /// Map the scalar engine's ladder cap onto residual rungs
+    /// (`N2 → X2`, …, `Oracle → Exact`).
+    pub fn from_cap(r: Rung) -> Self {
+        match r {
+            Rung::N2 => ResidualRung::X2,
+            Rung::N3 => ResidualRung::X3,
+            Rung::N4 => ResidualRung::X4,
+            Rung::Oracle => ResidualRung::Exact,
+        }
+    }
+}
+
+impl std::fmt::Display for ResidualRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ResidualRung::F64 => "f64",
+            ResidualRung::X2 => "F64x2",
+            ResidualRung::X3 => "F64x3",
+            ResidualRung::X4 => "F64x4",
+            ResidualRung::Exact => "exact",
+        })
+    }
+}
+
+/// Outcome of [`refine_adaptive`]: a [`Refinement`] plus the escalation
+/// trace.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRefinement {
+    pub x: Vec<f64>,
+    /// `||b − A·x_k||_inf` before step `k` (at that step's rung), plus one
+    /// final entry for the returned `x`.
+    pub residual_norms: Vec<f64>,
+    pub iterations: usize,
+    pub converged: bool,
+    /// Residual rung used by each step, in order (`rung_history[k]`
+    /// produced `residual_norms[k]`).
+    pub rung_history: Vec<ResidualRung>,
+    /// Ladder climbs performed.
+    pub escalations: u32,
+}
+
+impl AdaptiveRefinement {
+    /// The rung the refinement settled on.
+    pub fn final_rung(&self) -> ResidualRung {
+        self.rung_history.last().copied().unwrap_or_default()
+    }
+}
+
+/// Exact residual `r = b − A·x`, each entry one `MpFloat::exact_dot` with a
+/// single rounding to `f64`.
+fn residual_exact(a: &MatrixF64, b: &[f64], x: &[f64]) -> Vec<f64> {
+    let mut ys: Vec<f64> = x.iter().map(|&v| -v).collect();
+    ys.push(1.0);
+    (0..b.len())
+        .map(|i| {
+            let mut xs = a.row(i).to_vec();
+            xs.push(b[i]);
+            MpFloat::exact_dot(&xs, &ys).to_f64()
+        })
+        .collect()
+}
+
+fn residual_at(a: &MatrixF64, b: &[f64], x: &[f64], rung: ResidualRung) -> Vec<f64> {
+    match rung {
+        ResidualRung::F64 => residual_extended::<1>(a, b, x),
+        ResidualRung::X2 => residual_extended::<2>(a, b, x),
+        ResidualRung::X3 => residual_extended::<3>(a, b, x),
+        ResidualRung::X4 => residual_extended::<4>(a, b, x),
+        ResidualRung::Exact => residual_exact(a, b, x),
+    }
+}
+
+/// A correction shrinking by less than this factor per step means the
+/// iteration is floored on residual precision, not still converging: with
+/// an adequate residual the contraction ratio is `~cond(A)·ε` per step,
+/// while at the precision floor consecutive corrections have the same
+/// magnitude (random rounding noise).
+const STALL_RATIO: f64 = 0.5;
+
+/// Solve `A x = b` by `f64` LU + iterative refinement whose residual
+/// precision climbs a ladder (`f64 → F64x2 → F64x3 → F64x4 → exact`)
+/// instead of being fixed up front. Each step starts at the resident rung;
+/// when the correction norm stalls ([`STALL_RATIO`]) before the
+/// convergence test passes, the residual precision escalates one rung —
+/// so well-conditioned systems never pay for extended precision, and
+/// ill-conditioned ones climb exactly as high as their condition number
+/// demands.
+///
+/// Only the `max_rung` knob of [`EscalationPolicy`] applies here (mapped
+/// through [`ResidualRung::from_cap`]); the per-value residency and budget
+/// knobs belong to the scalar engine.
+pub fn refine_adaptive(
+    a: &MatrixF64,
+    b: &[f64],
+    opts: RefineOptions,
+    policy: &EscalationPolicy,
+) -> Result<AdaptiveRefinement, SolveError> {
+    let factors = lu_factor(a)?;
+    refine_adaptive_with_factors(a, &factors, b, opts, policy)
+}
+
+/// [`refine_adaptive`] against pre-computed factors.
+pub fn refine_adaptive_with_factors(
+    a: &MatrixF64,
+    factors: &LuFactors,
+    b: &[f64],
+    opts: RefineOptions,
+    policy: &EscalationPolicy,
+) -> Result<AdaptiveRefinement, SolveError> {
+    if a.rows != b.len() {
+        return Err(SolveError::Shape(format!(
+            "refine_adaptive: A is {}x{} but b has {} elements",
+            a.rows,
+            a.cols,
+            b.len()
+        )));
+    }
+    let n = a.rows;
+    let max_rung = ResidualRung::from_cap(policy.max_rung);
+    let mut rung = ResidualRung::F64;
+    let mut x = factors.solve(b);
+    let mut residual_norms = Vec::new();
+    let mut rung_history = Vec::new();
+    let mut escalations = 0u32;
+    let mut converged = false;
+    let mut iterations = 0;
+    // Correction norm of the previous step *at the current rung*; reset on
+    // escalation so every rung gets one ungated step before being judged.
+    let mut prev_d: Option<f64> = None;
+    for _ in 0..opts.max_iters {
+        let _sp = trace::span("solve.refine.adaptive.step", n as u64);
+        let r = residual_at(a, b, &x, rung);
+        residual_norms.push(norm_inf(&r));
+        rung_history.push(rung);
+        let d = factors.solve(&r);
+        for (xi, di) in x.iter_mut().zip(&d) {
+            *xi += di;
+        }
+        iterations += 1;
+        let dnorm = norm_inf(&d);
+        if dnorm <= opts.tol_factor * f64::EPSILON * norm_inf(&x) {
+            converged = true;
+            break;
+        }
+        if let Some(p) = prev_d {
+            if dnorm > STALL_RATIO * p && rung < max_rung {
+                rung = rung.next();
+                escalations += 1;
+                prev_d = None;
+                continue;
+            }
+        }
+        prev_d = Some(dnorm);
+    }
+    let r = residual_at(a, b, &x, rung);
+    residual_norms.push(norm_inf(&r));
+    REFINE_ITERS.set(iterations as i64);
+    ADAPT_ESCALATIONS.add(u64::from(escalations));
+    Ok(AdaptiveRefinement {
+        x,
+        residual_norms,
+        iterations,
+        converged,
+        rung_history,
+        escalations,
     })
 }
 
@@ -374,5 +581,141 @@ mod tests {
             refine_lu::<2>(&a, &[1.0, 2.0, 3.0], RefineOptions::default()),
             Err(SolveError::SingularPivot { .. })
         ));
+    }
+
+    /// The ladder's reason to exist: on an ill-conditioned system the
+    /// `f64`-residual base rung stalls at the condition-number floor (the
+    /// `residual_precision_ablation` fact), the stall detector climbs, and
+    /// the final solution matches the exact oracle to near machine
+    /// accuracy — same quality the fixed `N = 4` refinement reaches.
+    #[test]
+    fn adaptive_escalates_past_f64_stall_and_converges() {
+        let n = 10;
+        let h = hilbert(n);
+        let b = hilbert_rhs_ones(&h);
+        let out = refine_adaptive(
+            &h,
+            &b,
+            RefineOptions::default(),
+            &EscalationPolicy::default(),
+        )
+        .unwrap();
+        assert!(out.converged, "norms: {:?}", out.residual_norms);
+        assert_eq!(
+            out.rung_history[0],
+            ResidualRung::F64,
+            "starts at base rung"
+        );
+        assert!(
+            out.escalations >= 1,
+            "cond ~1e13 must defeat the f64 residual (history: {:?})",
+            out.rung_history
+        );
+        assert!(out.final_rung() >= ResidualRung::X2);
+        let x_ref = oracle_solve(&h, &b);
+        let ferr = ferr_vs(&out.x, &x_ref);
+        assert!(ferr <= 1e-12 * norm_inf(&x_ref), "forward error {ferr:e}");
+    }
+
+    /// Well-conditioned systems converge on the free `f64` rung — zero
+    /// escalations, zero extended-precision work.
+    #[test]
+    fn adaptive_stays_on_f64_for_well_conditioned_systems() {
+        let n = 8;
+        let a = MatrixF64::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0
+            } else {
+                1.0 / ((i + j + 1) as f64)
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + 0.25 * i as f64).collect();
+        let out = refine_adaptive(
+            &a,
+            &b,
+            RefineOptions::default(),
+            &EscalationPolicy::default(),
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert_eq!(out.escalations, 0, "history: {:?}", out.rung_history);
+        assert!(out.rung_history.iter().all(|&r| r == ResidualRung::F64));
+    }
+
+    /// `max_rung` caps the climb exactly as in the scalar engine.
+    #[test]
+    fn adaptive_respects_max_rung_cap() {
+        let n = 10;
+        let h = hilbert(n);
+        let b = hilbert_rhs_ones(&h);
+        let capped = EscalationPolicy {
+            max_rung: mf_core::Rung::N2,
+            ..EscalationPolicy::default()
+        };
+        let out = refine_adaptive(&h, &b, RefineOptions::default(), &capped).unwrap();
+        assert!(
+            out.rung_history.iter().all(|&r| r <= ResidualRung::X2),
+            "history: {:?}",
+            out.rung_history
+        );
+        // F64x2 suffices at cond ~1e13 (the ablation fact), so the capped
+        // ladder still converges.
+        assert!(out.converged);
+        let x_ref = oracle_solve(&h, &b);
+        assert!(ferr_vs(&out.x, &x_ref) <= 1e-12);
+    }
+
+    /// On the hardest tier-1 problem (n = 12, cond ~1e16) the adaptive
+    /// ladder reaches the same quality as the fixed F64x4 refinement.
+    #[test]
+    fn adaptive_matches_fixed_n4_quality_on_hard_hilbert() {
+        let n = 12;
+        let h = hilbert(n);
+        let b = hilbert_rhs_ones(&h);
+        let adaptive = refine_adaptive(
+            &h,
+            &b,
+            RefineOptions::default(),
+            &EscalationPolicy::default(),
+        )
+        .unwrap();
+        assert!(adaptive.converged, "norms: {:?}", adaptive.residual_norms);
+        let fixed = refine_lu::<4>(&h, &b, RefineOptions::default()).unwrap();
+        let x_ref = oracle_solve(&h, &b);
+        let ferr_a = ferr_vs(&adaptive.x, &x_ref);
+        let ferr_f = ferr_vs(&fixed.x, &x_ref);
+        let xnorm = norm_inf(&x_ref);
+        assert!(ferr_a <= 1e-12 * xnorm, "adaptive {ferr_a:e}");
+        assert!(
+            ferr_a <= 10.0 * ferr_f.max(1e-15 * xnorm),
+            "adaptive {ferr_a:e} vs fixed {ferr_f:e}"
+        );
+    }
+
+    #[test]
+    fn adaptive_shape_mismatch() {
+        let h = hilbert(4);
+        assert!(matches!(
+            refine_adaptive(
+                &h,
+                &[1.0; 5],
+                RefineOptions::default(),
+                &EscalationPolicy::default()
+            ),
+            Err(SolveError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn residual_rung_display_and_cap_mapping() {
+        assert_eq!(ResidualRung::F64.to_string(), "f64");
+        assert_eq!(ResidualRung::Exact.to_string(), "exact");
+        assert_eq!(ResidualRung::from_cap(mf_core::Rung::N3), ResidualRung::X3);
+        assert_eq!(
+            ResidualRung::from_cap(mf_core::Rung::Oracle),
+            ResidualRung::Exact
+        );
+        assert!(ResidualRung::F64 < ResidualRung::X2);
+        assert_eq!(ResidualRung::Exact.next(), ResidualRung::Exact);
     }
 }

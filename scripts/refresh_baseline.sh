@@ -5,8 +5,8 @@
 #   (default: results/history/baseline.jsonl)
 #
 # Reruns the history-producing bench binaries (tables + pardispatch +
-# solve) twice in quick mode against the given baseline file, replacing
-# its contents.
+# solve + adaptive) twice in quick mode against the given baseline file,
+# replacing its contents.
 # Two same-revision passes are what gives the trend gate its noise floor;
 # all records carry git_rev "baseline" so fresh CI runs never pool with
 # them. Run this (and commit the result) whenever a bench binary grows new
@@ -39,6 +39,8 @@ for pass in 1 2; do
   ./target/release/pardispatch --manifest results/manifest_baseline_pardispatch.json >/dev/null
   echo "=== baseline pass $pass/2: solve ===" >&2
   ./target/release/solve --manifest results/manifest_baseline_solve.json >/dev/null
+  echo "=== baseline pass $pass/2: adaptive ===" >&2
+  ./target/release/adaptive --manifest results/manifest_baseline_adaptive.json >/dev/null
 done
 
 echo "wrote $(wc -l < "$BASELINE") record(s) to $BASELINE" >&2
